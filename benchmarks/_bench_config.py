@@ -1,0 +1,107 @@
+"""Shared configuration/helpers for the figure benchmarks.
+
+The paper's testbed (C++/TPIE, N = 50M segments, m = 50,000) is far
+beyond an in-process Python sweep, so all experiments run a scaled grid
+(DESIGN.md §5).  The scale factor multiplies the dataset dimensions:
+
+    REPRO_BENCH_SCALE=1   (default)  m=400,  navg=60,  N≈24k
+    REPRO_BENCH_SCALE=4              m=1600, navg=240, N≈384k
+
+Shapes (method orderings, growth trends, crossovers) are preserved; see
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.approximate import (
+    Appx1,
+    Appx1B,
+    Appx2,
+    Appx2B,
+    Appx2Plus,
+    build_breakpoints2,
+    epsilon_for_budget,
+)
+from repro.datasets import generate_meme, generate_temp, random_queries
+from repro.exact import Exact1, Exact2, Exact3
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+#: Scaled stand-ins for the paper's defaults (m=50k, navg=1000, r=500,
+#: kmax=200, k=50, 100 queries).
+DEFAULT_M = max(50, int(400 * SCALE))
+DEFAULT_NAVG = max(20, int(60 * SCALE))
+DEFAULT_R = max(16, int(40 * SCALE))
+DEFAULT_KMAX = max(20, int(50 * SCALE))
+DEFAULT_K = max(5, int(12 * SCALE))
+DEFAULT_QUERIES = max(5, int(8 * SCALE))
+DEFAULT_INTERVAL = 0.2
+
+
+@lru_cache(maxsize=8)
+def temp_database(m: int = DEFAULT_M, navg: int = DEFAULT_NAVG, seed: int = 0):
+    """Cached Temp-like database (scaled MesoWest stand-in)."""
+    return generate_temp(num_objects=m, avg_readings=navg, seed=seed)
+
+
+@lru_cache(maxsize=2)
+def meme_database(m: int = DEFAULT_M * 2, navg: int = 10, seed: int = 1):
+    """Cached Meme-like database (bursty, many small objects)."""
+    return generate_meme(num_objects=m, avg_records=navg, seed=seed)
+
+
+@lru_cache(maxsize=16)
+def shared_b2(db_key: str, r: int):
+    """One BREAKPOINTS2 construction shared across methods of a sweep.
+
+    ``db_key`` selects the cached database ("temp" or "meme"); using a
+    string keeps lru_cache happy.
+    """
+    db = temp_database() if db_key == "temp" else meme_database()
+    eps = epsilon_for_budget(db, r, tolerance=max(2, r // 20))
+    return build_breakpoints2(db, eps)
+
+
+def workload(db, k: int = DEFAULT_K, count: int = DEFAULT_QUERIES,
+             interval: float = DEFAULT_INTERVAL, seed: int = 7):
+    return random_queries(
+        db, count=count, interval_fraction=interval, k=k, seed=seed
+    )
+
+
+def make_exact_methods():
+    return [Exact1(), Exact2(), Exact3()]
+
+
+def make_approx_methods(kmax: int = DEFAULT_KMAX, r: int = DEFAULT_R,
+                        db_key: str = "temp", include_basic: bool = False):
+    """The paper's default approximate lineup (Section 5 keeps APPX1,
+    APPX2, APPX2+ after Figure 12; Figures 11-12 and 19-20 include the
+    -B basics)."""
+    bp2 = shared_b2(db_key, r)
+    methods = []
+    if include_basic:
+        methods += [Appx1B(r=r, kmax=kmax), Appx2B(r=r, kmax=kmax)]
+    methods += [
+        Appx1(breakpoints=bp2, kmax=kmax),
+        Appx2(breakpoints=bp2, kmax=kmax),
+        Appx2Plus(breakpoints=bp2, kmax=kmax),
+    ]
+    return methods
+
+
+def approx_methods_for(db, r: int = DEFAULT_R, kmax: int = DEFAULT_KMAX):
+    """Per-database approximate lineup (for sweeps over m / navg where
+    the cached shared_b2 would belong to the wrong database)."""
+    eps = epsilon_for_budget(db, r, tolerance=max(2, r // 20))
+    bp2 = build_breakpoints2(db, eps)
+    return [
+        Appx1(breakpoints=bp2, kmax=kmax),
+        Appx2(breakpoints=bp2, kmax=kmax),
+        Appx2Plus(breakpoints=bp2, kmax=kmax),
+    ]
+
+

@@ -1,0 +1,15 @@
+"""Pytest fixtures for the benchmarks (helpers in _bench_config)."""
+
+import pytest
+
+from _bench_config import meme_database, temp_database
+
+
+@pytest.fixture(scope="session")
+def default_temp_db():
+    return temp_database()
+
+
+@pytest.fixture(scope="session")
+def default_meme_db():
+    return meme_database()

@@ -1,0 +1,44 @@
+"""Ablation: buffer pool (OS cache) effect on EXACT3 queries.
+
+The paper attributes part of the wall-clock gap between methods to OS
+caching (Section 5, discussion of Figure 17).  With an LRU pool,
+repeated EXACT3 queries over overlapping intervals hit mostly cached
+blocks; cold queries pay the full IO bill.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.exact import Exact3
+
+from _bench_config import DEFAULT_K, temp_database, workload
+
+
+def test_cache_ablation(benchmark):
+    db = temp_database()
+    queries = workload(db, k=DEFAULT_K)
+
+    cold = Exact3().build(db)
+    cold_ios = [cold.measured_query(q, cold=True).ios for q in queries]
+
+    warm = Exact3(cache_blocks=4096).build(db)
+    # Prime the pool, then measure without dropping it.
+    for q in queries:
+        warm.query(q)
+    warm_ios = []
+    for q in queries:
+        stats = warm.io_stats
+        before = stats.snapshot()
+        warm.query(q)
+        delta = stats.snapshot() - before
+        warm_ios.append(delta.reads + delta.writes)
+
+    rows = [
+        {"config": "cold (no pool)", "avg_query_ios": float(np.mean(cold_ios))},
+        {"config": "warm (4096-block LRU)", "avg_query_ios": float(np.mean(warm_ios))},
+    ]
+    print_table("Ablation: EXACT3 buffer-pool effect", rows)
+    assert np.mean(warm_ios) < np.mean(cold_ios)
+    benchmark(lambda: cold.query(queries[0]))

@@ -1,0 +1,66 @@
+"""Ablation: distributed protocols' communication cost.
+
+The paper's conclusion leaves the distributed setting open; DESIGN.md
+commits this repo to two layouts.  This bench quantifies the
+communication trade-off the threshold algorithm buys on the
+time-partitioned layout, and the (trivially small) bill of the
+object-partitioned layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.distributed import ObjectPartitionedCluster, TimePartitionedCluster
+
+from _bench_config import DEFAULT_K, DEFAULT_M, temp_database, workload
+
+
+def test_distributed_communication(benchmark):
+    db = temp_database(DEFAULT_M // 2, 40, seed=21)
+    queries = workload(db, k=DEFAULT_K, count=4)
+    rows = []
+    for num_nodes in (2, 4, 8):
+        obj_cluster = ObjectPartitionedCluster(db, num_nodes=num_nodes)
+        time_cluster = TimePartitionedCluster(db, num_nodes=num_nodes)
+
+        obj_cluster.comm.reset()
+        for q in queries:
+            obj_res = obj_cluster.query(q.t1, q.t2, q.k)
+        obj_pairs = obj_cluster.comm.pairs / len(queries)
+
+        time_cluster.comm.reset()
+        for q in queries:
+            sg_res = time_cluster.query_scatter_gather(q.t1, q.t2, q.k)
+        sg_pairs = time_cluster.comm.pairs / len(queries)
+
+        time_cluster.comm.reset()
+        for q in queries:
+            ta_res = time_cluster.query_threshold(q.t1, q.t2, q.k)
+        ta_pairs = time_cluster.comm.pairs / len(queries)
+
+        # All protocols agree with the centralized truth.
+        ref = db.brute_force_top_k(queries[-1].t1, queries[-1].t2, queries[-1].k)
+        assert obj_res.object_ids == ref.object_ids
+        assert sg_res.object_ids == ref.object_ids
+        assert ta_res.object_ids == ref.object_ids
+
+        rows.append(
+            {
+                "nodes": num_nodes,
+                "object_part_pairs": obj_pairs,
+                "time_scatter_pairs": sg_pairs,
+                "time_TA_pairs": ta_pairs,
+            }
+        )
+    print_table("Ablation: distributed communication per query", rows)
+    for row in rows:
+        # Object partitioning ships p*k pairs; scatter-gather ships ~m
+        # per touched node.
+        assert row["object_part_pairs"] <= row["nodes"] * DEFAULT_K
+        assert row["time_scatter_pairs"] > row["object_part_pairs"]
+
+    cluster = ObjectPartitionedCluster(db, num_nodes=4)
+    q = queries[0]
+    benchmark(lambda: cluster.query(q.t1, q.t2, q.k))

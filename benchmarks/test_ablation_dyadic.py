@@ -1,0 +1,51 @@
+"""Ablation: dyadic candidate-set size vs the 2*k*log r worst case.
+
+The paper notes |K| << 2*k*log r in practice, which is why APPX2+'s
+verification IOs stay small.  This bench measures the actual candidate
+pool sizes over the default workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approximate import Appx2
+from repro.bench import print_table
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_R,
+    shared_b2,
+    temp_database,
+    workload,
+)
+
+
+def test_candidate_pool_size(benchmark):
+    db = temp_database()
+    bp = shared_b2("temp", DEFAULT_R)
+    method = Appx2(breakpoints=bp, kmax=DEFAULT_KMAX).build(db)
+    rows = []
+    for k in [max(2, DEFAULT_K // 2), DEFAULT_K, DEFAULT_K * 2]:
+        queries = workload(db, k=k)
+        sizes = [
+            len(method.candidate_set(q)) for q in queries
+        ]
+        bound = 2 * k * np.ceil(np.log2(max(bp.r, 2)))
+        rows.append(
+            {
+                "k": k,
+                "avg_|K|": float(np.mean(sizes)),
+                "max_|K|": int(np.max(sizes)),
+                "bound_2k_log_r": int(bound),
+                "utilization": float(np.mean(sizes)) / bound,
+            }
+        )
+    print_table("Ablation: dyadic candidate-set size vs bound", rows)
+    for row in rows:
+        assert row["max_|K|"] <= row["bound_2k_log_r"] + row["k"]
+        # The paper's observation: far below the bound.
+        assert row["utilization"] < 1.0
+    q = workload(db, k=DEFAULT_K, count=1)[0]
+    benchmark(lambda: method.candidate_set(q))

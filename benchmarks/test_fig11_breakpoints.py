@@ -1,0 +1,142 @@
+"""Figure 11: preprocessing as the breakpoint budget r varies.
+
+Panels (paper, Temp dataset):
+  (a) achieved epsilon vs r for BREAKPOINTS1 and BREAKPOINTS2
+      — B2's epsilon is orders of magnitude smaller for equal r.
+  (b) breakpoint build time: B1 flat, B2-baseline grows with r,
+      B2-efficient (lazy PQ) flat.
+  (c) index size of APPX1-B/APPX2-B/APPX1/APPX2/APPX2+ vs EXACT3
+      — APPX2 ~ r*kmax << APPX1 ~ r^2*kmax << EXACT3/APPX2+ ~ N.
+  (d) build time — approximate methods build faster than EXACT3
+      (APPX2 fastest, APPX1 grows with r).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.approximate import (
+    build_breakpoints1,
+    build_breakpoints2,
+    build_breakpoints2_baseline,
+    epsilon_for_budget,
+)
+from repro.bench import print_table
+from repro.exact import Exact3
+
+from _bench_config import (
+    DEFAULT_KMAX,
+    DEFAULT_R,
+    make_approx_methods,
+    temp_database,
+)
+
+R_VALUES = [max(8, DEFAULT_R // 4), DEFAULT_R // 2, DEFAULT_R, DEFAULT_R * 2]
+
+
+def test_fig11a_epsilon_vs_r(benchmark):
+    """Panel (a): epsilon achieved per breakpoint budget."""
+    db = temp_database()
+    rows = []
+    for r in R_VALUES:
+        eps1 = 1.0 / (r - 1)
+        eps2 = epsilon_for_budget(db, r, tolerance=max(2, r // 20))
+        rows.append(
+            {
+                "r": r,
+                "eps_B1": eps1,
+                "eps_B2": eps2,
+                "B2_smaller_by": eps1 / eps2,
+            }
+        )
+    print_table("Figure 11(a): epsilon vs r (Temp)", rows)
+    # B2 always achieves a (much) smaller epsilon at equal budget.
+    for row in rows:
+        assert row["eps_B2"] < row["eps_B1"]
+    benchmark(lambda: epsilon_for_budget(db, R_VALUES[0], tolerance=4))
+
+
+def test_fig11b_breakpoint_build_time(benchmark):
+    """Panel (b): construction time of B1, B2-baseline, B2-efficient.
+
+    Measured on a many-objects Temp variant: the baseline's O(r*m)
+    reset term (the quantity panel (b) isolates) only dominates when m
+    is large relative to navg, as in the paper's m=50,000 testbed.
+    """
+    from _bench_config import DEFAULT_M, DEFAULT_NAVG
+
+    db = temp_database(DEFAULT_M * 4, max(8, DEFAULT_NAVG // 4), seed=2)
+    rows = []
+    for r in R_VALUES:
+        eps2 = epsilon_for_budget(db, r, tolerance=max(2, r // 20))
+        t0 = time.perf_counter()
+        build_breakpoints1(db, r=r)
+        t_b1 = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        build_breakpoints2_baseline(db, eps2)
+        t_b2_baseline = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        build_breakpoints2(db, eps2)
+        t_b2_efficient = time.perf_counter() - t0
+        rows.append(
+            {
+                "r": r,
+                "B1_s": t_b1,
+                "B2_baseline_s": t_b2_baseline,
+                "B2_efficient_s": t_b2_efficient,
+            }
+        )
+    print_table("Figure 11(b): breakpoint build time vs r (Temp)", rows)
+    benchmark(lambda: build_breakpoints1(db, r=R_VALUES[0]))
+
+
+@pytest.fixture(scope="module")
+def built_lineups():
+    """Approximate methods + EXACT3 built per r value (panels c, d)."""
+    db = temp_database()
+    lineup = {}
+    for r in R_VALUES:
+        methods = make_approx_methods(
+            kmax=DEFAULT_KMAX, r=r, include_basic=True
+        )
+        for m in methods:
+            m.build(db)
+        lineup[r] = methods
+    exact3 = Exact3().build(db)
+    return db, lineup, exact3
+
+
+def test_fig11c_index_size(built_lineups, benchmark):
+    """Panel (c): index size vs r."""
+    db, lineup, exact3 = built_lineups
+    rows = []
+    for r, methods in lineup.items():
+        row = {"r": r}
+        for m in methods:
+            row[m.name] = m.index_size_bytes
+        row["EXACT3"] = exact3.index_size_bytes
+        rows.append(row)
+    print_table("Figure 11(c): index size in bytes vs r (Temp)", rows)
+    for row in rows:
+        # Shape assertions from the paper: APPX2 < APPX1 <= EXACT3-scale,
+        # APPX2+ carries the O(N) prefix data.
+        assert row["APPX2"] < row["APPX1"]
+        assert row["APPX2"] < row["EXACT3"]
+        assert row["APPX2+"] > row["APPX2"]
+    benchmark(lambda: lineup[R_VALUES[0]][0].index_size_bytes)
+
+
+def test_fig11d_build_time(built_lineups, benchmark):
+    """Panel (d): total build time (breakpoints + query structure)."""
+    db, lineup, exact3 = built_lineups
+    rows = []
+    for r, methods in lineup.items():
+        row = {"r": r}
+        for m in methods:
+            row[m.name + "_s"] = m.build_seconds
+        row["EXACT3_s"] = exact3.build_seconds
+        rows.append(row)
+    print_table("Figure 11(d): build time vs r (Temp)", rows)
+    benchmark(lambda: None)

@@ -1,0 +1,68 @@
+"""Figure 12(a, b): approximation quality as r varies (Temp).
+
+Paper: precision/recall above 0.9 for every method even at the
+smallest r; APPX1 and APPX2+ close to 1 throughout; approximation
+ratios within a few percent of 1 (APPX2/APPX2-B slightly below 1
+because dyadic scores are lower bounds); methods on BREAKPOINTS2
+beat their -B basics at equal r.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    approximation_ratio,
+    evaluate_method,
+    exact_reference,
+    precision_recall,
+    print_table,
+)
+from repro.core import TopKQuery
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_R,
+    make_approx_methods,
+    temp_database,
+    workload,
+)
+
+R_VALUES = [max(8, DEFAULT_R // 4), DEFAULT_R, DEFAULT_R * 2]
+
+
+def test_fig12ab_quality_vs_r(benchmark):
+    db = temp_database()
+    queries = workload(db, k=DEFAULT_K)
+    exact = exact_reference(db, queries)
+    rows = []
+    for r in R_VALUES:
+        methods = make_approx_methods(
+            kmax=DEFAULT_KMAX, r=r, include_basic=True
+        )
+        row_p = {"r": r, "metric": "precision"}
+        row_q = {"r": r, "metric": "ratio"}
+        for method in methods:
+            method.build(db)
+            precisions, ratios = [], []
+            for q, ref in zip(queries, exact):
+                got = method.query(q)
+                precisions.append(precision_recall(got, ref))
+                ratios.append(approximation_ratio(got, db, q.t1, q.t2))
+            row_p[method.name] = sum(precisions) / len(precisions)
+            row_q[method.name] = sum(ratios) / len(ratios)
+        rows += [row_p, row_q]
+    print_table("Figure 12(a,b): precision/recall & ratio vs r (Temp)", rows)
+    # Shape: APPX1 and APPX2+ stay near-perfect at the default budget.
+    default_rows = [r for r in rows if r["r"] == DEFAULT_R]
+    for row in default_rows:
+        if row["metric"] == "precision":
+            assert row["APPX1"] >= 0.85
+            assert row["APPX2+"] >= 0.8
+        else:
+            assert 0.9 <= row["APPX1"] <= 1.1
+            assert 0.95 <= row["APPX2+"] <= 1.05
+
+    # One representative quality evaluation for pytest-benchmark.
+    method = make_approx_methods(kmax=DEFAULT_KMAX, r=DEFAULT_R)[0].build(db)
+    q = queries[0]
+    benchmark(lambda: method.query(q))

@@ -1,0 +1,77 @@
+"""Figure 12(c, d): query IOs and time as r varies (Temp).
+
+Paper: APPX1/APPX1-B and APPX2/APPX2-B take a handful of IOs (6-8 in
+the paper) regardless of r; APPX2+ takes ~100-150 IOs (candidate
+verification); EXACT3 takes 1000+ — at least two orders of magnitude
+above the small approximations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.exact import Exact3
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_R,
+    make_approx_methods,
+    temp_database,
+    workload,
+)
+
+R_VALUES = [max(8, DEFAULT_R // 4), DEFAULT_R, DEFAULT_R * 2]
+
+
+def test_fig12cd_query_cost_vs_r(benchmark):
+    db = temp_database()
+    queries = workload(db, k=DEFAULT_K)
+    exact3 = Exact3().build(db)
+    exact3_ios = np.mean([exact3.measured_query(q).ios for q in queries])
+    exact3_time = np.mean([exact3.measured_query(q).seconds for q in queries])
+    rows = []
+    appx1_ios = {}
+    for r in R_VALUES:
+        methods = make_approx_methods(
+            kmax=DEFAULT_KMAX, r=r, include_basic=True
+        )
+        row_io = {"r": r, "metric": "IOs"}
+        row_t = {"r": r, "metric": "time_s"}
+        for method in methods:
+            method.build(db)
+            costs = [method.measured_query(q) for q in queries]
+            row_io[method.name] = float(np.mean([c.ios for c in costs]))
+            row_t[method.name] = float(np.mean([c.seconds for c in costs]))
+        row_io["EXACT3"] = float(exact3_ios)
+        row_t["EXACT3"] = float(exact3_time)
+        rows += [row_io, row_t]
+        appx1_ios[r] = row_io["APPX1"]
+    print_table("Figure 12(c,d): query IOs & time vs r (Temp)", rows)
+    from repro.bench.ascii_plot import print_chart
+
+    io_rows = [row for row in rows if row["metric"] == "IOs"]
+    print_chart(
+        "Figure 12(c) as a chart: query IOs vs r (log y)",
+        [row["r"] for row in io_rows],
+        {
+            name: [row[name] for row in io_rows]
+            for name in ("APPX1", "APPX2", "APPX2+", "EXACT3")
+        },
+    )
+
+    for row in rows:
+        if row["metric"] != "IOs":
+            continue
+        # Paper shape: small approximations beat EXACT3 by a lot;
+        # APPX2+ sits between.
+        assert row["APPX1"] < row["EXACT3"] / 5
+        assert row["APPX2"] < row["EXACT3"]
+        assert row["APPX1"] <= row["APPX2+"]
+    # APPX1 query IO roughly flat in r.
+    ios = list(appx1_ios.values())
+    assert max(ios) <= max(4 * min(ios), min(ios) + 8)
+
+    method = make_approx_methods(kmax=DEFAULT_KMAX, r=DEFAULT_R)[0].build(db)
+    benchmark(lambda: method.measured_query(queries[0]))

@@ -1,0 +1,92 @@
+"""Figure 13: scalability in the number of objects m (Temp).
+
+Paper: all exact methods are linear-size; EXACT3 is the best exact
+query method (its query cost grows linearly with m but stays 2-3
+orders below EXACT1/EXACT2); approximate methods' query cost is
+independent of m and beats EXACT3 throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.exact import Exact1, Exact2, Exact3
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_M,
+    DEFAULT_R,
+    approx_methods_for,
+    temp_database,
+    workload,
+)
+
+M_VALUES = [max(25, DEFAULT_M // 4), DEFAULT_M // 2, DEFAULT_M]
+
+
+def test_fig13_vary_m(benchmark):
+    base = temp_database()
+    rows_size, rows_build, rows_io, rows_time = [], [], [], []
+    per_m_io = {}
+    for m in M_VALUES:
+        db = base if m == DEFAULT_M else base.sample_objects(m, seed=m)
+        queries = workload(db, k=DEFAULT_K)
+        methods = [Exact1(), Exact2(), Exact3()] + approx_methods_for(
+            db, r=DEFAULT_R, kmax=DEFAULT_KMAX
+        )
+        row_size, row_build = {"m": m}, {"m": m}
+        row_io, row_time = {"m": m}, {"m": m}
+        for method in methods:
+            method.build(db)
+            costs = [method.measured_query(q) for q in queries]
+            row_size[method.name] = method.index_size_bytes
+            row_build[method.name + "_s"] = method.build_seconds
+            row_io[method.name] = float(np.mean([c.ios for c in costs]))
+            row_time[method.name + "_s"] = float(
+                np.mean([c.seconds for c in costs])
+            )
+        rows_size.append(row_size)
+        rows_build.append(row_build)
+        rows_io.append(row_io)
+        rows_time.append(row_time)
+        per_m_io[m] = row_io
+    print_table("Figure 13(a): index size vs m (Temp)", rows_size)
+    print_table("Figure 13(b): build time vs m (Temp)", rows_build)
+    print_table("Figure 13(c): query IOs vs m (Temp)", rows_io)
+    print_table("Figure 13(d): query time vs m (Temp)", rows_time)
+    from repro.bench.ascii_plot import print_chart
+
+    print_chart(
+        "Figure 13(c) as a chart: query IOs vs m (log y)",
+        M_VALUES,
+        {
+            name: [per_m_io[m][name] for m in M_VALUES]
+            for name in ("EXACT1", "EXACT2", "EXACT3", "APPX1", "APPX2")
+        },
+    )
+
+    for row in rows_io:
+        # EXACT3 is the best exact method at query time.  Its win over
+        # EXACT1 widens with m (paper: 2-3 orders at m=50k); at the
+        # smallest scaled m the two are within noise of each other, so
+        # the strict ordering is asserted at the default m only.
+        if row["m"] == M_VALUES[-1]:
+            assert row["EXACT3"] <= row["EXACT1"]
+        else:
+            assert row["EXACT3"] <= row["EXACT1"] * 1.5
+        assert row["EXACT3"] <= row["EXACT2"]
+        # Approximations beat the best exact method.
+        assert row["APPX1"] < row["EXACT3"]
+        assert row["APPX2"] < row["EXACT3"]
+    # APPX1's IO is independent of m.
+    appx1 = [per_m_io[m]["APPX1"] for m in M_VALUES]
+    assert max(appx1) <= max(3 * min(appx1), min(appx1) + 6)
+    # EXACT2/EXACT3 query IO grows with m.
+    assert per_m_io[M_VALUES[-1]]["EXACT2"] > per_m_io[M_VALUES[0]]["EXACT2"]
+
+    db = base.sample_objects(M_VALUES[0], seed=M_VALUES[0])
+    method = Exact3().build(db)
+    q = workload(db, k=DEFAULT_K, count=1)[0]
+    benchmark(lambda: method.query(q))

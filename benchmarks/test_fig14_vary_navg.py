@@ -1,0 +1,72 @@
+"""Figure 14: scalability in the average segments per object (Temp).
+
+Paper: index sizes and build times of exact methods grow linearly in
+navg; EXACT3's query cost is "not clearly affected by navg"; the
+approximate methods' query cost is independent of navg (APPX2+ only
+logarithmically dependent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.exact import Exact1, Exact2, Exact3
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_M,
+    DEFAULT_NAVG,
+    DEFAULT_R,
+    approx_methods_for,
+    temp_database,
+    workload,
+)
+
+NAVG_VALUES = [max(10, DEFAULT_NAVG // 4), DEFAULT_NAVG, DEFAULT_NAVG * 2]
+
+
+def test_fig14_vary_navg(benchmark):
+    rows_size, rows_build, rows_io, rows_time = [], [], [], []
+    per_navg = {}
+    for navg in NAVG_VALUES:
+        db = temp_database(DEFAULT_M // 2, navg, seed=3)
+        queries = workload(db, k=DEFAULT_K)
+        methods = [Exact1(), Exact2(), Exact3()] + approx_methods_for(
+            db, r=DEFAULT_R, kmax=DEFAULT_KMAX
+        )
+        row_size, row_build = {"navg": navg}, {"navg": navg}
+        row_io, row_time = {"navg": navg}, {"navg": navg}
+        for method in methods:
+            method.build(db)
+            costs = [method.measured_query(q) for q in queries]
+            row_size[method.name] = method.index_size_bytes
+            row_build[method.name + "_s"] = method.build_seconds
+            row_io[method.name] = float(np.mean([c.ios for c in costs]))
+            row_time[method.name + "_s"] = float(
+                np.mean([c.seconds for c in costs])
+            )
+        rows_size.append(row_size)
+        rows_build.append(row_build)
+        rows_io.append(row_io)
+        rows_time.append(row_time)
+        per_navg[navg] = (row_size, row_io)
+    print_table("Figure 14(a): index size vs navg (Temp)", rows_size)
+    print_table("Figure 14(b): build time vs navg (Temp)", rows_build)
+    print_table("Figure 14(c): query IOs vs navg (Temp)", rows_io)
+    print_table("Figure 14(d): query time vs navg (Temp)", rows_time)
+
+    # Exact index sizes grow with navg (linear in N).
+    lo, hi = NAVG_VALUES[0], NAVG_VALUES[-1]
+    for name in ("EXACT1", "EXACT2", "EXACT3"):
+        assert per_navg[hi][0][name] > per_navg[lo][0][name]
+    # EXACT1 query IO grows with navg; APPX1 stays flat.
+    assert per_navg[hi][1]["EXACT1"] > per_navg[lo][1]["EXACT1"]
+    appx1 = [per_navg[v][1]["APPX1"] for v in NAVG_VALUES]
+    assert max(appx1) <= max(3 * min(appx1), min(appx1) + 6)
+
+    db = temp_database(DEFAULT_M // 2, NAVG_VALUES[0], seed=3)
+    method = Exact1().build(db)
+    q = workload(db, k=DEFAULT_K, count=1)[0]
+    benchmark(lambda: method.query(q))

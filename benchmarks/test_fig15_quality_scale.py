@@ -1,0 +1,70 @@
+"""Figure 15: approximation quality as m and navg vary (Temp).
+
+Paper: APPX1 and APPX2+ keep precision/recall and ratio very close to
+1 across the whole sweep; APPX2 stays at an acceptable level (its
+precision dips as m/navg grow, but its near-1 ratio shows the missed
+objects have nearly identical scores).
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    approximation_ratio,
+    exact_reference,
+    precision_recall,
+    print_table,
+)
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_M,
+    DEFAULT_NAVG,
+    DEFAULT_R,
+    approx_methods_for,
+    temp_database,
+    workload,
+)
+
+
+def _quality_rows(db, label, value):
+    queries = workload(db, k=DEFAULT_K)
+    exact = exact_reference(db, queries)
+    row_p = {label: value, "metric": "precision"}
+    row_r = {label: value, "metric": "ratio"}
+    for method in approx_methods_for(db, r=DEFAULT_R, kmax=DEFAULT_KMAX):
+        method.build(db)
+        precisions, ratios = [], []
+        for q, ref in zip(queries, exact):
+            got = method.query(q)
+            precisions.append(precision_recall(got, ref))
+            ratios.append(approximation_ratio(got, db, q.t1, q.t2))
+        row_p[method.name] = sum(precisions) / len(precisions)
+        row_r[method.name] = sum(ratios) / len(ratios)
+    return [row_p, row_r]
+
+
+def test_fig15ab_quality_vs_m(benchmark):
+    base = temp_database()
+    rows = []
+    for m in [max(25, DEFAULT_M // 4), DEFAULT_M // 2, DEFAULT_M]:
+        db = base if m == DEFAULT_M else base.sample_objects(m, seed=m)
+        rows += _quality_rows(db, "m", m)
+    print_table("Figure 15(a,b): quality vs m (Temp)", rows)
+    for row in rows:
+        if row["metric"] == "ratio":
+            assert 0.85 <= row["APPX1"] <= 1.15
+            assert 0.9 <= row["APPX2+"] <= 1.1
+    benchmark(lambda: None)
+
+
+def test_fig15cd_quality_vs_navg(benchmark):
+    rows = []
+    for navg in [max(10, DEFAULT_NAVG // 4), DEFAULT_NAVG, DEFAULT_NAVG * 2]:
+        db = temp_database(DEFAULT_M // 2, navg, seed=3)
+        rows += _quality_rows(db, "navg", navg)
+    print_table("Figure 15(c,d): quality vs navg (Temp)", rows)
+    for row in rows:
+        if row["metric"] == "ratio":
+            assert 0.85 <= row["APPX1"] <= 1.15
+    benchmark(lambda: None)

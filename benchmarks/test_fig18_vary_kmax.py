@@ -1,0 +1,75 @@
+"""Figure 18: effect of the kmax budget on approximate structures (Temp).
+
+Paper: kmax has no effect on exact methods; it linearly scales the
+index size and construction cost of APPX1/APPX2 (their stored lists
+hold kmax entries), yet both remain far smaller than exact indexes;
+query cost at fixed k is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.exact import Exact3
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_R,
+    make_approx_methods,
+    temp_database,
+    workload,
+)
+
+# A 4 KB block holds 256 (id, score) entries, so the paper's linear
+# kmax -> size effect only becomes visible once lists span additional
+# blocks; the sweep crosses that boundary.
+KMAX_VALUES = [max(DEFAULT_K, DEFAULT_KMAX), 260, 390]
+
+
+def test_fig18_vary_kmax(benchmark):
+    db = temp_database()
+    queries = workload(db, k=DEFAULT_K)
+    exact3 = Exact3().build(db)
+    rows_size, rows_build, rows_io, rows_time = [], [], [], []
+    sizes = {}
+    for kmax in KMAX_VALUES:
+        methods = [
+            m.build(db) for m in make_approx_methods(kmax=kmax, r=DEFAULT_R)
+        ]
+        row_size, row_build = {"kmax": kmax}, {"kmax": kmax}
+        row_io, row_time = {"kmax": kmax}, {"kmax": kmax}
+        for method in methods:
+            costs = [method.measured_query(q) for q in queries]
+            row_size[method.name] = method.index_size_bytes
+            row_build[method.name + "_s"] = method.build_seconds
+            row_io[method.name] = float(np.mean([c.ios for c in costs]))
+            row_time[method.name + "_s"] = float(
+                np.mean([c.seconds for c in costs])
+            )
+        row_size["EXACT3"] = exact3.index_size_bytes
+        rows_size.append(row_size)
+        rows_build.append(row_build)
+        rows_io.append(row_io)
+        rows_time.append(row_time)
+        sizes[kmax] = row_size
+    print_table("Figure 18(a): index size vs kmax (Temp)", rows_size)
+    print_table("Figure 18(b): build time vs kmax (Temp)", rows_build)
+    print_table("Figure 18(c): query IOs vs kmax (Temp)", rows_io)
+    print_table("Figure 18(d): query time vs kmax (Temp)", rows_time)
+
+    lo, mid, hi = KMAX_VALUES
+    # Index sizes grow with kmax for APPX1/APPX2 (strictly once the
+    # per-interval lists cross a block boundary)...
+    assert sizes[mid]["APPX1"] > sizes[lo]["APPX1"]
+    assert sizes[mid]["APPX2"] > sizes[lo]["APPX2"]
+    assert sizes[hi]["APPX1"] >= sizes[mid]["APPX1"]
+    # ...but APPX2 stays far below EXACT3 even at the largest budget.
+    assert sizes[hi]["APPX2"] < sizes[hi]["EXACT3"]
+    # Query IOs at fixed k unaffected by kmax.
+    appx1 = [row["APPX1"] for row in rows_io]
+    assert max(appx1) <= max(3 * min(appx1), min(appx1) + 6)
+
+    method = make_approx_methods(kmax=KMAX_VALUES[0], r=DEFAULT_R)[1].build(db)
+    benchmark(lambda: method.query(queries[0]))

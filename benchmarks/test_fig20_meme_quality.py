@@ -1,0 +1,68 @@
+"""Figure 20: approximation quality on the bursty Meme dataset.
+
+Paper: all approximate methods keep precision/recall >= ~0.9 and
+ratios close to 1 even on this very bursty data; the BREAKPOINTS2
+variants beat their -B basics at the same budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import (
+    approximation_ratio,
+    exact_reference,
+    precision_recall,
+    print_table,
+)
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_R,
+    make_approx_methods,
+    meme_database,
+    workload,
+)
+
+
+def test_fig20_meme_quality(benchmark):
+    db = meme_database()
+    queries = workload(db, k=DEFAULT_K)
+    exact = exact_reference(db, queries)
+    methods = [
+        m.build(db)
+        for m in make_approx_methods(
+            kmax=DEFAULT_KMAX, r=DEFAULT_R, db_key="meme", include_basic=True
+        )
+    ]
+    rows = []
+    by_name = {}
+    for method in methods:
+        precisions, ratios = [], []
+        for q, ref in zip(queries, exact):
+            got = method.query(q)
+            precisions.append(precision_recall(got, ref))
+            ratios.append(approximation_ratio(got, db, q.t1, q.t2))
+        row = {
+            "method": method.name,
+            "precision": float(np.mean(precisions)),
+            "ratio": float(np.mean(ratios)),
+        }
+        rows.append(row)
+        by_name[method.name] = row
+    print_table("Figure 20: Meme dataset, approximation quality", rows)
+
+    # High quality on bursty data for the strong variants.
+    assert by_name["APPX1"]["precision"] >= 0.7
+    assert by_name["APPX2+"]["precision"] >= 0.6
+    assert 0.8 <= by_name["APPX1"]["ratio"] <= 1.2
+    # NOTE: the paper additionally finds the B2 variants beat their -B
+    # basics on the real Meme data; on our synthetic stand-in the two
+    # are statistically close and B1 sometimes edges ahead at small r
+    # (recorded as a deviation in EXPERIMENTS.md), so no ordering is
+    # asserted here.  The Temp equivalent (where the ordering does
+    # reproduce) is asserted in tests/test_approx_methods.py.
+    assert by_name["APPX1-B"]["precision"] >= 0.7
+
+    benchmark(lambda: methods[0].query(queries[0]))

@@ -1,0 +1,124 @@
+"""Figure 3 (the cost table): measured costs vs asymptotic bounds.
+
+The paper's Figure 3 tabulates index size, construction, query, and
+update costs for all five methods.  This bench validates the *growth*
+of measured IOs against those bounds by comparing two dataset scales:
+
+  EXACT1  query ~ log_B N + sum q_i/B   -> grows ~linearly with N
+  EXACT2  query ~ sum_i log_B n_i (+ m file opens) -> grows with m
+  EXACT3  query ~ log N + m/B           -> grows with m, not navg
+  APPX1   query ~ k/B + log_B r         -> independent of N and m
+  APPX2   query ~ k log r               -> independent of N and m
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.core import TopKQuery
+from repro.exact import Exact1, Exact2, Exact3
+
+from _bench_config import (
+    DEFAULT_K,
+    DEFAULT_KMAX,
+    DEFAULT_M,
+    DEFAULT_NAVG,
+    DEFAULT_R,
+    approx_methods_for,
+    temp_database,
+    workload,
+)
+
+
+def _measure(db):
+    queries = workload(db, k=DEFAULT_K, count=4)
+    out = {}
+    methods = [Exact1(), Exact2(), Exact3()] + approx_methods_for(
+        db, r=DEFAULT_R, kmax=DEFAULT_KMAX
+    )
+    for method in methods:
+        method.build(db)
+        ios = float(np.mean([method.measured_query(q).ios for q in queries]))
+        out[method.name] = {
+            "size": method.index_size_bytes,
+            "query_ios": ios,
+        }
+    return out
+
+
+def test_cost_table_growth(benchmark):
+    small = temp_database(DEFAULT_M // 2, DEFAULT_NAVG // 2, seed=5)
+    large = temp_database(DEFAULT_M, DEFAULT_NAVG, seed=5)
+    ratio_n = (large.total_segments / small.total_segments)
+
+    measured_small = _measure(small)
+    measured_large = _measure(large)
+    rows = []
+    for name in measured_small:
+        rows.append(
+            {
+                "method": name,
+                "size_growth": measured_large[name]["size"]
+                / measured_small[name]["size"],
+                "query_io_growth": measured_large[name]["query_ios"]
+                / max(measured_small[name]["query_ios"], 1.0),
+                "N_growth": ratio_n,
+            }
+        )
+    print_table(
+        "Figure 3 check: cost growth from (m/2, navg/2) to (m, navg)", rows
+    )
+    by_name = {r["method"]: r for r in rows}
+    # Exact sizes are linear in N.
+    for name in ("EXACT1", "EXACT2", "EXACT3"):
+        assert 0.3 * ratio_n <= by_name[name]["size_growth"] <= 3 * ratio_n
+    # EXACT1 query IO grows about linearly with N.
+    assert by_name["EXACT1"]["query_io_growth"] >= ratio_n / 4
+    # EXACT2 query grows with m (doubled) but much slower than N.
+    assert 1.2 <= by_name["EXACT2"]["query_io_growth"] <= ratio_n
+    # APPX1/APPX2 queries are scale-independent.
+    assert by_name["APPX1"]["query_io_growth"] <= 2.5
+    assert by_name["APPX2"]["query_io_growth"] <= 2.5
+
+    method = Exact3().build(small)
+    q = TopKQuery(small.t_min, small.t_min + 0.2 * (small.t_max - small.t_min), DEFAULT_K)
+    benchmark(lambda: method.query(q))
+
+
+def test_update_costs(benchmark):
+    """Section 4 / Section 5 'Updates': per-append IO costs.
+
+    EXACT1/EXACT3 ~ O(log_B N); EXACT2 ~ O(log_B n_i) (single small
+    tree, cheapest); approximate methods amortize reconstruction.
+    """
+    from repro.datasets import generate_temp
+
+    rows = []
+    for cls in (Exact1, Exact2, Exact3):
+        # Fresh database per method: appends mutate it.
+        db = generate_temp(
+            num_objects=DEFAULT_M // 4, avg_readings=DEFAULT_NAVG // 2, seed=9
+        )
+        method = cls().build(db)
+        method.io_stats.reset()
+        appends = 20
+        db_end = db.t_max
+        for i in range(appends):
+            db_end += 1.0
+            db.append_segment(0, db_end, 5.0)
+            method.append(0, db_end, 5.0)
+        rows.append(
+            {
+                "method": method.name,
+                "ios_per_append": method.io_stats.total / appends,
+            }
+        )
+    print_table("Update cost per appended segment", rows)
+    by_name = {r["method"]: r for r in rows}
+    # EXACT2 updates one tiny tree; cheapest per the paper.
+    assert (
+        by_name["EXACT2"]["ios_per_append"]
+        <= by_name["EXACT1"]["ios_per_append"] + 2
+    )
+    benchmark(lambda: None)

@@ -1,0 +1,53 @@
+"""Weather-station analytics: the paper's motivating Temp scenario.
+
+"Return the top-10 weather stations having the highest average
+temperature from 10/01/2010 to 10/07/2010" (paper Section 1) — plus a
+look at how the answer degrades as the approximation budget shrinks,
+which is the trade-off a deployment actually has to pick.
+
+Run:  python examples/weather_stations.py
+"""
+
+from __future__ import annotations
+
+from repro import AVG, Appx1, Exact3, TopKQuery, generate_temp
+from repro.bench import precision_recall
+from repro.datasets import random_queries
+
+
+def main() -> None:
+    db = generate_temp(num_objects=400, avg_readings=100, seed=42)
+    span = db.t_max - db.t_min
+    print(f"database: {db}\n")
+
+    # --- the motivating query: hottest stations over one week, by avg.
+    exact_avg = Exact3(aggregate=AVG).build(db)
+    week = span / 52
+    query = TopKQuery(t1=span * 0.75, t2=span * 0.75 + week, k=10)
+    answer = exact_avg.query(query)
+    print("top-10 stations by AVG temperature over one week:")
+    for rank, item in enumerate(answer, start=1):
+        label = db.get(item.object_id).label
+        print(f"  {rank:2d}. {label:<14s} avg={item.score:8.2f}")
+
+    # --- accuracy vs budget: how small can the approximate index go?
+    print("\napproximate budget sweep (top-10 by SUM, 20 random queries):")
+    exact_sum = Exact3().build(db)
+    queries = random_queries(db, count=20, interval_fraction=0.1, k=10, seed=3)
+    references = [exact_sum.query(q) for q in queries]
+    print(f"  {'epsilon':>10s} {'breakpoints':>12s} {'index':>10s} "
+          f"{'precision':>10s}")
+    for epsilon in (3e-4, 1e-4, 3e-5):
+        approx = Appx1(epsilon=epsilon, kmax=20).build(db)
+        precision = sum(
+            precision_recall(approx.query(q), ref)
+            for q, ref in zip(queries, references)
+        ) / len(queries)
+        print(
+            f"  {epsilon:10.0e} {approx.breakpoints.r:12d} "
+            f"{approx.index_size_bytes / 1e3:8.0f}KB {precision:10.2%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim: the sandbox lacks the `wheel` package, so PEP 660
+editable installs fail; `pip install -e .` falls back to `setup.py develop`
+through this file.  The console script is declared here as well because
+the legacy path does not read [project.scripts] from pyproject.toml."""
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,37 @@
+"""Approximate aggregate top-k methods (paper Section 3)."""
+
+from repro.approximate.breakpoints import (
+    Breakpoints,
+    build_breakpoints1,
+    build_breakpoints2,
+    build_breakpoints2_baseline,
+    epsilon_for_budget,
+)
+from repro.approximate.dyadic import DyadicIndex
+from repro.approximate.methods import (
+    APPROXIMATE_METHODS,
+    DEFAULT_KMAX,
+    Appx1,
+    Appx1B,
+    Appx2,
+    Appx2B,
+    Appx2Plus,
+)
+from repro.approximate.query1 import NestedPairIndex
+
+__all__ = [
+    "Breakpoints",
+    "build_breakpoints1",
+    "build_breakpoints2",
+    "build_breakpoints2_baseline",
+    "epsilon_for_budget",
+    "NestedPairIndex",
+    "DyadicIndex",
+    "Appx1",
+    "Appx1B",
+    "Appx2",
+    "Appx2B",
+    "Appx2Plus",
+    "APPROXIMATE_METHODS",
+    "DEFAULT_KMAX",
+]

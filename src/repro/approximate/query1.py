@@ -1,0 +1,123 @@
+"""QUERY1: nested B+-trees over all breakpoint pairs (paper Section 3.2).
+
+For every ordered breakpoint pair ``(b_j, b_j')`` the top ``k_max``
+objects by ``sigma_i(b_j, b_j')`` are precomputed and stored.  A top
+B+-tree indexes the left endpoint; each of its leaves points to a
+lower B+-tree over the right endpoints, whose entries point to the
+packed top-``k_max`` list.  A query snaps ``[t1, t2]`` to
+``[B(t1), B(t2)]`` and reads one stored list:
+
+* ``(eps, 1)``-approximation of scores and answers (Lemma 3),
+* ``O(k/B + log_B r)`` query IOs,
+* ``Theta(r^2 k_max / B)`` index size — the price QUERY2 then removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.database import TemporalDatabase
+from repro.core.errors import InvalidQueryError
+from repro.core.results import TopKResult, top_k_from_arrays
+from repro.storage.device import BlockDevice
+from repro.btree.tree import BPlusTree
+from repro.approximate.breakpoints import Breakpoints
+from repro.approximate.toplists import (
+    StoredTopList,
+    cumulative_matrix,
+    top_kmax_of_column,
+)
+
+
+class NestedPairIndex:
+    """The QUERY1 structure: all-pairs top lists behind nested B+-trees."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        breakpoints: Breakpoints,
+        kmax: int,
+    ) -> None:
+        self.device = device
+        self.breakpoints = breakpoints
+        self.kmax = kmax
+        self.top_tree = BPlusTree(device, value_columns=1)
+        self._subtrees: Dict[int, BPlusTree] = {}
+        self._lists: Dict[Tuple[int, int], StoredTopList] = {}
+
+    # ------------------------------------------------------------------
+    def build(self, database: TemporalDatabase) -> "NestedPairIndex":
+        """Materialize the ``r(r-1)/2`` interval lists and the trees."""
+        times = self.breakpoints.times
+        r = times.size
+        ids, matrix = cumulative_matrix(database, times)
+        for j in range(r - 1):
+            right_keys = []
+            right_rows = []
+            base = matrix[:, j]
+            for j2 in range(j + 1, r):
+                scores = matrix[:, j2] - base
+                top_ids, top_scores = top_kmax_of_column(ids, scores, self.kmax)
+                stored = StoredTopList.store(self.device, top_ids, top_scores)
+                self._lists[(j, j2)] = stored
+                right_keys.append(times[j2])
+                right_rows.append([float(j2)])
+            subtree = BPlusTree(self.device, value_columns=1)
+            subtree.bulk_load(
+                np.asarray(right_keys), np.asarray(right_rows, dtype=np.float64)
+            )
+            self._subtrees[j] = subtree
+        top_keys = times[:-1]
+        top_rows = np.arange(r - 1, dtype=np.float64).reshape(-1, 1)
+        self.top_tree.bulk_load(top_keys, top_rows)
+        return self
+
+    # ------------------------------------------------------------------
+    def query(self, t1: float, t2: float, k: int) -> TopKResult:
+        """Top-k of the snapped interval ``[B(t1), B(t2)]``."""
+        if k > self.kmax:
+            raise InvalidQueryError(f"k={k} exceeds kmax={self.kmax}")
+        pair = self._snap_pair(t1, t2)
+        if pair is None:
+            # Degenerate snap (B(t1) == B(t2)): the snapped interval is
+            # empty and every approximate score is 0, which is within
+            # eps*M of the truth.  Nothing meaningful to return.
+            return TopKResult()
+        j1, j2 = pair
+        stored = self._lists[(j1, j2)]
+        ids, scores = stored.read_top(self.device, k)
+        return top_k_from_arrays(ids, scores, k)
+
+    def _snap_pair(self, t1: float, t2: float) -> Optional[Tuple[int, int]]:
+        """(j1, j2) with ``b_{j1} = B(t1)``, ``b_{j2} = B(t2)`` via the trees."""
+        hit = self.top_tree.successor(t1)
+        if hit is None:
+            return None
+        j1 = int(hit[1][0])
+        if t2 <= self.breakpoints.times[j1]:
+            # B(t2) == B(t1): the snapped interval is empty.
+            return None
+        subtree = self._subtrees[j1]
+        hit2 = subtree.successor(t2)
+        if hit2 is None:
+            return None
+        j2 = int(hit2[1][0])
+        if j2 <= j1:
+            return None
+        return j1, j2
+
+    def approximate_score(self, object_id: int, t1: float, t2: float) -> float:
+        """``sigma~_i``: the stored score if the object made the list, else 0.
+
+        Only used by diagnostics; the query path returns scores inline.
+        """
+        pair = self._snap_pair(t1, t2)
+        if pair is None:
+            return 0.0
+        ids, scores = self._lists[pair].read_top(self.device, self.kmax)
+        match = np.flatnonzero(ids == object_id)
+        if match.size == 0:
+            return 0.0
+        return float(scores[match[0]])

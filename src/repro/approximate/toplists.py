@@ -1,0 +1,90 @@
+"""Shared helpers for materializing top-k_max lists on the device.
+
+Both QUERY1 and QUERY2 precompute, for a family of breakpoint
+intervals, the ``k_max`` objects with the largest aggregate inside each
+interval, and store those lists packed into blocks.  The construction
+is a single pass over the per-object cumulative masses evaluated at
+the breakpoints (the ``P`` matrix below), which corresponds to the
+paper's "single linear sweep over all segments" with running integrals
+per open interval.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.database import TemporalDatabase
+from repro.storage.device import BlockDevice, entries_per_block
+
+#: One stored list entry: object id + score, two 8-byte words.
+LIST_ENTRY_BYTES = 16
+
+
+def cumulative_matrix(
+    database: TemporalDatabase, breakpoint_times: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``P[i, j] = C_i(b_j)`` for every object i and breakpoint j.
+
+    The interval aggregate between any two breakpoints is then a
+    column difference — the vectorized equivalent of maintaining one
+    running integral per object during the sweep.  Returns
+    ``(object_ids, P)``.
+    """
+    ids = database.object_ids()
+    matrix = np.empty((ids.size, breakpoint_times.size), dtype=np.float64)
+    for row, obj in enumerate(database):
+        matrix[row] = obj.function.cumulative_many(breakpoint_times)
+    return ids, matrix
+
+
+def top_kmax_of_column(
+    ids: np.ndarray, scores: np.ndarray, kmax: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Top ``kmax`` (ids, scores) sorted by descending score, id tiebreak."""
+    k = min(kmax, scores.size)
+    if k == scores.size:
+        chosen = np.arange(scores.size)
+    else:
+        chosen = np.argpartition(-scores, k - 1)[:k]
+    order = np.lexsort((ids[chosen], -scores[chosen]))
+    picked = chosen[order]
+    return ids[picked], scores[picked]
+
+
+class StoredTopList:
+    """A packed on-device top-``k_max`` list for one interval."""
+
+    __slots__ = ("block_ids", "count")
+
+    def __init__(self, block_ids: List[int], count: int) -> None:
+        self.block_ids = block_ids
+        self.count = count
+
+    @staticmethod
+    def capacity(device: BlockDevice) -> int:
+        return entries_per_block(LIST_ENTRY_BYTES, device.block_bytes)
+
+    @staticmethod
+    def store(
+        device: BlockDevice, ids: np.ndarray, scores: np.ndarray
+    ) -> "StoredTopList":
+        """Pack ``(id, score)`` rows into blocks on ``device``."""
+        rows = np.stack([ids.astype(np.float64), scores], axis=1)
+        cap = StoredTopList.capacity(device)
+        block_ids = [
+            device.allocate(rows[lo : lo + cap].copy())
+            for lo in range(0, rows.shape[0], cap)
+        ]
+        if not block_ids:
+            block_ids = [device.allocate(rows)]
+        return StoredTopList(block_ids, int(rows.shape[0]))
+
+    def read_top(self, device: BlockDevice, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Read the first ``k`` entries (``ceil(k/B)`` block reads)."""
+        cap = StoredTopList.capacity(device)
+        needed_blocks = max(1, -(-min(k, self.count) // cap))
+        pieces = [device.read(b) for b in self.block_ids[:needed_blocks]]
+        rows = np.concatenate(pieces, axis=0)[:k]
+        return rows[:, 0].astype(np.int64), rows[:, 1]

@@ -1,0 +1,21 @@
+"""Benchmark harness: metrics, runners, and table reporting."""
+
+from repro.bench.harness import MethodReport, evaluate_method, exact_reference, sweep
+from repro.bench.metrics import (
+    approximation_ratio,
+    precision_recall,
+    rank_score_errors,
+)
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "MethodReport",
+    "evaluate_method",
+    "exact_reference",
+    "sweep",
+    "precision_recall",
+    "approximation_ratio",
+    "rank_score_errors",
+    "format_table",
+    "print_table",
+]

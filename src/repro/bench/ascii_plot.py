@@ -1,0 +1,77 @@
+"""ASCII line charts for benchmark series.
+
+The paper presents its evaluation as log-scale line plots; without a
+plotting dependency, these helpers render the same series as terminal
+charts so a benchmark run visually resembles the figures it
+reproduces.  Purely presentational — the tables printed alongside
+carry the exact numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+) -> str:
+    """Render named series over shared x values as an ASCII chart."""
+    points = []
+    for values in series.values():
+        points.extend(v for v in values if v is not None and v > 0)
+    if not points or not x_values:
+        return f"{title}\n(no data)\n"
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    y_lo = min(transform(v) for v in points)
+    y_hi = max(transform(v) for v in points)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(x_values, values):
+            if y is None or (log_y and y <= 0):
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round(
+                (transform(y) - y_lo) / (y_hi - y_lo) * (height - 1)
+            )
+            grid[height - 1 - row][col] = marker
+
+    top_label = f"{10 ** y_hi:.2g}" if log_y else f"{y_hi:.3g}"
+    bottom_label = f"{10 ** y_lo:.2g}" if log_y else f"{y_lo:.3g}"
+    lines = [title]
+    for i, row in enumerate(grid):
+        prefix = top_label if i == 0 else (bottom_label if i == height - 1 else "")
+        lines.append(f"{prefix:>9s} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':>10s} {x_lo:<10.4g}{'':^{max(width - 22, 0)}}{x_hi:>10.4g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines) + "\n"
+
+
+def print_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    log_y: bool = True,
+) -> None:
+    print("\n" + ascii_chart(title, x_values, series, log_y=log_y), flush=True)

@@ -1,0 +1,127 @@
+"""Experiment harness: run methods over workloads, collect the paper's
+measurement axes (index size, build time, query IOs, query time,
+precision/recall, approximation ratio).
+
+Every figure-reproduction benchmark builds on :func:`evaluate_method`
+and :class:`MethodReport`, so a row of a paper figure is one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.metrics import approximation_ratio, precision_recall
+from repro.core.database import TemporalDatabase
+from repro.core.queries import TopKQuery
+from repro.exact.base import RankingMethod
+
+
+@dataclass
+class MethodReport:
+    """Aggregated measurements for one method on one workload."""
+
+    method: str
+    build_seconds: float
+    index_size_bytes: int
+    avg_query_ios: float
+    avg_query_seconds: float
+    precision: float = float("nan")
+    ratio: float = float("nan")
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table printing."""
+        out = {
+            "method": self.method,
+            "build_s": round(self.build_seconds, 4),
+            "size_bytes": self.index_size_bytes,
+            "query_ios": round(self.avg_query_ios, 1),
+            "query_s": round(self.avg_query_seconds, 6),
+        }
+        if not np.isnan(self.precision):
+            out["precision"] = round(self.precision, 4)
+        if not np.isnan(self.ratio):
+            out["ratio"] = round(self.ratio, 4)
+        out.update({k: round(v, 6) for k, v in self.extras.items()})
+        return out
+
+
+def evaluate_method(
+    method: RankingMethod,
+    database: TemporalDatabase,
+    queries: Sequence[TopKQuery],
+    exact_answers: Optional[Sequence] = None,
+    measure_quality: bool = False,
+) -> MethodReport:
+    """Build ``method`` on ``database`` and run the workload.
+
+    ``exact_answers`` (one per query) enables precision/ratio metrics;
+    compute them once per workload with :func:`exact_reference` and
+    share across methods.
+    """
+    if method.database is not database:
+        method.build(database)
+    ios: List[int] = []
+    seconds: List[float] = []
+    precisions: List[float] = []
+    ratios: List[float] = []
+    for idx, query in enumerate(queries):
+        cost = method.measured_query(query, cold=True)
+        ios.append(cost.ios)
+        seconds.append(cost.seconds)
+        if measure_quality and exact_answers is not None:
+            exact = exact_answers[idx]
+            precisions.append(precision_recall(cost.result, exact))
+            ratios.append(
+                approximation_ratio(cost.result, database, query.t1, query.t2)
+            )
+    return MethodReport(
+        method=method.name,
+        build_seconds=method.build_seconds,
+        index_size_bytes=method.index_size_bytes,
+        avg_query_ios=float(np.mean(ios)) if ios else float("nan"),
+        avg_query_seconds=float(np.mean(seconds)) if seconds else float("nan"),
+        precision=float(np.mean(precisions)) if precisions else float("nan"),
+        ratio=float(np.mean(ratios)) if ratios else float("nan"),
+    )
+
+
+def exact_reference(
+    database: TemporalDatabase, queries: Sequence[TopKQuery]
+) -> List:
+    """Ground-truth answers for a workload (brute force, done once)."""
+    return [
+        database.brute_force_top_k(q.t1, q.t2, q.k) for q in queries
+    ]
+
+
+def sweep(
+    parameter_values: Sequence,
+    make_database: Callable,
+    make_methods: Callable,
+    make_queries: Callable,
+    measure_quality: bool = False,
+) -> Dict[object, List[MethodReport]]:
+    """Run a full parameter sweep (one paper figure).
+
+    ``make_database(value)``, ``make_methods(db, value) -> list`` and
+    ``make_queries(db, value) -> list`` define the experiment; returns
+    ``{value: [MethodReport, ...]}``.
+    """
+    results: Dict[object, List[MethodReport]] = {}
+    for value in parameter_values:
+        database = make_database(value)
+        queries = make_queries(database, value)
+        exact = exact_reference(database, queries) if measure_quality else None
+        reports = []
+        for method in make_methods(database, value):
+            reports.append(
+                evaluate_method(
+                    method, database, queries, exact, measure_quality
+                )
+            )
+        results[value] = reports
+    return results

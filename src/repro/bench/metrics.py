@@ -1,0 +1,66 @@
+"""Quality metrics for approximate answers (paper Section 5).
+
+The paper evaluates approximations with (a) precision/recall between
+the approximate and exact top-k sets — identical here since both sets
+have size k — and (b) the average *approximation ratio*
+``sigma~_i(t1,t2) / sigma_i(t1,t2)`` over the returned objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.database import TemporalDatabase
+from repro.core.results import TopKResult
+
+
+def precision_recall(approx: TopKResult, exact: TopKResult) -> float:
+    """``|A~ ∩ A| / k`` — precision == recall for equal-size answers.
+
+    When the approximate answer is shorter than the exact one (e.g. a
+    degenerate snapped interval), the denominator stays ``k`` so the
+    shortfall is penalized.
+    """
+    if len(exact) == 0:
+        return 1.0
+    approx_ids = set(approx.object_ids)
+    exact_ids = set(exact.object_ids)
+    return len(approx_ids & exact_ids) / len(exact_ids)
+
+
+def approximation_ratio(
+    approx: TopKResult, database: TemporalDatabase, t1: float, t2: float
+) -> float:
+    """Mean ``sigma~_i / sigma_i`` over returned objects.
+
+    Objects whose true score is (near) zero are skipped — the ratio is
+    undefined there and the paper's data never produces them.
+    """
+    ratios = []
+    for item in approx:
+        truth = database.exact_score(item.object_id, t1, t2)
+        if abs(truth) > 1e-12:
+            ratios.append(item.score / truth)
+    if not ratios:
+        return 1.0
+    return float(np.mean(ratios))
+
+
+def rank_score_errors(
+    approx: TopKResult, exact: TopKResult, total_mass: float
+) -> np.ndarray:
+    """Per-rank |approx score - exact score| / M (checks Definition 2)."""
+    n = min(len(approx), len(exact))
+    out = np.empty(n, dtype=np.float64)
+    for j in range(n):
+        out[j] = abs(approx[j].score - exact[j].score) / total_mass
+    return out
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean with an empty-sequence guard."""
+    if not values:
+        return float("nan")
+    return float(np.mean(values))

@@ -1,0 +1,49 @@
+"""Plain-text tables for benchmark output.
+
+Benchmarks print one table per figure panel with the same rows/series
+the paper plots, so a run of ``pytest benchmarks/`` regenerates the
+evaluation section in textual form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(title: str, rows: Sequence[Dict[str, object]]) -> str:
+    """Align a list of dict rows under a title banner."""
+    if not rows:
+        return f"== {title} ==\n(no data)\n"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        rendered_row = {c: _fmt(row.get(c, "")) for c in columns}
+        for c in columns:
+            widths[c] = max(widths[c], len(rendered_row[c]))
+        rendered.append(rendered_row)
+    lines = [f"== {title} =="]
+    lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rendered:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if 0 < abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print a formatted table (flushes so pytest -s interleaves sanely)."""
+    print("\n" + format_table(title, rows), flush=True)

@@ -1,0 +1,12 @@
+"""Disk-based B+-tree (bulk load, successor search, scans, inserts)."""
+
+from repro.btree.node import InternalNode, LeafNode, internal_fanout, leaf_capacity
+from repro.btree.tree import BPlusTree
+
+__all__ = [
+    "BPlusTree",
+    "InternalNode",
+    "LeafNode",
+    "internal_fanout",
+    "leaf_capacity",
+]

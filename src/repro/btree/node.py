@@ -1,0 +1,79 @@
+"""B+-tree node payloads stored on the simulated block device.
+
+Each node occupies exactly one block.  Leaves hold parallel numpy
+arrays (keys and fixed-width value rows) so scans can process a whole
+block vectorized; internal nodes hold separator keys and child block
+ids.  Capacities derive from the block size and the declared entry
+width, as they would in TPIE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+#: Bytes per leaf entry component: 8-byte float key plus 8 bytes per
+#: value column.
+KEY_BYTES = 8
+VALUE_COLUMN_BYTES = 8
+#: Bytes per internal-node router: separator key + child pointer.
+ROUTER_BYTES = 16
+
+
+def leaf_capacity(value_columns: int, block_bytes: int) -> int:
+    """Max entries per leaf for rows with ``value_columns`` columns."""
+    entry = KEY_BYTES + value_columns * VALUE_COLUMN_BYTES
+    return max(2, block_bytes // entry)
+
+
+def internal_fanout(block_bytes: int) -> int:
+    """Max children per internal node."""
+    return max(3, block_bytes // ROUTER_BYTES)
+
+
+@dataclass
+class LeafNode:
+    """A leaf block: sorted keys, value rows, and a next-leaf pointer."""
+
+    keys: np.ndarray
+    values: np.ndarray
+    next_leaf: Optional[int] = None
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.keys.size)
+
+    def check(self) -> None:
+        """Structural sanity (used by tests)."""
+        assert self.values.shape[0] == self.keys.size
+        assert np.all(np.diff(self.keys) >= 0), "leaf keys must be sorted"
+
+
+@dataclass
+class InternalNode:
+    """An internal block: separators ``s_1..s_{f-1}`` and ``f`` children.
+
+    Child ``i`` covers keys in ``[s_i, s_{i+1})`` with ``s_0 = -inf``
+    and ``s_f = +inf``.
+    """
+
+    separators: np.ndarray
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def num_children(self) -> int:
+        return len(self.children)
+
+    def child_for(self, key: float) -> int:
+        """Block id of the child subtree that may contain ``key``."""
+        idx = int(np.searchsorted(self.separators, key, side="right"))
+        return self.children[idx]
+
+    def child_index_for(self, key: float) -> int:
+        return int(np.searchsorted(self.separators, key, side="right"))
+
+    def check(self) -> None:
+        assert len(self.children) == self.separators.size + 1
+        assert np.all(np.diff(self.separators) >= 0)

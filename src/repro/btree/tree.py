@@ -1,0 +1,303 @@
+"""A disk-based B+-tree over the simulated block device.
+
+This is the workhorse index of the paper: EXACT1 indexes all ``N``
+segments by left endpoint in one tree; EXACT2 builds one tree per
+object over prefix sums; the approximate structures index breakpoints
+with (nested) B+-trees.  Supported operations:
+
+* :meth:`BPlusTree.bulk_load` — ``O(N/B)`` writes after sorting, the
+  paper's construction path ("all line segments are sorted ...").
+* :meth:`BPlusTree.successor` — first entry with key >= q in
+  ``O(log_B N)`` IOs (the stabbing primitive of EXACT2/Equation (2)).
+* :meth:`BPlusTree.scan_from` — leaf-chained range scan (EXACT1's
+  sequential pass from ``t1`` to ``t2``).
+* :meth:`BPlusTree.insert` — single-entry insert with node splits
+  (Section 4 updates), ``O(log_B N)`` IOs.
+* :meth:`BPlusTree.last_entry` — rightmost entry (EXACT2's update needs
+  the running prefix ``sigma_i(I_{i,n_i})``).
+
+Keys are float64; values are fixed-width float64 rows, so a whole leaf
+is processed vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import IndexStateError
+from repro.btree.node import (
+    InternalNode,
+    LeafNode,
+    internal_fanout,
+    leaf_capacity,
+)
+from repro.storage.device import BlockDevice
+
+
+class BPlusTree:
+    """B+-tree with numpy leaves on a :class:`BlockDevice`.
+
+    Parameters
+    ----------
+    device:
+        Block device the nodes live on (IO charged per node touch).
+    value_columns:
+        Width of each value row; determines leaf capacity.
+    """
+
+    def __init__(self, device: BlockDevice, value_columns: int) -> None:
+        if value_columns < 0:
+            raise ValueError("value_columns must be >= 0")
+        self.device = device
+        self.value_columns = value_columns
+        self.leaf_capacity = leaf_capacity(value_columns, device.block_bytes)
+        self.fanout = internal_fanout(device.block_bytes)
+        self.root_id: Optional[int] = None
+        self.height = 0
+        self.num_entries = 0
+        self._first_leaf: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def bulk_load(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Build the tree from already-sorted keys (ascending).
+
+        Leaves are packed to capacity and chained; internal levels are
+        built bottom-up — the classic sorted bulk load whose IO cost is
+        linear in the number of blocks written.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.float64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values.reshape(-1, max(self.value_columns, 1))
+        if keys.size != values.shape[0]:
+            raise ValueError("keys and values must align")
+        if keys.size == 0:
+            raise ValueError("cannot bulk load an empty tree")
+        if np.any(np.diff(keys) < 0):
+            raise ValueError("bulk load requires sorted keys")
+
+        cap = self.leaf_capacity
+        leaf_ids = []
+        min_keys = []
+        for lo in range(0, keys.size, cap):
+            hi = min(lo + cap, keys.size)
+            leaf = LeafNode(keys=keys[lo:hi].copy(), values=values[lo:hi].copy())
+            leaf_ids.append(self.device.allocate(leaf))
+            min_keys.append(float(keys[lo]))
+        # Chain the leaves left to right.
+        for i in range(len(leaf_ids) - 1):
+            leaf = self.device.read(leaf_ids[i])
+            leaf.next_leaf = leaf_ids[i + 1]
+            self.device.write(leaf_ids[i], leaf)
+        self._first_leaf = leaf_ids[0]
+
+        level_ids = leaf_ids
+        level_mins = min_keys
+        height = 1
+        while len(level_ids) > 1:
+            parent_ids = []
+            parent_mins = []
+            for lo in range(0, len(level_ids), self.fanout):
+                hi = min(lo + self.fanout, len(level_ids))
+                node = InternalNode(
+                    separators=np.asarray(level_mins[lo + 1 : hi], dtype=np.float64),
+                    children=list(level_ids[lo:hi]),
+                )
+                parent_ids.append(self.device.allocate(node))
+                parent_mins.append(level_mins[lo])
+            level_ids = parent_ids
+            level_mins = parent_mins
+            height += 1
+        self.root_id = level_ids[0]
+        self.height = height
+        self.num_entries = int(keys.size)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def _require_built(self) -> None:
+        if self.root_id is None:
+            raise IndexStateError("B+-tree has not been built")
+
+    def _descend_to_leaf(self, key: float) -> Tuple[int, LeafNode, list]:
+        """Walk root -> leaf for ``key``; returns (leaf_id, leaf, path).
+
+        ``path`` holds ``(node_id, child_index)`` for every internal
+        node visited (needed by insert splits).
+        """
+        self._require_built()
+        node_id = self.root_id
+        path = []
+        node = self.device.read(node_id)
+        while isinstance(node, InternalNode):
+            child_idx = node.child_index_for(key)
+            path.append((node_id, child_idx))
+            node_id = node.children[child_idx]
+            node = self.device.read(node_id)
+        return node_id, node, path
+
+    def successor(self, key: float) -> Optional[Tuple[float, np.ndarray]]:
+        """First entry ``(k, value_row)`` with ``k >= key``; None if past end."""
+        leaf_id, leaf, _ = self._descend_to_leaf(key)
+        pos = int(np.searchsorted(leaf.keys, key, side="left"))
+        while pos >= leaf.num_entries:
+            if leaf.next_leaf is None:
+                return None
+            leaf = self.device.read(leaf.next_leaf)
+            pos = 0
+        return float(leaf.keys[pos]), leaf.values[pos]
+
+    def predecessor_or_equal(self, key: float) -> Optional[Tuple[float, np.ndarray]]:
+        """Last entry ``(k, value_row)`` with ``k <= key``; None if before start."""
+        leaf_id, leaf, _ = self._descend_to_leaf(key)
+        pos = int(np.searchsorted(leaf.keys, key, side="right")) - 1
+        if pos < 0:
+            return None
+        return float(leaf.keys[pos]), leaf.values[pos]
+
+    def last_entry(self) -> Tuple[float, np.ndarray]:
+        """The rightmost (largest-key) entry."""
+        self._require_built()
+        node_id = self.root_id
+        node = self.device.read(node_id)
+        while isinstance(node, InternalNode):
+            node_id = node.children[-1]
+            node = self.device.read(node_id)
+        return float(node.keys[-1]), node.values[-1]
+
+    def scan_from(self, key: float) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(keys, values)`` leaf arrays starting at successor(key).
+
+        The first yielded block is trimmed to start at the first entry
+        with key >= ``key``; following blocks arrive whole, one IO each
+        — EXACT1's sequential scan.
+        """
+        leaf_id, leaf, _ = self._descend_to_leaf(key)
+        pos = int(np.searchsorted(leaf.keys, key, side="left"))
+        while True:
+            if pos < leaf.num_entries:
+                yield leaf.keys[pos:], leaf.values[pos:]
+            if leaf.next_leaf is None:
+                return
+            leaf = self.device.read(leaf.next_leaf)
+            pos = 0
+
+    def scan_range(self, lo: float, hi: float) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Leaf blocks restricted to keys in ``[lo, hi]``."""
+        for keys, values in self.scan_from(lo):
+            if keys.size == 0:
+                continue
+            if keys[0] > hi:
+                return
+            mask_hi = int(np.searchsorted(keys, hi, side="right"))
+            yield keys[:mask_hi], values[:mask_hi]
+            if mask_hi < keys.size:
+                return
+
+    def items(self) -> Iterator[Tuple[float, np.ndarray]]:
+        """All entries in key order (testing aid; O(N/B) IOs)."""
+        self._require_built()
+        leaf = self.device.read(self._first_leaf)
+        while True:
+            for i in range(leaf.num_entries):
+                yield float(leaf.keys[i]), leaf.values[i]
+            if leaf.next_leaf is None:
+                return
+            leaf = self.device.read(leaf.next_leaf)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value_row: np.ndarray) -> None:
+        """Insert one entry, splitting overfull nodes up the path."""
+        value_row = np.asarray(value_row, dtype=np.float64).reshape(-1)
+        if self.root_id is None:
+            leaf = LeafNode(
+                keys=np.asarray([key], dtype=np.float64),
+                values=value_row.reshape(1, -1),
+            )
+            self.root_id = self.device.allocate(leaf)
+            self._first_leaf = self.root_id
+            self.height = 1
+            self.num_entries = 1
+            return
+
+        leaf_id, leaf, path = self._descend_to_leaf(key)
+        pos = int(np.searchsorted(leaf.keys, key, side="right"))
+        leaf.keys = np.insert(leaf.keys, pos, key)
+        leaf.values = np.insert(leaf.values, pos, value_row, axis=0)
+        self.num_entries += 1
+
+        if leaf.num_entries <= self.leaf_capacity:
+            self.device.write(leaf_id, leaf)
+            return
+
+        # Split the leaf.
+        mid = leaf.num_entries // 2
+        right = LeafNode(
+            keys=leaf.keys[mid:].copy(),
+            values=leaf.values[mid:].copy(),
+            next_leaf=leaf.next_leaf,
+        )
+        right_id = self.device.allocate(right)
+        leaf.keys = leaf.keys[:mid].copy()
+        leaf.values = leaf.values[:mid].copy()
+        leaf.next_leaf = right_id
+        self.device.write(leaf_id, leaf)
+        self._insert_into_parent(path, leaf_id, float(right.keys[0]), right_id)
+
+    def _insert_into_parent(
+        self, path: list, left_id: int, separator: float, right_id: int
+    ) -> None:
+        """Propagate a split upward, possibly growing a new root."""
+        if not path:
+            root = InternalNode(
+                separators=np.asarray([separator], dtype=np.float64),
+                children=[left_id, right_id],
+            )
+            self.root_id = self.device.allocate(root)
+            self.height += 1
+            return
+        parent_id, child_idx = path[-1]
+        parent = self.device.read(parent_id)
+        parent.separators = np.insert(parent.separators, child_idx, separator)
+        parent.children.insert(child_idx + 1, right_id)
+        if parent.num_children <= self.fanout:
+            self.device.write(parent_id, parent)
+            return
+        # Split the internal node; the middle separator moves up.
+        mid = parent.num_children // 2
+        up_separator = float(parent.separators[mid - 1])
+        right_node = InternalNode(
+            separators=parent.separators[mid:].copy(),
+            children=parent.children[mid:],
+        )
+        right_node_id = self.device.allocate(right_node)
+        parent.separators = parent.separators[: mid - 1].copy()
+        parent.children = parent.children[:mid]
+        self.device.write(parent_id, parent)
+        self._insert_into_parent(path[:-1], parent_id, up_separator, right_node_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert sortedness/occupancy across the whole tree (tests)."""
+        self._require_built()
+        last_key = -np.inf
+        count = 0
+        for key, _ in self.items():
+            assert key >= last_key, "keys out of order across leaves"
+            last_key = key
+            count += 1
+        assert count == self.num_entries, "entry count drifted"
+
+    def __repr__(self) -> str:
+        return (
+            f"BPlusTree(entries={self.num_entries}, height={self.height}, "
+            f"leaf_capacity={self.leaf_capacity}, fanout={self.fanout})"
+        )

@@ -1,0 +1,173 @@
+"""Command-line interface: generate data, build indexes, run queries.
+
+Mirrors the workflow of the paper's experimental driver::
+
+    repro generate temp --objects 500 --readings 80 -o temp.db
+    repro build temp.db --method exact3 -o temp.exact3.idx
+    repro query temp.exact3.idx --t1 1e5 --t2 3e5 -k 10
+    repro compare temp.db --k 10            # all methods side by side
+    repro info temp.exact3.idx
+
+Also exposed as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.approximate import APPROXIMATE_METHODS
+from repro.bench import evaluate_method, exact_reference, format_table
+from repro.core import TopKQuery
+from repro.core.database import TemporalDatabase
+from repro.datasets import generate_meme, generate_temp, random_queries
+from repro.exact import Exact1, Exact2, Exact3
+from repro.storage.persistence import load_index, save_index
+
+_EXACT_METHODS = {"exact1": Exact1, "exact2": Exact2, "exact3": Exact3}
+
+
+def _make_method(name: str, epsilon: float, kmax: int):
+    lower = name.lower()
+    if lower in _EXACT_METHODS:
+        return _EXACT_METHODS[lower]()
+    upper = name.upper().replace("PLUS", "+")
+    if upper in APPROXIMATE_METHODS:
+        return APPROXIMATE_METHODS[upper](epsilon=epsilon, kmax=kmax)
+    valid = sorted(_EXACT_METHODS) + sorted(APPROXIMATE_METHODS)
+    raise SystemExit(f"unknown method {name!r}; choose from {valid}")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "temp":
+        db = generate_temp(
+            num_objects=args.objects, avg_readings=args.readings, seed=args.seed
+        )
+    else:
+        db = generate_meme(
+            num_objects=args.objects, avg_records=args.readings, seed=args.seed
+        )
+    written = save_index(db, args.output)
+    print(f"wrote {db} to {args.output} ({written / 1e6:.1f} MB)")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    db = load_index(args.database)
+    if not isinstance(db, TemporalDatabase):
+        raise SystemExit(f"{args.database} does not contain a database")
+    method = _make_method(args.method, args.epsilon, args.kmax)
+    method.build(db)
+    written = save_index(method, args.output)
+    print(
+        f"built {method.name}: {method.index_size_bytes / 1e6:.2f} MB index, "
+        f"{method.build_seconds:.2f}s; saved to {args.output} "
+        f"({written / 1e6:.1f} MB)"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    method = load_index(args.index)
+    query = TopKQuery(args.t1, args.t2, args.k)
+    cost = method.measured_query(query)
+    print(f"{method.name} top-{args.k}({args.t1:g}, {args.t2:g}, sum):")
+    for rank, item in enumerate(cost.result, start=1):
+        print(f"  {rank:3d}. object {item.object_id:<8d} score {item.score:.6g}")
+    print(f"cost: {cost.ios} IOs, {cost.seconds * 1e3:.2f} ms")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    db = load_index(args.database)
+    queries = random_queries(
+        db, count=args.queries, interval_fraction=args.interval, k=args.k,
+        seed=args.seed,
+    )
+    exact = exact_reference(db, queries)
+    rows = []
+    methods = [Exact1(), Exact2(), Exact3()]
+    for name in ("APPX1", "APPX2", "APPX2+"):
+        methods.append(
+            APPROXIMATE_METHODS[name](epsilon=args.epsilon, kmax=args.kmax)
+        )
+    for method in methods:
+        report = evaluate_method(
+            method, db, queries, exact, measure_quality=True
+        )
+        rows.append(report.row())
+    print(format_table(f"all methods on {args.database}", rows))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    payload = load_index(args.path)
+    if isinstance(payload, TemporalDatabase):
+        print(f"database: {payload}")
+        print(f"  m={payload.num_objects} N={payload.total_segments} "
+              f"navg={payload.avg_segments:.0f} M={payload.total_mass:.4g}")
+    else:
+        print(f"index: {payload!r}")
+        if hasattr(payload, "index_size_bytes"):
+            print(f"  size: {payload.index_size_bytes / 1e6:.2f} MB")
+        if hasattr(payload, "breakpoints") and payload.breakpoints is not None:
+            bp = payload.breakpoints
+            print(f"  breakpoints: r={bp.r} eps={bp.epsilon:.3g} ({bp.method})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ranking Large Temporal Data — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    p_gen.add_argument("dataset", choices=["temp", "meme"])
+    p_gen.add_argument("--objects", type=int, default=500)
+    p_gen.add_argument("--readings", type=int, default=80)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_build = sub.add_parser("build", help="build an index over a dataset")
+    p_build.add_argument("database")
+    p_build.add_argument("--method", default="exact3")
+    p_build.add_argument("--epsilon", type=float, default=1e-4)
+    p_build.add_argument("--kmax", type=int, default=50)
+    p_build.add_argument("-o", "--output", required=True)
+    p_build.set_defaults(func=cmd_build)
+
+    p_query = sub.add_parser("query", help="run one aggregate top-k query")
+    p_query.add_argument("index")
+    p_query.add_argument("--t1", type=float, required=True)
+    p_query.add_argument("--t2", type=float, required=True)
+    p_query.add_argument("-k", type=int, default=10)
+    p_query.set_defaults(func=cmd_query)
+
+    p_cmp = sub.add_parser("compare", help="compare all methods on a dataset")
+    p_cmp.add_argument("database")
+    p_cmp.add_argument("-k", type=int, default=10)
+    p_cmp.add_argument("--queries", type=int, default=10)
+    p_cmp.add_argument("--interval", type=float, default=0.2)
+    p_cmp.add_argument("--epsilon", type=float, default=1e-4)
+    p_cmp.add_argument("--kmax", type=int, default=50)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_info = sub.add_parser("info", help="inspect a saved dataset or index")
+    p_info.add_argument("path")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Core temporal data model.
+
+Implements the paper's data model (Section 1): piecewise linear score
+functions, temporal objects and databases, aggregate functions, and
+top-k answer sets — plus the Section 4 extensions (piecewise
+polynomials, negative scores, avg/F2 aggregates, appends).
+"""
+
+from repro.core.aggregates import AVG, F2, SUM, Aggregate, AvgAggregate, F2Aggregate, SumAggregate
+from repro.core.database import TemporalDatabase
+from repro.core.errors import (
+    IndexStateError,
+    InvalidFunctionError,
+    InvalidQueryError,
+    ReproError,
+)
+from repro.core.geometry import Segment, interpolate, segment_integral, segment_integrals
+from repro.core.objects import TemporalObject
+from repro.core.plf import PiecewiseLinearFunction, from_samples
+from repro.core.ppf import PiecewisePolynomialFunction, from_plf, square_plf
+from repro.core.queries import TopKQuery
+from repro.core.results import RankedItem, TopKResult, select_top_k, top_k_from_arrays
+
+__all__ = [
+    "Aggregate",
+    "AvgAggregate",
+    "F2Aggregate",
+    "SumAggregate",
+    "SUM",
+    "AVG",
+    "F2",
+    "TemporalDatabase",
+    "TemporalObject",
+    "PiecewiseLinearFunction",
+    "PiecewisePolynomialFunction",
+    "from_plf",
+    "from_samples",
+    "square_plf",
+    "Segment",
+    "interpolate",
+    "segment_integral",
+    "segment_integrals",
+    "TopKQuery",
+    "TopKResult",
+    "RankedItem",
+    "select_top_k",
+    "top_k_from_arrays",
+    "ReproError",
+    "InvalidFunctionError",
+    "InvalidQueryError",
+    "IndexStateError",
+]

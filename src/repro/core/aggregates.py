@@ -1,0 +1,123 @@
+"""Aggregation functions ``sigma`` (paper Sections 1 and 4).
+
+The paper's primary aggregate is ``sum`` (the time integral of the
+score).  Section 4 notes that ``avg`` and other aggregations expressible
+through sums — such as F2, the second frequency moment — follow
+directly.  Each :class:`Aggregate` knows how to:
+
+* compute the exact interval score of a PLF (``interval``),
+* compute a single segment's contribution to a scan (``segment_
+  contribution``; used by EXACT1's sequential scan),
+* post-process a raw sum into the final score (``finalize``; identity
+  for ``sum``, division by interval length for ``avg``).
+
+Holistic aggregates (quantiles/median) are NOT supported — the paper
+explicitly leaves them open.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.plf import PiecewiseLinearFunction
+from repro.core.geometry import segment_integral
+
+
+class Aggregate(ABC):
+    """Interface for interval aggregation functions."""
+
+    #: Short name used in reports ("sum", "avg", "f2").
+    name: str = "abstract"
+
+    @abstractmethod
+    def interval(self, function: PiecewiseLinearFunction, a: float, b: float) -> float:
+        """Exact aggregate score of ``function`` over ``[a, b]``."""
+
+    @abstractmethod
+    def segment_contribution(
+        self, t0: float, v0: float, t1: float, v1: float, a: float, b: float
+    ) -> float:
+        """Raw contribution of one segment to a running scan."""
+
+    def finalize(self, raw: float, a: float, b: float) -> float:
+        """Convert an accumulated raw sum into the final score."""
+        return raw
+
+
+class SumAggregate(Aggregate):
+    """``sigma = sum``: the integral of the score over the interval."""
+
+    name = "sum"
+
+    def interval(self, function: PiecewiseLinearFunction, a: float, b: float) -> float:
+        return function.integral(a, b)
+
+    def segment_contribution(
+        self, t0: float, v0: float, t1: float, v1: float, a: float, b: float
+    ) -> float:
+        return segment_integral(t0, v0, t1, v1, a, b)
+
+
+class AvgAggregate(Aggregate):
+    """``sigma = avg``: sum divided by the interval length.
+
+    Because avg is a fixed linear rescaling of sum for a given query,
+    every index built for sum answers avg queries by finalization alone
+    — which is exactly the paper's argument for supporting it.
+    """
+
+    name = "avg"
+
+    def interval(self, function: PiecewiseLinearFunction, a: float, b: float) -> float:
+        return self.finalize(function.integral(a, b), a, b)
+
+    def segment_contribution(
+        self, t0: float, v0: float, t1: float, v1: float, a: float, b: float
+    ) -> float:
+        return segment_integral(t0, v0, t1, v1, a, b)
+
+    def finalize(self, raw: float, a: float, b: float) -> float:
+        width = b - a
+        if width <= 0:
+            return 0.0
+        return raw / width
+
+
+class F2Aggregate(Aggregate):
+    """``sigma = F2``: the integral of the squared score.
+
+    On a linear piece ``g(x) = v0 + w (x - t0)`` the antiderivative of
+    ``g^2`` is ``g^3 / (3 w)`` (or ``v0^2 x`` when flat), giving a
+    closed-form per-segment contribution — the "piecewise polynomial"
+    route of Section 4 specialized to degree 2.
+    """
+
+    name = "f2"
+
+    def interval(self, function: PiecewiseLinearFunction, a: float, b: float) -> float:
+        total = 0.0
+        for seg in function.segments():
+            total += self.segment_contribution(
+                seg.t0, seg.v0, seg.t1, seg.v1, a, b
+            )
+        return total
+
+    def segment_contribution(
+        self, t0: float, v0: float, t1: float, v1: float, a: float, b: float
+    ) -> float:
+        left = max(a, t0)
+        right = min(b, t1)
+        if right <= left:
+            return 0.0
+        w = (v1 - v0) / (t1 - t0)
+        if w == 0.0:
+            return v0 * v0 * (right - left)
+        g_left = v0 + w * (left - t0)
+        g_right = v0 + w * (right - t0)
+        return (g_right**3 - g_left**3) / (3.0 * w)
+
+
+#: Default aggregate used throughout (the paper's focus).
+SUM = SumAggregate()
+AVG = AvgAggregate()
+F2 = F2Aggregate()

@@ -1,0 +1,259 @@
+"""The temporal database: a collection of temporal objects on [0, T].
+
+Holds the ``m`` objects, exposes the global quantities the paper's
+analysis is written in (``N``, ``n_avg``, ``M = sum_i sigma_i(0, T)``),
+provides the brute-force reference evaluator every exact method is
+tested against, and implements the Section 4 append-style updates.
+
+Padding: EXACT3's stabbing-query invariant and the breakpoint sweeps
+assume each object's pieces cover ``[0, T]``.  ``TemporalDatabase``
+optionally pads every object with zero-score pieces out to the global
+span (default on); padding never changes any aggregate score.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aggregates import SUM, Aggregate
+from repro.core.errors import InvalidQueryError, ReproError
+from repro.core.objects import TemporalObject
+from repro.core.plf import PiecewiseLinearFunction
+from repro.core.results import TopKResult, top_k_from_arrays
+
+
+class TemporalDatabase:
+    """``m`` temporal objects with a shared temporal domain ``[0, T]``.
+
+    Parameters
+    ----------
+    objects:
+        The temporal objects.  Ids must be unique; they need not be
+        dense, but generators produce ``0..m-1``.
+    span:
+        Optional ``(t_min, t_max)`` global domain; defaults to the
+        tightest span covering all objects.
+    pad:
+        When true (default), every object is extended to the global
+        span with zero-score pieces (see module docstring).
+    """
+
+    def __init__(
+        self,
+        objects: Iterable[TemporalObject],
+        span: Optional[tuple] = None,
+        pad: bool = True,
+    ) -> None:
+        object_list: List[TemporalObject] = list(objects)
+        if not object_list:
+            raise ReproError("a temporal database needs at least one object")
+        ids = [obj.object_id for obj in object_list]
+        if len(set(ids)) != len(ids):
+            raise ReproError("object ids must be unique")
+        if span is None:
+            t_min = min(obj.function.start for obj in object_list)
+            t_max = max(obj.function.end for obj in object_list)
+        else:
+            t_min, t_max = float(span[0]), float(span[1])
+        if pad:
+            object_list = [
+                TemporalObject(
+                    obj.object_id, obj.function.padded(t_min, t_max), obj.label
+                )
+                if (obj.function.start > t_min or obj.function.end < t_max)
+                else obj
+                for obj in object_list
+            ]
+        self._objects = object_list
+        self._by_id = {obj.object_id: idx for idx, obj in enumerate(object_list)}
+        self.t_min = t_min
+        self.t_max = t_max
+        self.padded = pad
+
+    # ------------------------------------------------------------------
+    # paper notation
+    # ------------------------------------------------------------------
+    @property
+    def num_objects(self) -> int:
+        """``m``."""
+        return len(self._objects)
+
+    @property
+    def total_segments(self) -> int:
+        """``N = sum_i n_i``."""
+        return sum(obj.num_segments for obj in self._objects)
+
+    @property
+    def avg_segments(self) -> float:
+        """``n_avg``."""
+        return self.total_segments / self.num_objects
+
+    @property
+    def max_segments(self) -> int:
+        """``n = max_i n_i``."""
+        return max(obj.num_segments for obj in self._objects)
+
+    @property
+    def span(self) -> tuple:
+        """The global temporal domain ``[0, T]`` as ``(t_min, t_max)``."""
+        return self.t_min, self.t_max
+
+    @property
+    def total_mass(self) -> float:
+        """``M = sum_i sigma_i(0, T)`` (signed)."""
+        return sum(obj.total_mass for obj in self._objects)
+
+    @property
+    def absolute_total_mass(self) -> float:
+        """``M`` computed on ``|g_i|`` (Section 4, negative scores)."""
+        return sum(obj.function.absolute().total_mass for obj in self._objects)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def objects(self) -> Sequence[TemporalObject]:
+        return tuple(self._objects)
+
+    def __len__(self) -> int:
+        return self.num_objects
+
+    def __iter__(self) -> Iterator[TemporalObject]:
+        return iter(self._objects)
+
+    def get(self, object_id: int) -> TemporalObject:
+        """Fetch an object by id."""
+        try:
+            return self._objects[self._by_id[object_id]]
+        except KeyError:
+            raise ReproError(f"no object with id {object_id}") from None
+
+    def object_ids(self) -> np.ndarray:
+        return np.asarray([obj.object_id for obj in self._objects], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # reference evaluation (EXACT ground truth for tests/metrics)
+    # ------------------------------------------------------------------
+    def scores(
+        self, t1: float, t2: float, aggregate: Aggregate = SUM
+    ) -> np.ndarray:
+        """``sigma_i(t1, t2)`` for every object, in storage order."""
+        if t2 < t1:
+            raise InvalidQueryError(f"reversed interval [{t1}, {t2}]")
+        return np.asarray(
+            [aggregate.interval(obj.function, t1, t2) for obj in self._objects],
+            dtype=np.float64,
+        )
+
+    def brute_force_top_k(
+        self, t1: float, t2: float, k: int, aggregate: Aggregate = SUM
+    ) -> TopKResult:
+        """Reference answer ``A(k, t1, t2)`` by scoring every object.
+
+        This is the semantics every method must reproduce (exactly for
+        EXACT1-3, within ``(eps, alpha)`` for the approximations).
+        """
+        values = self.scores(t1, t2, aggregate)
+        return top_k_from_arrays(self.object_ids(), values, k)
+
+    def exact_score(self, object_id: int, t1: float, t2: float) -> float:
+        """``sigma_{object_id}(t1, t2)`` for ``sigma = sum``."""
+        return self.get(object_id).score(t1, t2)
+
+    # ------------------------------------------------------------------
+    # bulk views for index construction (numpy, sorted by time)
+    # ------------------------------------------------------------------
+    def all_segments(self) -> np.ndarray:
+        """All ``N`` segments as an array sorted by left endpoint.
+
+        Columns: ``obj_id, t0, v0, t1, v1`` — the tuple representation
+        both EXACT1's B+-tree and the breakpoint sweeps consume.  The
+        paper's setup likewise keeps "all line segments sorted by the
+        time value of their left end-point".
+        """
+        chunks = []
+        for obj in self._objects:
+            times = obj.function.times
+            values = obj.function.values
+            n = times.size - 1
+            chunk = np.empty((n, 5), dtype=np.float64)
+            chunk[:, 0] = float(obj.object_id)
+            chunk[:, 1] = times[:-1]
+            chunk[:, 2] = values[:-1]
+            chunk[:, 3] = times[1:]
+            chunk[:, 4] = values[1:]
+            chunks.append(chunk)
+        segments = np.concatenate(chunks, axis=0)
+        order = np.lexsort((segments[:, 0], segments[:, 1]))
+        return segments[order]
+
+    def sweep_events(self, use_absolute: bool = False) -> np.ndarray:
+        """Knot events for the BREAKPOINTS1 total-sum sweep.
+
+        Returns rows ``(t, dV, dW)`` sorted by time: at time ``t`` the
+        summed value ``V(t) = sum_i g_i(t)`` jumps by ``dV`` and the
+        summed slope ``W(t)`` changes by ``dW``.  Interior knots carry
+        ``dV = 0`` and a slope change; span boundaries add/remove the
+        object's value and slope, which handles objects that do not
+        cover the full domain.
+        """
+        rows = []
+        for obj in self._objects:
+            fn = obj.function.absolute() if use_absolute else obj.function
+            times = fn.times
+            values = fn.values
+            slopes = fn.slopes
+            # Object enters the sweep.
+            rows.append((times[0], values[0], slopes[0]))
+            # Interior knots: slope changes only.
+            for j in range(1, times.size - 1):
+                rows.append((times[j], 0.0, slopes[j] - slopes[j - 1]))
+            # Object leaves the sweep.
+            rows.append((times[-1], -values[-1], -slopes[-1]))
+        events = np.asarray(rows, dtype=np.float64)
+        order = np.argsort(events[:, 0], kind="stable")
+        return events[order]
+
+    # ------------------------------------------------------------------
+    # updates (Section 4)
+    # ------------------------------------------------------------------
+    def append_segment(self, object_id: int, t_next: float, v_next: float) -> TemporalObject:
+        """Append a segment to ``object_id`` at the current time frontier.
+
+        Models the paper's update: a new segment extending ``g_i`` past
+        its current right endpoint.  Returns the updated object.  Index
+        structures built earlier are NOT updated automatically — their
+        own ``append`` methods mirror this call.
+        """
+        idx = self._by_id.get(object_id)
+        if idx is None:
+            raise ReproError(f"no object with id {object_id}")
+        updated = self._objects[idx].with_appended(t_next, v_next)
+        self._objects[idx] = updated
+        if t_next > self.t_max:
+            self.t_max = t_next
+        return updated
+
+    # ------------------------------------------------------------------
+    # sampling (scalability experiments)
+    # ------------------------------------------------------------------
+    def sample_objects(self, count: int, seed: int = 0) -> "TemporalDatabase":
+        """A database over a random subset of ``count`` objects.
+
+        Used by the "vary m" experiments (paper Figure 13), mirroring
+        how the authors sampled subsets of Temp.
+        """
+        if count > self.num_objects:
+            raise ReproError(f"cannot sample {count} of {self.num_objects} objects")
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(self.num_objects, size=count, replace=False)
+        picked = [self._objects[i] for i in sorted(chosen)]
+        return TemporalDatabase(picked, span=self.span, pad=self.padded)
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalDatabase(m={self.num_objects}, N={self.total_segments}, "
+            f"span=[{self.t_min:g}, {self.t_max:g}])"
+        )

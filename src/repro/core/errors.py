@@ -1,0 +1,19 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class InvalidFunctionError(ReproError):
+    """A piecewise function's knots/values are malformed."""
+
+
+class InvalidQueryError(ReproError):
+    """A query's parameters are out of range (t1 > t2, k < 1, ...)."""
+
+
+class IndexStateError(ReproError):
+    """An index was used before being built, or after being invalidated."""

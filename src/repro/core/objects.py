@@ -1,0 +1,43 @@
+"""Temporal objects: an id plus a piecewise score function."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plf import PiecewiseLinearFunction
+
+
+@dataclass(frozen=True)
+class TemporalObject:
+    """Object ``o_i``: an identifier and its score function ``g_i``.
+
+    Objects are value-like and immutable; updates (Section 4 appends)
+    produce a new object via :meth:`with_appended`.
+    """
+
+    object_id: int
+    function: PiecewiseLinearFunction
+    label: str = field(default="", compare=False)
+
+    @property
+    def num_segments(self) -> int:
+        """``n_i``: number of linear pieces in ``g_i``."""
+        return self.function.num_segments
+
+    @property
+    def total_mass(self) -> float:
+        """``sigma_i(0, T)``: full-span aggregate."""
+        return self.function.total_mass
+
+    def score(self, t1: float, t2: float) -> float:
+        """``sigma_i(t1, t2)`` for ``sigma = sum``."""
+        return self.function.integral(t1, t2)
+
+    def with_appended(self, t_next: float, v_next: float) -> "TemporalObject":
+        """New object with one segment appended at the current end."""
+        return TemporalObject(
+            self.object_id, self.function.with_appended(t_next, v_next), self.label
+        )
+
+    def __repr__(self) -> str:
+        return f"TemporalObject(id={self.object_id}, n={self.num_segments})"

@@ -1,0 +1,353 @@
+"""Piecewise linear score functions with prefix-sum support.
+
+A temporal object's score attribute is a piecewise linear function
+``g_i`` given by knots ``(t_{i,0}, v_{i,0}), ..., (t_{i,n_i}, v_{i,n_i})``
+(paper Section 1).  This module provides:
+
+* evaluation and exact interval integration (the object's aggregate
+  score ``sigma_i(t1, t2)`` for ``sigma = sum``),
+* the prefix sums ``sigma_i(I_{i,l})`` that EXACT2/EXACT3 store
+  (paper Section 2, Equation (2)),
+* the cumulative-mass inverse used by the BREAKPOINTS2 sweep
+  (paper Section 3.1),
+* utilities for the extensions of Section 4 (absolute value for
+  negative scores; squaring for the F2 aggregate).
+
+Outside its own temporal span an object contributes score 0, which is
+the natural reading of "the temporal range of any object is in [0, T]".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidFunctionError
+from repro.core.geometry import Segment, solve_linear_mass
+
+
+class PiecewiseLinearFunction:
+    """An immutable piecewise linear function defined by its knots.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing knot times (length ``n + 1`` for ``n``
+        segments, ``n >= 1``).
+    values:
+        Knot values, same length as ``times``.
+
+    Notes
+    -----
+    The cumulative-integral array ``prefix_masses`` is computed lazily
+    and cached; it makes ``integral`` and ``cumulative`` O(log n) via
+    binary search, mirroring what EXACT2 precomputes on disk.
+    """
+
+    __slots__ = ("times", "values", "_prefix")
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]) -> None:
+        times_arr = np.asarray(times, dtype=np.float64)
+        values_arr = np.asarray(values, dtype=np.float64)
+        if times_arr.ndim != 1 or values_arr.ndim != 1:
+            raise InvalidFunctionError("times and values must be 1-D")
+        if times_arr.shape != values_arr.shape:
+            raise InvalidFunctionError("times and values must have equal length")
+        if times_arr.size < 2:
+            raise InvalidFunctionError("a PLF needs at least two knots")
+        if not np.all(np.diff(times_arr) > 0):
+            raise InvalidFunctionError("knot times must be strictly increasing")
+        if not (np.all(np.isfinite(times_arr)) and np.all(np.isfinite(values_arr))):
+            raise InvalidFunctionError("knots must be finite")
+        self.times = times_arr
+        self.values = values_arr
+        self._prefix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        """``n_i``: number of linear pieces."""
+        return self.times.size - 1
+
+    @property
+    def start(self) -> float:
+        """``t_{i,0}``: left end of the temporal span."""
+        return float(self.times[0])
+
+    @property
+    def end(self) -> float:
+        """``t_{i,n_i}``: right end of the temporal span."""
+        return float(self.times[-1])
+
+    @property
+    def span(self) -> tuple[float, float]:
+        return self.start, self.end
+
+    def segment(self, index: int) -> Segment:
+        """The ``index``-th linear piece (0-based), as a :class:`Segment`."""
+        if not 0 <= index < self.num_segments:
+            raise IndexError(f"segment index {index} out of range")
+        return Segment(
+            float(self.times[index]),
+            float(self.values[index]),
+            float(self.times[index + 1]),
+            float(self.values[index + 1]),
+        )
+
+    def segments(self) -> Iterator[Segment]:
+        """Iterate over all linear pieces in time order."""
+        for j in range(self.num_segments):
+            yield self.segment(j)
+
+    @property
+    def slopes(self) -> np.ndarray:
+        """Per-segment slopes ``w_{i,l}`` (length ``n``)."""
+        return np.diff(self.values) / np.diff(self.times)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def value(self, t: float) -> float:
+        """``g_i(t)``; 0 outside the object's span."""
+        if t < self.start or t > self.end:
+            return 0.0
+        return float(np.interp(t, self.times, self.values))
+
+    def value_many(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value` (0 outside the span)."""
+        ts = np.asarray(ts, dtype=np.float64)
+        out = np.interp(ts, self.times, self.values)
+        outside = (ts < self.start) | (ts > self.end)
+        return np.where(outside, 0.0, out)
+
+    # ------------------------------------------------------------------
+    # integration (sigma = sum)
+    # ------------------------------------------------------------------
+    @property
+    def prefix_masses(self) -> np.ndarray:
+        """``sigma_i(I_{i,l})`` for ``l = 0..n``: cumulative integrals.
+
+        ``prefix_masses[l]`` is the integral of ``g_i`` from ``t_{i,0}``
+        to ``t_{i,l}`` — exactly the values EXACT2 attaches to its
+        leaf-level data entries.
+        """
+        if self._prefix is None:
+            widths = np.diff(self.times)
+            areas = 0.5 * widths * (self.values[:-1] + self.values[1:])
+            prefix = np.empty(self.times.size, dtype=np.float64)
+            prefix[0] = 0.0
+            np.cumsum(areas, out=prefix[1:])
+            self._prefix = prefix
+        return self._prefix
+
+    @property
+    def total_mass(self) -> float:
+        """``sigma_i(0, T)``: the integral over the full span."""
+        return float(self.prefix_masses[-1])
+
+    def cumulative(self, t: float) -> float:
+        """``C_i(t)``: integral of ``g_i`` from its start to ``t``.
+
+        Clamped: returns 0 for ``t <= start`` and the total mass for
+        ``t >= end``.  The difference of two cumulatives is the interval
+        aggregate, which is how both the prefix-sum identity (Equation
+        (2)) and the stabbing-query arithmetic of EXACT3 are realized.
+        """
+        if t <= self.start:
+            return 0.0
+        if t >= self.end:
+            return self.total_mass
+        j = int(np.searchsorted(self.times, t, side="right")) - 1
+        seg = self.segment(j)
+        prefix = self.prefix_masses
+        return float(prefix[j] + seg.integral(seg.t0, t))
+
+    def cumulative_many(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cumulative` (used by index construction)."""
+        ts = np.asarray(ts, dtype=np.float64)
+        clamped = np.clip(ts, self.start, self.end)
+        j = np.searchsorted(self.times, clamped, side="right") - 1
+        j = np.clip(j, 0, self.num_segments - 1)
+        t0 = self.times[j]
+        v0 = self.values[j]
+        t1 = self.times[j + 1]
+        v1 = self.values[j + 1]
+        slope = (v1 - v0) / (t1 - t0)
+        dt = clamped - t0
+        partial = v0 * dt + 0.5 * slope * dt * dt
+        return self.prefix_masses[j] + partial
+
+    def integral(self, a: float, b: float) -> float:
+        """``sigma_i(a, b)``: aggregate (sum) score over ``[a, b]``."""
+        if b <= a:
+            return 0.0
+        return self.cumulative(b) - self.cumulative(a)
+
+    # ------------------------------------------------------------------
+    # inverse cumulative (BREAKPOINTS2 support)
+    # ------------------------------------------------------------------
+    def inverse_cumulative(self, target: float) -> float:
+        """Smallest ``t`` with ``C_i(t) >= target``.
+
+        Requires a nondecreasing cumulative, i.e. nonnegative scores
+        (the breakpoint sweeps run on ``|g|`` when negatives are
+        allowed; see :meth:`absolute`).  Returns ``inf`` when the total
+        mass never reaches ``target``.
+        """
+        prefix = self.prefix_masses
+        if target <= 0.0:
+            return self.start
+        if target > prefix[-1]:
+            return float("inf")
+        j = int(np.searchsorted(prefix, target, side="left")) - 1
+        j = max(j, 0)
+        # Skip flat (zero-mass) pieces so we land on the piece that
+        # actually accumulates past the target.
+        while j < self.num_segments and prefix[j + 1] < target:
+            j += 1
+        seg = self.segment(j)
+        need = target - float(prefix[j])
+        dt = solve_linear_mass(seg.v0, seg.slope, need, seg.duration)
+        return seg.t0 + dt
+
+    # ------------------------------------------------------------------
+    # Section 4 extensions
+    # ------------------------------------------------------------------
+    def absolute(self) -> "PiecewiseLinearFunction":
+        """``|g_i|`` as a PLF, splitting segments at zero crossings.
+
+        Used to define the mass ``M`` and breakpoint thresholds when
+        scores may be negative (paper Section 4, "Negative values").
+        """
+        new_times = [float(self.times[0])]
+        new_values = [abs(float(self.values[0]))]
+        for seg in self.segments():
+            if (seg.v0 < 0 < seg.v1) or (seg.v1 < 0 < seg.v0):
+                t_cross = seg.t0 - seg.v0 / seg.slope
+                if seg.t0 < t_cross < seg.t1:
+                    new_times.append(t_cross)
+                    new_values.append(0.0)
+            new_times.append(seg.t1)
+            new_values.append(abs(seg.v1))
+        return PiecewiseLinearFunction(new_times, new_values)
+
+    def padded(self, t_min: float, t_max: float) -> "PiecewiseLinearFunction":
+        """Extend the span to ``[t_min, t_max]`` with zero-score pieces.
+
+        EXACT3's stabbing invariant ("each stabbing query returns
+        exactly m entries") assumes every object covers ``[0, T]``;
+        padding realizes that assumption without changing any aggregate.
+        """
+        if t_min > self.start or t_max < self.end:
+            raise InvalidFunctionError("padded span must contain the current span")
+        # Ramp width: narrow relative to the padded span (negligible
+        # added mass) but wide enough that ramp slopes stay numerically
+        # benign — absolute-tiny ramps create ~1e10+ slopes that wreck
+        # the breakpoint sweeps' running sums.  Boundary gaps below the
+        # resolution floor are not padded at all (an object starting
+        # within span*1e-12 of the domain edge effectively starts at
+        # the edge; padding it would require a near-infinite slope).
+        span = t_max - t_min
+        ramp = span * _PAD_RAMP_FRACTION
+        floor = span * _PAD_RESOLUTION_FRACTION
+        times = list(self.times)
+        values = list(self.values)
+        if t_min < self.start and (self.start - t_min) > floor:
+            prepend_t = [t_min]
+            prepend_v = [0.0]
+            eps = min((self.start - t_min) * 0.5, ramp)
+            knot = self.start - eps
+            if values[0] != 0.0 and t_min < knot < self.start:
+                prepend_t.append(knot)
+                prepend_v.append(0.0)
+            times = prepend_t + times
+            values = prepend_v + values
+        if t_max > self.end and (t_max - self.end) > floor:
+            append_t = []
+            append_v = []
+            eps = min((t_max - self.end) * 0.5, ramp)
+            knot = self.end + eps
+            if values[-1] != 0.0 and self.end < knot < t_max:
+                append_t.append(knot)
+                append_v.append(0.0)
+            append_t.append(t_max)
+            append_v.append(0.0)
+            times = times + append_t
+            values = values + append_v
+        return PiecewiseLinearFunction(times, values)
+
+    def restricted(self, a: float, b: float) -> "PiecewiseLinearFunction | None":
+        """The function clipped to ``[a, b]``, or None when disjoint.
+
+        Boundary knots are interpolated so integrals over any
+        subinterval of ``[a, b]`` are unchanged.  Used by the
+        time-partitioned distributed setting, where each node stores
+        one temporal slice of every object.
+        """
+        lo = max(a, self.start)
+        hi = min(b, self.end)
+        if hi <= lo:
+            return None
+        inner = (self.times > lo) & (self.times < hi)
+        times = np.concatenate([[lo], self.times[inner], [hi]])
+        values = np.concatenate(
+            [[self.value(lo)], self.values[inner], [self.value(hi)]]
+        )
+        return PiecewiseLinearFunction(times, values)
+
+    def with_appended(self, t_next: float, v_next: float) -> "PiecewiseLinearFunction":
+        """A new PLF with one extra knot at the end (Section 4 updates)."""
+        if t_next <= self.end:
+            raise InvalidFunctionError("appended knot must extend the span")
+        times = np.append(self.times, t_next)
+        values = np.append(self.values, v_next)
+        return PiecewiseLinearFunction(times, values)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PiecewiseLinearFunction):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.times, other.times)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewiseLinearFunction(n={self.num_segments}, "
+            f"span=[{self.start:g}, {self.end:g}])"
+        )
+
+
+#: Zero-ramp width inserted by :meth:`PiecewiseLinearFunction.padded`
+#: (when the function does not already end at score zero), as a
+#: fraction of the padded span.
+_PAD_RAMP_FRACTION = 1e-7
+
+#: Boundary gaps narrower than this fraction of the padded span are
+#: left unpadded (see :meth:`PiecewiseLinearFunction.padded`).
+_PAD_RESOLUTION_FRACTION = 1e-12
+
+
+def from_samples(times: Sequence[float], values: Sequence[float]) -> PiecewiseLinearFunction:
+    """Connect consecutive readings into a PLF (the paper's preprocessing).
+
+    Duplicate timestamps are collapsed (keeping the last value), exactly
+    as one must when ingesting raw sensor feeds.
+    """
+    times_arr = np.asarray(times, dtype=np.float64)
+    values_arr = np.asarray(values, dtype=np.float64)
+    order = np.argsort(times_arr, kind="stable")
+    times_arr = times_arr[order]
+    values_arr = values_arr[order]
+    keep = np.ones(times_arr.size, dtype=bool)
+    keep[:-1] = np.diff(times_arr) > 0
+    return PiecewiseLinearFunction(times_arr[keep], values_arr[keep])

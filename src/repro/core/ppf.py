@@ -1,0 +1,149 @@
+"""Piecewise polynomial score functions (paper Section 4).
+
+The paper observes that every method carries over to piecewise
+*polynomial* representations: the only change is that the per-piece
+integral ``sigma_i(I)`` is computed from the polynomial antiderivative
+instead of the trapezoid rule.  :class:`PiecewisePolynomialFunction`
+provides exactly that, and :func:`square_plf` builds the degree-2 PPF
+``g^2`` used by the F2 aggregate (second frequency moment).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import InvalidFunctionError
+from repro.core.plf import PiecewiseLinearFunction
+
+
+class PiecewisePolynomialFunction:
+    """A piecewise polynomial defined on knots with per-piece coefficients.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing knot times, length ``n + 1``.
+    coefficients:
+        Array of shape ``(n, d + 1)``: piece ``j`` evaluates to
+        ``sum_k coefficients[j, k] * (t - times[j])**k`` for
+        ``t in [times[j], times[j+1]]`` (local coordinates keep the
+        evaluation numerically stable far from the origin).
+    """
+
+    __slots__ = ("times", "coefficients", "_prefix")
+
+    def __init__(self, times: Sequence[float], coefficients: np.ndarray) -> None:
+        times_arr = np.asarray(times, dtype=np.float64)
+        coeff_arr = np.asarray(coefficients, dtype=np.float64)
+        if times_arr.ndim != 1 or times_arr.size < 2:
+            raise InvalidFunctionError("need at least two knot times")
+        if not np.all(np.diff(times_arr) > 0):
+            raise InvalidFunctionError("knot times must be strictly increasing")
+        if coeff_arr.ndim != 2 or coeff_arr.shape[0] != times_arr.size - 1:
+            raise InvalidFunctionError(
+                "coefficients must have one row per piece "
+                f"(got {coeff_arr.shape}, expected ({times_arr.size - 1}, d+1))"
+            )
+        self.times = times_arr
+        self.coefficients = coeff_arr
+        self._prefix: np.ndarray | None = None
+
+    @property
+    def num_pieces(self) -> int:
+        return self.times.size - 1
+
+    @property
+    def degree(self) -> int:
+        return self.coefficients.shape[1] - 1
+
+    @property
+    def start(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def end(self) -> float:
+        return float(self.times[-1])
+
+    def value(self, t: float) -> float:
+        """Evaluate the polynomial; 0 outside the span."""
+        if t < self.start or t > self.end:
+            return 0.0
+        j = int(np.searchsorted(self.times, t, side="right")) - 1
+        j = min(max(j, 0), self.num_pieces - 1)
+        x = t - float(self.times[j])
+        # Horner evaluation of the local-coordinate polynomial.
+        result = 0.0
+        for c in self.coefficients[j, ::-1]:
+            result = result * x + float(c)
+        return result
+
+    def _piece_integral(self, j: int, x: float) -> float:
+        """Integral of piece ``j`` from its left knot to local offset x."""
+        total = 0.0
+        power = x
+        for k, c in enumerate(self.coefficients[j]):
+            total += float(c) * power / (k + 1)
+            power *= x
+        return total
+
+    @property
+    def prefix_masses(self) -> np.ndarray:
+        """Cumulative integrals at the knots (analogue of PLF prefix sums)."""
+        if self._prefix is None:
+            prefix = np.zeros(self.times.size, dtype=np.float64)
+            for j in range(self.num_pieces):
+                width = float(self.times[j + 1] - self.times[j])
+                prefix[j + 1] = prefix[j] + self._piece_integral(j, width)
+            self._prefix = prefix
+        return self._prefix
+
+    @property
+    def total_mass(self) -> float:
+        return float(self.prefix_masses[-1])
+
+    def cumulative(self, t: float) -> float:
+        """Integral from the span's start to ``t`` (clamped)."""
+        if t <= self.start:
+            return 0.0
+        if t >= self.end:
+            return self.total_mass
+        j = int(np.searchsorted(self.times, t, side="right")) - 1
+        j = min(max(j, 0), self.num_pieces - 1)
+        return float(self.prefix_masses[j]) + self._piece_integral(
+            j, t - float(self.times[j])
+        )
+
+    def integral(self, a: float, b: float) -> float:
+        """Aggregate (sum) score over ``[a, b]``."""
+        if b <= a:
+            return 0.0
+        return self.cumulative(b) - self.cumulative(a)
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewisePolynomialFunction(pieces={self.num_pieces}, "
+            f"degree={self.degree}, span=[{self.start:g}, {self.end:g}])"
+        )
+
+
+def from_plf(plf: PiecewiseLinearFunction) -> PiecewisePolynomialFunction:
+    """Represent a PLF as a degree-1 PPF (coefficients ``[v_j, w_j]``)."""
+    slopes = plf.slopes
+    coefficients = np.stack([plf.values[:-1], slopes], axis=1)
+    return PiecewisePolynomialFunction(plf.times, coefficients)
+
+
+def square_plf(plf: PiecewiseLinearFunction) -> PiecewisePolynomialFunction:
+    """``g^2`` as a degree-2 PPF.
+
+    On piece ``j``, ``g(t) = v_j + w_j x`` with ``x = t - t_j``, so
+    ``g(t)^2 = v_j^2 + 2 v_j w_j x + w_j^2 x^2``.  Integrating this is
+    exactly the F2 (second frequency moment) aggregate the paper lists
+    among the sum-expressible aggregations.
+    """
+    v = plf.values[:-1]
+    w = plf.slopes
+    coefficients = np.stack([v * v, 2.0 * v * w, w * w], axis=1)
+    return PiecewisePolynomialFunction(plf.times, coefficients)

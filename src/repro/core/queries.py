@@ -1,0 +1,39 @@
+"""Query descriptors for aggregate top-k queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidQueryError
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """``top-k(t1, t2, sigma)``: the paper's aggregate top-k query.
+
+    Attributes
+    ----------
+    t1, t2:
+        The closed query interval, ``t1 <= t2``.  ``t1 == t2`` recovers
+        the *instant* top-k query of Li et al. as a degenerate case
+        (every sum score is then 0 under integration; use the value
+        aggregate of an instant query engine for that semantics).
+    k:
+        Number of objects to return (``1 <= k <= kmax`` for approximate
+        structures built with budget ``kmax``).
+    """
+
+    t1: float
+    t2: float
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.t2 < self.t1:
+            raise InvalidQueryError(f"query interval reversed: [{self.t1}, {self.t2}]")
+        if self.k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def length(self) -> float:
+        """Interval length ``t2 - t1``."""
+        return self.t2 - self.t1

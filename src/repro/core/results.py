@@ -1,0 +1,105 @@
+"""Top-k answer sets and the bounded priority queue used to build them.
+
+``A(k, t1, t2)`` in the paper is an *ordered* set of object ids with
+their aggregate scores.  :class:`TopKResult` is that answer; ties are
+broken by object id so exact methods agree bit-for-bit with the brute
+force and with each other (needed for the exactness test suite).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class RankedItem:
+    """One entry of a top-k answer: an object id with its score."""
+
+    object_id: int
+    score: float
+
+    def __iter__(self) -> Iterator:
+        """Allow ``obj_id, score = item`` unpacking."""
+        yield self.object_id
+        yield self.score
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """An ordered top-k answer ``A(k, t1, t2)`` (or its approximation).
+
+    Items are sorted by descending score, object id ascending on ties.
+    """
+
+    items: tuple = field(default_factory=tuple)
+
+    @staticmethod
+    def from_pairs(pairs: Iterable) -> "TopKResult":
+        """Build from ``(object_id, score)`` pairs (any order)."""
+        ranked = sorted(
+            (RankedItem(int(o), float(s)) for o, s in pairs),
+            key=lambda it: (-it.score, it.object_id),
+        )
+        return TopKResult(tuple(ranked))
+
+    @property
+    def object_ids(self) -> list:
+        """Answer object ids in rank order."""
+        return [it.object_id for it in self.items]
+
+    @property
+    def scores(self) -> list:
+        """Answer scores in rank order."""
+        return [it.score for it in self.items]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[RankedItem]:
+        return iter(self.items)
+
+    def __getitem__(self, rank: int) -> RankedItem:
+        """``A(j)``: the item at (0-based) rank ``rank``."""
+        return self.items[rank]
+
+    def truncated(self, k: int) -> "TopKResult":
+        """The top-``k`` prefix of this answer."""
+        return TopKResult(self.items[:k])
+
+
+def select_top_k(pairs: Iterable, k: int) -> TopKResult:
+    """Keep the k highest-scoring ``(object_id, score)`` pairs.
+
+    This is the size-k priority queue every method's last step pushes
+    into (paper Section 2); ``O(m log k)`` time, ties by object id.
+    """
+    if k <= 0:
+        return TopKResult()
+    heap: list = []  # min-heap of (score, -object_id)
+    for object_id, score in pairs:
+        entry = (float(score), -int(object_id))
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        elif entry > heap[0]:
+            heapq.heapreplace(heap, entry)
+    ordered = sorted(heap, key=lambda e: (-e[0], -e[1]))
+    return TopKResult(tuple(RankedItem(-neg_id, score) for score, neg_id in ordered))
+
+
+def top_k_from_arrays(object_ids: Sequence[int], scores: Sequence[float], k: int) -> TopKResult:
+    """Vectorized top-k over parallel arrays (numpy-friendly path)."""
+    import numpy as np
+
+    ids = np.asarray(object_ids)
+    vals = np.asarray(scores, dtype=np.float64)
+    if ids.size == 0 or k <= 0:
+        return TopKResult()
+    k = min(k, ids.size)
+    # Full lexicographic order (descending score, ascending id) so that
+    # boundary ties resolve identically across every method.
+    order = np.lexsort((ids, -vals))[:k]
+    return TopKResult(
+        tuple(RankedItem(int(ids[i]), float(vals[i])) for i in order)
+    )

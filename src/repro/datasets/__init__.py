@@ -1,0 +1,18 @@
+"""Synthetic datasets standing in for the paper's Temp and Meme data.
+
+The real MesoWest and Memetracker datasets are not redistributable;
+these generators reproduce the structural properties each experiment
+depends on (see DESIGN.md, "Substitutions").
+"""
+
+from repro.datasets.meme import generate_meme, generate_meme_object
+from repro.datasets.mesowest import generate_station, generate_temp
+from repro.datasets.workload import random_queries
+
+__all__ = [
+    "generate_temp",
+    "generate_station",
+    "generate_meme",
+    "generate_meme_object",
+    "random_queries",
+]

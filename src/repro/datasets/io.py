@@ -1,0 +1,89 @@
+"""Text (CSV) ingestion and export for temporal databases.
+
+The paper's datasets arrive as flat reading files (station, time,
+value).  These helpers move between that exchange format and
+:class:`~repro.core.database.TemporalDatabase`, applying the same
+preprocessing the paper describes: group readings by object and
+connect consecutive readings into a piecewise linear function.
+
+Format: a header line ``object_id,time,value`` followed by one reading
+per line.  Readings may arrive in any order; duplicated timestamps
+within an object keep the last value (matching
+:func:`repro.core.plf.from_samples`).
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+from typing import Optional
+
+from repro.core.database import TemporalDatabase
+from repro.core.errors import ReproError
+from repro.core.objects import TemporalObject
+from repro.core.plf import from_samples
+
+HEADER = ["object_id", "time", "value"]
+
+
+def save_csv(database: TemporalDatabase, path: str | Path) -> int:
+    """Write every knot of every object as a reading; returns row count.
+
+    Zero-score padding knots are written too — a reload reproduces the
+    database exactly (up to float text formatting).
+    """
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        for obj in database:
+            for t, v in zip(obj.function.times, obj.function.values):
+                writer.writerow([obj.object_id, repr(float(t)), repr(float(v))])
+                rows += 1
+    return rows
+
+
+def load_csv(
+    path: str | Path,
+    span: Optional[tuple] = None,
+    pad: bool = True,
+) -> TemporalDatabase:
+    """Read a readings CSV into a temporal database.
+
+    Raises :class:`ReproError` on malformed headers/rows or objects
+    with fewer than two readings.
+    """
+    path = Path(path)
+    samples: dict = defaultdict(lambda: ([], []))
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip() for h in header] != HEADER:
+            raise ReproError(
+                f"{path}: expected header {','.join(HEADER)!r}, got {header!r}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                object_id = int(row[0])
+                t = float(row[1])
+                v = float(row[2])
+            except (ValueError, IndexError) as exc:
+                raise ReproError(f"{path}:{line_number}: bad reading {row!r}") from exc
+            times, values = samples[object_id]
+            times.append(t)
+            values.append(v)
+    if not samples:
+        raise ReproError(f"{path}: no readings")
+    objects = []
+    for object_id in sorted(samples):
+        times, values = samples[object_id]
+        if len(times) < 2:
+            raise ReproError(
+                f"{path}: object {object_id} has fewer than two readings"
+            )
+        objects.append(TemporalObject(object_id, from_samples(times, values)))
+    return TemporalDatabase(objects, span=span, pad=pad)

@@ -1,0 +1,34 @@
+"""Query workload generation (paper Section 5 setup).
+
+The paper evaluates every configuration with 100 random queries whose
+interval length is a fixed fraction of the domain (default 20% of T)
+and reports averages.  :func:`random_queries` reproduces that setup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.database import TemporalDatabase
+from repro.core.queries import TopKQuery
+
+
+def random_queries(
+    database: TemporalDatabase,
+    count: int = 100,
+    interval_fraction: float = 0.2,
+    k: int = 50,
+    seed: int = 0,
+) -> List[TopKQuery]:
+    """``count`` random ``top-k(t1, t2, sum)`` queries.
+
+    ``t1`` is uniform in ``[0, T - len]`` with ``len = interval_fraction
+    * T``, matching the paper's "(t2 - t1) = 20% T" default.
+    """
+    rng = np.random.default_rng(seed)
+    t_min, t_max = database.span
+    length = (t_max - t_min) * interval_fraction
+    starts = rng.uniform(t_min, t_max - length, count)
+    return [TopKQuery(float(s), float(s + length), k) for s in starts]

@@ -1,0 +1,14 @@
+"""Distributed aggregate top-k (the paper's open direction)."""
+
+from repro.distributed.comm import PAIR_BYTES, CommStats
+from repro.distributed.nodes import StorageNode
+from repro.distributed.object_partition import ObjectPartitionedCluster
+from repro.distributed.time_partition import TimePartitionedCluster
+
+__all__ = [
+    "CommStats",
+    "PAIR_BYTES",
+    "StorageNode",
+    "ObjectPartitionedCluster",
+    "TimePartitionedCluster",
+]

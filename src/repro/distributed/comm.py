@@ -1,0 +1,38 @@
+"""Communication accounting for the distributed setting.
+
+The paper's conclusion names "extending to the distributed setting" as
+an open direction.  When reproducing distributed protocols in-process,
+the quantity of interest is the *communication cost*: how many
+messages and how many ``(object_id, score)`` pairs cross the network.
+:class:`CommStats` tracks both, mirroring how :class:`~repro.storage.
+stats.IOStats` tracks block IOs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wire size of one (object_id, score) pair: two 8-byte words.
+PAIR_BYTES = 16
+
+
+@dataclass
+class CommStats:
+    """Message and payload counters for one coordinator."""
+
+    messages: int = 0
+    pairs: int = 0
+
+    @property
+    def bytes(self) -> int:
+        """Payload bytes shipped (16 bytes per pair)."""
+        return self.pairs * PAIR_BYTES
+
+    def record(self, num_pairs: int) -> None:
+        """One message carrying ``num_pairs`` pairs."""
+        self.messages += 1
+        self.pairs += int(num_pairs)
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.pairs = 0

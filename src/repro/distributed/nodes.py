@@ -1,0 +1,74 @@
+"""Storage nodes for the distributed aggregate top-k setting.
+
+A :class:`StorageNode` owns a shard of the data (a sub-database) and a
+local index (EXACT3 by default).  Coordinators (see
+``object_partition`` / ``time_partition``) talk to nodes only through
+the narrow message-like API here, so communication can be accounted
+faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.database import TemporalDatabase
+from repro.core.queries import TopKQuery
+from repro.core.results import TopKResult
+from repro.exact.base import RankingMethod
+from repro.exact.exact3 import Exact3
+
+
+class StorageNode:
+    """One shard: a sub-database plus a local ranking index."""
+
+    def __init__(
+        self,
+        node_id: int,
+        database: TemporalDatabase,
+        method: Optional[RankingMethod] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.database = database
+        self.method = method if method is not None else Exact3()
+        self.method.build(database)
+
+    @property
+    def num_objects(self) -> int:
+        return self.database.num_objects
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    def local_top_k(self, t1: float, t2: float, k: int) -> TopKResult:
+        """Answer a local aggregate top-k over this shard."""
+        k = min(k, self.database.num_objects)
+        return self.method.query(TopKQuery(t1, t2, k))
+
+    def partial_scores(
+        self, t1: float, t2: float, object_ids: Optional[Sequence[int]] = None
+    ) -> Dict[int, float]:
+        """Per-object partial aggregates over this shard's time slice.
+
+        With ``object_ids`` the node scores only those objects (the
+        random-access probe of the threshold algorithm).
+        """
+        if object_ids is None:
+            ids = self.database.object_ids()
+        else:
+            ids = np.asarray(object_ids, dtype=np.int64)
+        out: Dict[int, float] = {}
+        for object_id in ids:
+            try:
+                obj = self.database.get(int(object_id))
+            except Exception:
+                continue
+            out[int(object_id)] = obj.score(t1, t2)
+        return out
+
+    def sorted_partials(self, t1: float, t2: float) -> TopKResult:
+        """All local partial scores, descending (the TA's sorted access)."""
+        return self.method.query(
+            TopKQuery(t1, t2, self.database.num_objects)
+        )

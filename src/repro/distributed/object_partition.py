@@ -1,0 +1,61 @@
+"""Object-partitioned distributed ranking.
+
+Each object lives on exactly one node (hash partitioning), so every
+node holds *complete* score functions for its shard.  The coordinator
+then needs only each node's local top-k: the global answer is the
+k best of the union, exactly — communication is ``p * k`` pairs, one
+round.  This is the easy half of the paper's distributed open problem
+and the baseline any cleverer protocol must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.database import TemporalDatabase
+from repro.core.errors import ReproError
+from repro.core.results import TopKResult, select_top_k
+from repro.exact.base import RankingMethod
+from repro.distributed.comm import CommStats
+from repro.distributed.nodes import StorageNode
+
+
+class ObjectPartitionedCluster:
+    """A cluster whose shards partition the *objects*."""
+
+    def __init__(
+        self,
+        database: TemporalDatabase,
+        num_nodes: int,
+        method_factory: Optional[Callable[[], RankingMethod]] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ReproError("need at least one node")
+        if num_nodes > database.num_objects:
+            raise ReproError("more nodes than objects")
+        self.comm = CommStats()
+        shards: List[List] = [[] for _ in range(num_nodes)]
+        for obj in database:
+            shards[obj.object_id % num_nodes].append(obj)
+        self.nodes = []
+        for node_id, objects in enumerate(shards):
+            if not objects:
+                continue
+            shard_db = TemporalDatabase(
+                objects, span=database.span, pad=database.padded
+            )
+            method = method_factory() if method_factory else None
+            self.nodes.append(StorageNode(node_id, shard_db, method))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def query(self, t1: float, t2: float, k: int) -> TopKResult:
+        """Exact global top-k: merge each node's local top-k."""
+        candidates = []
+        for node in self.nodes:
+            local = node.local_top_k(t1, t2, k)
+            self.comm.record(len(local))
+            candidates.extend((item.object_id, item.score) for item in local)
+        return select_top_k(candidates, k)

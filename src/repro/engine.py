@@ -1,0 +1,130 @@
+"""A high-level engine bundling every ranking semantics in one object.
+
+The individual method classes mirror the paper; a downstream
+application usually wants one handle that answers
+
+* aggregate top-k (exact or approximate, sum/avg),
+* instant top-k (``top-k(t)``),
+* quantile top-k (holistic), and
+* append-style updates routed to every live index,
+
+without re-deriving which index to build.  :class:`TemporalRankingEngine`
+is that handle: it builds EXACT3 eagerly (the paper's best exact
+method), an approximate index lazily on the first approximate query,
+and an instant engine lazily on the first instant query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.database import TemporalDatabase
+from repro.core.errors import InvalidQueryError
+from repro.core.queries import TopKQuery
+from repro.core.results import TopKResult
+from repro.exact.exact3 import Exact3
+from repro.approximate.methods import Appx2Plus
+from repro.holistic.quantile import QuantileRanker
+from repro.instant.engine import InstantIntervalTree
+
+
+class TemporalRankingEngine:
+    """One-stop aggregate/instant/quantile ranking over a database.
+
+    Parameters
+    ----------
+    database:
+        The temporal database to index.
+    epsilon:
+        Error budget for the approximate index (APPX2+ by default:
+        tiny candidate structure, exact returned scores).
+    kmax:
+        Largest ``k`` approximate queries may use.
+    """
+
+    def __init__(
+        self,
+        database: TemporalDatabase,
+        epsilon: float = 1e-4,
+        kmax: int = 50,
+    ) -> None:
+        self.database = database
+        self.epsilon = epsilon
+        self.kmax = kmax
+        self.exact = Exact3().build(database)
+        self._approximate: Optional[Appx2Plus] = None
+        self._instant: Optional[InstantIntervalTree] = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def top_k(
+        self, t1: float, t2: float, k: int, approximate: bool = False
+    ) -> TopKResult:
+        """Aggregate ``top-k(t1, t2, sum)``.
+
+        ``approximate=True`` uses APPX2+ (built lazily on first use):
+        candidate selection from the tiny dyadic structure, scores
+        re-computed exactly.
+        """
+        query = TopKQuery(t1, t2, k)
+        if not approximate:
+            return self.exact.query(query)
+        if k > self.kmax:
+            raise InvalidQueryError(
+                f"approximate queries support k <= kmax ({self.kmax})"
+            )
+        if self._approximate is None:
+            self._approximate = Appx2Plus(
+                epsilon=self.epsilon, kmax=self.kmax
+            ).build(self.database)
+        return self._approximate.query(query)
+
+    def instant_top_k(self, t: float, k: int) -> TopKResult:
+        """Instant ``top-k(t)`` (scores at one time instance)."""
+        if self._instant is None:
+            self._instant = InstantIntervalTree().build(self.database)
+        return self._instant.query(t, k)
+
+    def quantile_top_k(
+        self, t1: float, t2: float, k: int, phi: float = 0.5
+    ) -> TopKResult:
+        """Holistic ranking by the phi-quantile of the score."""
+        return QuantileRanker(self.database, phi=phi).query(t1, t2, k)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def append(self, object_id: int, t_next: float, v_next: float) -> None:
+        """Append a segment and maintain every live index."""
+        self.database.append_segment(object_id, t_next, v_next)
+        self.exact.append(object_id, t_next, v_next)
+        if self._approximate is not None:
+            self._approximate.append(object_id, t_next, v_next)
+        if self._instant is not None:
+            # The instant engine is static; rebuild lazily on next use.
+            self._instant = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def index_size_bytes(self) -> int:
+        """Combined footprint of every built index."""
+        total = self.exact.index_size_bytes
+        if self._approximate is not None:
+            total += self._approximate.index_size_bytes
+        if self._instant is not None:
+            total += self._instant.index_size_bytes
+        return total
+
+    def __repr__(self) -> str:
+        built = ["exact3"]
+        if self._approximate is not None:
+            built.append("appx2+")
+        if self._instant is not None:
+            built.append("instant")
+        return (
+            f"TemporalRankingEngine(m={self.database.num_objects}, "
+            f"indexes={'+'.join(built)})"
+        )

@@ -1,0 +1,8 @@
+"""Exact aggregate top-k methods (paper Section 2)."""
+
+from repro.exact.base import QueryCost, RankingMethod
+from repro.exact.exact1 import Exact1
+from repro.exact.exact2 import Exact2
+from repro.exact.exact3 import Exact3
+
+__all__ = ["RankingMethod", "QueryCost", "Exact1", "Exact2", "Exact3"]

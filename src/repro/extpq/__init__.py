@@ -1,0 +1,5 @@
+"""IO-efficient external priority queue (construction-sweep substrate)."""
+
+from repro.extpq.pq import ExternalPriorityQueue
+
+__all__ = ["ExternalPriorityQueue"]

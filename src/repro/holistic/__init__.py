@@ -1,0 +1,15 @@
+"""Holistic aggregates (quantile/median) — the paper's open problem."""
+
+from repro.holistic.quantile import (
+    QuantileRanker,
+    interval_median,
+    interval_quantile,
+    measure_below,
+)
+
+__all__ = [
+    "QuantileRanker",
+    "interval_quantile",
+    "interval_median",
+    "measure_below",
+]

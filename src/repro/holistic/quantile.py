@@ -1,0 +1,162 @@
+"""Holistic aggregates: exact quantiles of a score over an interval.
+
+The paper supports aggregates expressible through sums and explicitly
+leaves "ranking with holistic aggregations (e.g. median and quantiles)"
+as an open problem (Sections 4 and 7).  This module supplies the
+building block any attempt at that problem needs: the **exact
+phi-quantile of a piecewise linear score over a query interval**,
+where the score's value distribution is induced by Lebesgue measure on
+time::
+
+    quantile(phi) = inf { v : |{ t in [t1,t2] : g(t) <= v }| >= phi*(t2-t1) }
+
+For piecewise linear ``g`` the measure function ``mu(v) = |{t : g(t)
+<= v}|`` is itself piecewise linear in ``v`` with knots at the clipped
+segments' endpoint values, so the quantile is computed exactly by one
+sort and one linear solve — no sampling, no iteration.
+
+``median`` is the 0.5-quantile.  :class:`QuantileRanker` ranks objects
+by this aggregate (brute force per object, which is the honest state
+of the art the paper leaves open).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.database import TemporalDatabase
+from repro.core.errors import InvalidQueryError
+from repro.core.plf import PiecewiseLinearFunction
+from repro.core.results import TopKResult, top_k_from_arrays
+
+
+def _clipped_pieces(
+    plf: PiecewiseLinearFunction, t1: float, t2: float
+) -> List[Tuple[float, float, float]]:
+    """Segments of ``g`` restricted to ``[t1, t2]`` as (duration, vL, vR).
+
+    Regions of ``[t1, t2]`` outside the object's span contribute value
+    0 for their full duration (consistent with how the sum aggregate
+    treats them).
+    """
+    pieces: List[Tuple[float, float, float]] = []
+    lo = max(t1, plf.start)
+    hi = min(t2, plf.end)
+    outside = (t2 - t1) - max(0.0, hi - lo)
+    if outside > 0:
+        pieces.append((outside, 0.0, 0.0))
+    if hi <= lo:
+        return pieces
+    times = plf.times
+    j_start = max(int(np.searchsorted(times, lo, side="right")) - 1, 0)
+    j_end = min(
+        int(np.searchsorted(times, hi, side="left")), plf.num_segments
+    )
+    for j in range(j_start, j_end):
+        seg = plf.segment(j)
+        left = max(lo, seg.t0)
+        right = min(hi, seg.t1)
+        if right <= left:
+            continue
+        pieces.append((right - left, seg.value(left), seg.value(right)))
+    return pieces
+
+
+def measure_below(
+    plf: PiecewiseLinearFunction, t1: float, t2: float, v: float
+) -> float:
+    """``mu(v)``: total time in ``[t1, t2]`` with ``g(t) <= v``."""
+    total = 0.0
+    for duration, v_left, v_right in _clipped_pieces(plf, t1, t2):
+        v_min, v_max = min(v_left, v_right), max(v_left, v_right)
+        if v >= v_max:
+            total += duration
+        elif v > v_min:
+            total += duration * (v - v_min) / (v_max - v_min)
+    return total
+
+
+def _measure_strictly_below(
+    plf: PiecewiseLinearFunction, t1: float, t2: float, v: float
+) -> float:
+    """``mu(v^-)``: total time with ``g(t) < v`` (the left limit).
+
+    Differs from :func:`measure_below` exactly by the jumps flat
+    pieces contribute at their own value.
+    """
+    total = 0.0
+    for duration, v_left, v_right in _clipped_pieces(plf, t1, t2):
+        v_min, v_max = min(v_left, v_right), max(v_left, v_right)
+        if v > v_max:
+            total += duration
+        elif v > v_min:
+            total += duration * (v - v_min) / (v_max - v_min)
+    return total
+
+
+def interval_quantile(
+    plf: PiecewiseLinearFunction, t1: float, t2: float, phi: float
+) -> float:
+    """Exact phi-quantile of ``g`` over ``[t1, t2]`` (see module doc)."""
+    if not 0.0 < phi <= 1.0:
+        raise InvalidQueryError(f"phi must be in (0, 1], got {phi}")
+    if t2 <= t1:
+        raise InvalidQueryError("quantile needs a nonempty interval")
+    pieces = _clipped_pieces(plf, t1, t2)
+    target = phi * (t2 - t1)
+    # mu(v) is piecewise linear in v with knots at the pieces' value
+    # bounds — plus *jumps at knots* where flat pieces sit exactly at
+    # that value.  Inside a bracket (previous_v, v) the measure runs
+    # linearly from mu(previous_v) to the left limit mu(v^-); the jump
+    # at v itself is handled by returning v exactly.
+    knots = sorted({min(a, b) for _, a, b in pieces} | {max(a, b) for _, a, b in pieces})
+    previous_v, previous_mu = knots[0], measure_below(plf, t1, t2, knots[0])
+    if previous_mu >= target:
+        return previous_v
+    for v in knots[1:]:
+        mu_left = _measure_strictly_below(plf, t1, t2, v)
+        if mu_left >= target:
+            # Target reached inside the open bracket: interpolate.
+            if mu_left == previous_mu:
+                return v
+            frac = (target - previous_mu) / (mu_left - previous_mu)
+            return previous_v + frac * (v - previous_v)
+        mu = measure_below(plf, t1, t2, v)
+        if mu >= target:
+            # Target falls inside the jump at v: the quantile is v.
+            return v
+        previous_v, previous_mu = v, mu
+    return knots[-1]
+
+
+def interval_median(plf: PiecewiseLinearFunction, t1: float, t2: float) -> float:
+    """The 0.5-quantile (median score over the interval)."""
+    return interval_quantile(plf, t1, t2, 0.5)
+
+
+@dataclass
+class QuantileRanker:
+    """Rank objects by the phi-quantile of their score over ``[t1, t2]``.
+
+    Brute force over objects — indexing this holistic aggregate is the
+    open problem the paper names; this ranker is the correct reference
+    any future index must match, and is what the library ships today.
+    """
+
+    database: TemporalDatabase
+    phi: float = 0.5
+
+    def query(self, t1: float, t2: float, k: int) -> TopKResult:
+        if k < 1:
+            raise InvalidQueryError("k must be >= 1")
+        ids = self.database.object_ids()
+        scores = np.asarray(
+            [
+                interval_quantile(obj.function, t1, t2, self.phi)
+                for obj in self.database
+            ]
+        )
+        return top_k_from_arrays(ids, scores, k)

@@ -1,0 +1,5 @@
+"""Instant top-k queries ``top-k(t)`` (the predecessor operator)."""
+
+from repro.instant.engine import InstantBruteForce, InstantIntervalTree
+
+__all__ = ["InstantBruteForce", "InstantIntervalTree"]

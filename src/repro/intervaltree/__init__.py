@@ -1,0 +1,5 @@
+"""External-memory interval tree (stabbing queries) for EXACT3."""
+
+from repro.intervaltree.tree import ExternalIntervalTree
+
+__all__ = ["ExternalIntervalTree"]

@@ -1,0 +1,340 @@
+"""A static external-memory interval tree for stabbing queries.
+
+EXACT3 (paper Section 2, "Using one interval tree") indexes the ``N``
+data entries ``e_{i,l} = (I^-_{i,l}, (g_{i,l}, sigma_i(I_{i,l})))`` —
+whose keys are *intervals* — in a single disk-based interval tree, and
+answers any aggregate top-k query with exactly two stabbing queries.
+
+The paper uses the optimal Arge–Vitter structure; we build the classic
+centered interval tree laid out on the block device (DESIGN.md lists
+this as a substitution):
+
+* each node owns the intervals containing its center time;
+* those intervals are stored twice, packed into blocks — once sorted by
+  left endpoint ascending, once by right endpoint descending;
+* a stabbing query at ``t`` walks one root-to-leaf path, and at each
+  node scans the appropriate run only as far as it keeps stabbing.
+
+Size is linear (every interval lives at exactly one node), and a
+stabbing query costs ``O(log N + answer/B)`` block reads — the same
+shape as the paper's ``O(log_B N + m/B)`` up to the base of the log.
+
+Appends (Section 4 updates) go to an overflow buffer scanned at query
+time; the tree rebuilds itself when the buffer grows past a fraction
+of ``N`` (amortized ``O((N/B) log N / N)`` per append).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import IndexStateError
+from repro.storage.device import BlockDevice, entries_per_block
+
+
+@dataclass
+class _IntervalNode:
+    """One tree node: a center, two packed runs, and two children."""
+
+    center: float
+    # Block ids holding (lo, hi, value...) rows sorted by lo ascending.
+    lo_run: List[int]
+    # Block ids holding the same rows sorted by hi descending.
+    hi_run: List[int]
+    count: int
+    left: Optional[int] = None
+    right: Optional[int] = None
+
+
+@dataclass
+class _IntervalLeaf:
+    """A bucket of few intervals, scanned wholesale on a stab.
+
+    Splitting down to single intervals would allocate one 4 KB block
+    per handful of rows and blow the linear-size guarantee; buckets
+    keep the structure at ``O(N/B)`` blocks like the Arge-Vitter tree.
+    """
+
+    run: List[int]
+    count: int
+
+
+class ExternalIntervalTree:
+    """Static stabbing-query index over intervals with value rows.
+
+    Parameters
+    ----------
+    device:
+        Block device for node and run blocks.
+    value_columns:
+        Number of float64 columns carried alongside each interval.
+    rebuild_fraction:
+        Appends trigger a rebuild once the overflow buffer exceeds this
+        fraction of the indexed interval count.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        value_columns: int,
+        rebuild_fraction: float = 0.25,
+    ) -> None:
+        self.device = device
+        self.value_columns = value_columns
+        # Row layout: lo, hi, then the value columns.
+        self.row_width = 2 + value_columns
+        self.block_capacity = entries_per_block(
+            self.row_width * 8, device.block_bytes
+        )
+        self.rebuild_fraction = rebuild_fraction
+        # Stop splitting once a subtree's intervals fit in a few blocks.
+        self.leaf_threshold = 2 * self.block_capacity
+        self.root_id: Optional[int] = None
+        self.num_intervals = 0
+        self._overflow: List[np.ndarray] = []
+        self._overflow_blocks: List[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, lows: np.ndarray, highs: np.ndarray, values: np.ndarray) -> None:
+        """Bulk-build from ``N`` intervals ``[lows[i], highs[i]]``.
+
+        ``values`` is ``(N, value_columns)``.  Runs ``O(N log N)`` in
+        memory and writes ``O(N/B)`` run blocks plus ``O(N_nodes)``
+        node blocks.
+        """
+        lows = np.ascontiguousarray(lows, dtype=np.float64)
+        highs = np.ascontiguousarray(highs, dtype=np.float64)
+        values = np.ascontiguousarray(values, dtype=np.float64).reshape(
+            lows.size, -1
+        )
+        if np.any(highs < lows):
+            raise ValueError("intervals must satisfy lo <= hi")
+        rows = np.concatenate(
+            [lows.reshape(-1, 1), highs.reshape(-1, 1), values], axis=1
+        )
+        self.num_intervals = int(lows.size)
+        self.root_id = self._build_node(rows)
+        self._overflow = []
+        self._overflow_blocks = []
+
+    def _build_node(self, rows: np.ndarray) -> Optional[int]:
+        if rows.shape[0] == 0:
+            return None
+        if rows.shape[0] <= self.leaf_threshold:
+            ordered = rows[np.argsort(rows[:, 0], kind="stable")]
+            leaf = _IntervalLeaf(
+                run=self._pack_run(ordered), count=int(rows.shape[0])
+            )
+            return self.device.allocate(leaf)
+        endpoints = np.concatenate([rows[:, 0], rows[:, 1]])
+        center = float(np.median(endpoints))
+        left_mask = rows[:, 1] < center
+        right_mask = rows[:, 0] > center
+        mid_mask = ~(left_mask | right_mask)
+        mid = rows[mid_mask]
+
+        lo_sorted = mid[np.argsort(mid[:, 0], kind="stable")]
+        hi_sorted = mid[np.argsort(-mid[:, 1], kind="stable")]
+        lo_run = self._pack_run(lo_sorted)
+        hi_run = self._pack_run(hi_sorted)
+
+        node = _IntervalNode(
+            center=center,
+            lo_run=lo_run,
+            hi_run=hi_run,
+            count=int(mid.shape[0]),
+        )
+        node_id = self.device.allocate(node)
+        # Children are built after the parent is allocated purely so the
+        # root gets the lowest id; links are patched afterwards.
+        left_id = self._build_node(rows[left_mask])
+        right_id = self._build_node(rows[right_mask])
+        if left_id is not None or right_id is not None:
+            node.left = left_id
+            node.right = right_id
+            self.device.write(node_id, node)
+        return node_id
+
+    def _pack_run(self, rows: np.ndarray) -> List[int]:
+        run = []
+        for lo in range(0, rows.shape[0], self.block_capacity):
+            hi = min(lo + self.block_capacity, rows.shape[0])
+            run.append(self.device.allocate(rows[lo:hi].copy()))
+        return run
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def stab(self, t: float) -> np.ndarray:
+        """All rows whose interval contains ``t`` (inclusive).
+
+        Returns an array of shape ``(answer, 2 + value_columns)``.
+        """
+        if self.root_id is None:
+            raise IndexStateError("interval tree has not been built")
+        pieces: List[np.ndarray] = []
+        node_id: Optional[int] = self.root_id
+        while node_id is not None:
+            node = self.device.read(node_id)
+            if isinstance(node, _IntervalLeaf):
+                for block_id in node.run:
+                    block = self.device.read(block_id)
+                    mask = (block[:, 0] <= t) & (t <= block[:, 1])
+                    if np.any(mask):
+                        pieces.append(block[mask])
+                node_id = None
+            elif t < node.center:
+                self._collect_lo(node, t, pieces)
+                node_id = node.left
+            elif t > node.center:
+                self._collect_hi(node, t, pieces)
+                node_id = node.right
+            else:
+                # t equals the center: every mid interval stabs, and no
+                # interval in either subtree can contain t.
+                for block_id in node.lo_run:
+                    pieces.append(self.device.read(block_id))
+                node_id = None
+        pieces.extend(self._stab_overflow(t))
+        if not pieces:
+            return np.empty((0, self.row_width), dtype=np.float64)
+        return np.concatenate(pieces, axis=0)
+
+    def _collect_lo(self, node: _IntervalNode, t: float, pieces: list) -> None:
+        """Mid intervals with ``lo <= t`` (their hi >= center > t)."""
+        for block_id in node.lo_run:
+            block = self.device.read(block_id)
+            cut = int(np.searchsorted(block[:, 0], t, side="right"))
+            if cut > 0:
+                pieces.append(block[:cut])
+            if cut < block.shape[0]:
+                return
+
+    def _collect_hi(self, node: _IntervalNode, t: float, pieces: list) -> None:
+        """Mid intervals with ``hi >= t`` (their lo <= center < t)."""
+        for block_id in node.hi_run:
+            block = self.device.read(block_id)
+            # hi column sorted descending: find how many have hi >= t.
+            cut = int(np.searchsorted(-block[:, 1], -t, side="right"))
+            if cut > 0:
+                pieces.append(block[:cut])
+            if cut < block.shape[0]:
+                return
+
+    def _stab_overflow(self, t: float) -> List[np.ndarray]:
+        hits = []
+        for block_id in self._overflow_blocks:
+            block = self.device.read(block_id)
+            mask = (block[:, 0] <= t) & (t <= block[:, 1])
+            if np.any(mask):
+                hits.append(block[mask])
+        return hits
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, lo: float, hi: float, value_row: np.ndarray) -> None:
+        """Append one interval (Section 4 updates).
+
+        Goes to an overflow region scanned by every stab; once the
+        overflow exceeds ``rebuild_fraction * N`` the whole structure
+        is rebuilt, amortizing to logarithmic cost per append.
+        """
+        if self.root_id is None:
+            raise IndexStateError("interval tree has not been built")
+        row = np.empty(self.row_width, dtype=np.float64)
+        row[0] = lo
+        row[1] = hi
+        row[2:] = np.asarray(value_row, dtype=np.float64)
+        self._overflow.append(row)
+        # Rewrite the overflow blocks lazily: append into the last block
+        # if it has room, else allocate a new one.
+        if self._overflow_blocks:
+            last = self.device.read(self._overflow_blocks[-1])
+            if last.shape[0] < self.block_capacity:
+                self.device.write(
+                    self._overflow_blocks[-1],
+                    np.vstack([last, row.reshape(1, -1)]),
+                )
+            else:
+                self._overflow_blocks.append(
+                    self.device.allocate(row.reshape(1, -1))
+                )
+        else:
+            self._overflow_blocks.append(self.device.allocate(row.reshape(1, -1)))
+        self.num_intervals += 1
+        if len(self._overflow) > self.rebuild_fraction * max(self.num_intervals, 8):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Fold the overflow back into a fresh static tree."""
+        rows = [row for row in self._iter_all_rows()]
+        all_rows = np.vstack(rows)
+        self.build(all_rows[:, 0], all_rows[:, 1], all_rows[:, 2:])
+
+    def _iter_all_rows(self):
+        """Every stored row (tree runs + overflow); used by rebuilds/tests."""
+        stack = [self.root_id] if self.root_id is not None else []
+        while stack:
+            node_id = stack.pop()
+            node = self.device.read(node_id)
+            if isinstance(node, _IntervalLeaf):
+                for block_id in node.run:
+                    yield self.device.read(block_id)
+                continue
+            for block_id in node.lo_run:
+                yield self.device.read(block_id)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        for block_id in self._overflow_blocks:
+            yield self.device.read(block_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Structural checks used by the test suite."""
+        if self.root_id is None:
+            return
+        total = 0
+        stack: List[Tuple[int, float, float]] = [
+            (self.root_id, -np.inf, np.inf)
+        ]
+        while stack:
+            node_id, lo_bound, hi_bound = stack.pop()
+            node = self.device.read(node_id)
+            if isinstance(node, _IntervalLeaf):
+                n = sum(self.device.read(b).shape[0] for b in node.run)
+                assert n == node.count, "leaf count drifted"
+                total += node.count
+                continue
+            assert lo_bound <= node.center <= hi_bound, "centers out of order"
+            n_lo = sum(self.device.read(b).shape[0] for b in node.lo_run)
+            n_hi = sum(self.device.read(b).shape[0] for b in node.hi_run)
+            assert n_lo == n_hi == node.count, "run lengths disagree"
+            for block_id in node.lo_run:
+                block = self.device.read(block_id)
+                assert np.all(block[:, 0] <= node.center + 1e-12)
+                assert np.all(block[:, 1] >= node.center - 1e-12)
+            if node.left is not None:
+                stack.append((node.left, lo_bound, node.center))
+            if node.right is not None:
+                stack.append((node.right, node.center, hi_bound))
+            total += node.count
+        overflow_total = sum(
+            self.device.read(b).shape[0] for b in self._overflow_blocks
+        )
+        assert total + overflow_total == self.num_intervals
+
+    def __repr__(self) -> str:
+        return (
+            f"ExternalIntervalTree(intervals={self.num_intervals}, "
+            f"overflow={len(self._overflow)})"
+        )

@@ -1,0 +1,7 @@
+"""Time series -> piecewise-linear segmentation (paper Section 1 input)."""
+
+from repro.segmentation.bottom_up import bottom_up
+from repro.segmentation.sliding_window import chord_error, sliding_window
+from repro.segmentation.swab import segment_stream, swab
+
+__all__ = ["sliding_window", "bottom_up", "swab", "segment_stream", "chord_error"]

@@ -1,0 +1,61 @@
+"""Sliding-window time series segmentation.
+
+The paper assumes temporal data "has already been converted to a
+piecewise linear representation by any segmentation method" (Section
+1, citing Keogh et al.).  This module supplies the simplest online
+algorithm from that literature so raw sample streams can be ingested:
+grow the current segment sample by sample and cut it when the maximum
+vertical deviation of the chord from the enclosed samples exceeds a
+tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidFunctionError
+from repro.core.plf import PiecewiseLinearFunction
+
+
+def chord_error(times: np.ndarray, values: np.ndarray) -> float:
+    """Max |sample - chord| over the samples between two anchor points."""
+    if times.size <= 2:
+        return 0.0
+    t0, t1 = times[0], times[-1]
+    v0, v1 = values[0], values[-1]
+    slope = (v1 - v0) / (t1 - t0)
+    approx = v0 + slope * (times - t0)
+    return float(np.abs(values - approx).max())
+
+
+def sliding_window(
+    times: np.ndarray, values: np.ndarray, tolerance: float
+) -> PiecewiseLinearFunction:
+    """Segment ``(times, values)`` with max-deviation <= ``tolerance``.
+
+    Non-adaptive lookahead-free growth: O(n * max_segment_length) in the
+    worst case, linear in practice on smooth data.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.size < 2:
+        raise InvalidFunctionError("need at least two samples")
+    if tolerance < 0:
+        raise InvalidFunctionError("tolerance must be nonnegative")
+    anchors = [0]
+    start = 0
+    i = 2
+    while i <= times.size:
+        if i < times.size and chord_error(times[start : i + 1], values[start : i + 1]) <= tolerance:
+            i += 1
+            continue
+        cut = i - 1 if i < times.size else times.size - 1
+        if cut == start:
+            cut = start + 1
+        anchors.append(cut)
+        start = cut
+        i = cut + 2
+    if anchors[-1] != times.size - 1:
+        anchors.append(times.size - 1)
+    idx = np.asarray(sorted(set(anchors)))
+    return PiecewiseLinearFunction(times[idx], values[idx])

@@ -1,0 +1,73 @@
+"""SWAB: Sliding-Window-And-Bottom-up online segmentation.
+
+Keogh et al.'s hybrid (the reference the paper cites for online
+segmentation): keep a small buffer of recent samples, run bottom-up on
+the buffer, emit the leftmost segment as final, and refill the buffer
+using a sliding-window scan of the incoming stream.  It produces
+near-bottom-up quality with online (streaming) operation, which is the
+natural fit for the paper's append-style updates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidFunctionError
+from repro.core.plf import PiecewiseLinearFunction, from_samples
+from repro.segmentation.bottom_up import bottom_up
+from repro.segmentation.sliding_window import chord_error
+
+
+def swab(
+    times: np.ndarray,
+    values: np.ndarray,
+    tolerance: float,
+    buffer_size: int = 64,
+) -> PiecewiseLinearFunction:
+    """Online segmentation of a full series via the SWAB scheme."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.size < 2:
+        raise InvalidFunctionError("need at least two samples")
+    if buffer_size < 4:
+        raise InvalidFunctionError("buffer_size must be at least 4")
+
+    anchors: List[int] = [0]
+    lo = 0
+    while lo < times.size - 1:
+        hi = min(lo + buffer_size, times.size)
+        piece = bottom_up(times[lo:hi], values[lo:hi], tolerance)
+        piece_anchor_times = piece.times
+        if hi < times.size and piece_anchor_times.size > 2:
+            # Emit only the leftmost segment; the rest is re-buffered.
+            second_anchor = float(piece_anchor_times[1])
+            cut = int(np.searchsorted(times, second_anchor))
+        else:
+            # Stream exhausted (or buffer collapsed): emit everything.
+            cut = hi - 1
+        for anchor_time in piece_anchor_times[1:]:
+            idx = int(np.searchsorted(times, float(anchor_time)))
+            if idx <= cut and idx > anchors[-1]:
+                anchors.append(idx)
+            if idx >= cut:
+                break
+        if anchors[-1] < cut:
+            anchors.append(cut)
+        lo = cut
+    if anchors[-1] != times.size - 1:
+        anchors.append(times.size - 1)
+    idx = np.asarray(sorted(set(anchors)))
+    return PiecewiseLinearFunction(times[idx], values[idx])
+
+
+def segment_stream(
+    stream: Iterable[Tuple[float, float]], tolerance: float, buffer_size: int = 64
+) -> PiecewiseLinearFunction:
+    """Convenience wrapper: collect a ``(t, v)`` stream, then segment."""
+    pairs = list(stream)
+    times = np.asarray([p[0] for p in pairs])
+    values = np.asarray([p[1] for p in pairs])
+    raw = from_samples(times, values)
+    return swab(raw.times, raw.values, tolerance, buffer_size)

@@ -1,0 +1,30 @@
+"""Simulated external-memory substrate.
+
+The paper builds all of its indexes with the TPIE C++ library on a real
+disk with 4 KB blocks and reports block-IO counts.  This subpackage is
+the Python substitute: a :class:`BlockDevice` that charges one IO per
+uncached block access, an :class:`LRUCache` buffer pool, and
+:class:`IOStats` counters that benchmarks snapshot around each
+operation.  See DESIGN.md ("Substitutions") for why this preserves the
+behaviour the paper measures.
+"""
+
+from repro.storage.cache import LRUCache
+from repro.storage.device import (
+    DEFAULT_BLOCK_BYTES,
+    BlockDevice,
+    BlockDeviceError,
+    entries_per_block,
+)
+from repro.storage.stats import IOMeasurement, IOSnapshot, IOStats
+
+__all__ = [
+    "BlockDevice",
+    "BlockDeviceError",
+    "DEFAULT_BLOCK_BYTES",
+    "entries_per_block",
+    "IOMeasurement",
+    "IOSnapshot",
+    "IOStats",
+    "LRUCache",
+]

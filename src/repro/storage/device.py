@@ -1,0 +1,180 @@
+"""A simulated block device with IO accounting.
+
+The paper's implementation sits on TPIE, which reads and writes 4 KB
+blocks on a real disk and reports block-IO counts.  Reproducing IO
+*counts* does not require a physical disk: it requires that every data
+structure route each block access through a single chokepoint that
+charges one IO per uncached block touch.  :class:`BlockDevice` is that
+chokepoint.
+
+Payloads are arbitrary Python objects (typically numpy arrays packed by
+the index structures); the device never serializes them, but each block
+conceptually occupies exactly ``block_bytes`` bytes, which is how index
+sizes are reported (paper Figures 11c, 13a, 14a, 18a, 19a).
+
+Structures decide their own packing via :func:`entries_per_block`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.storage.stats import IOStats
+
+#: Default block size used throughout the paper's evaluation (Section 5).
+DEFAULT_BLOCK_BYTES = 4096
+
+
+class BlockDeviceError(Exception):
+    """Raised on invalid block accesses (bad id, freed block, ...)."""
+
+
+def entries_per_block(entry_bytes: int, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+    """How many fixed-size records of ``entry_bytes`` fit in one block.
+
+    Every index structure in this package declares the byte width of its
+    record once and derives its fanout / leaf capacity from this helper,
+    exactly as a TPIE structure would.
+    """
+    if entry_bytes <= 0:
+        raise ValueError("entry_bytes must be positive")
+    capacity = block_bytes // entry_bytes
+    if capacity < 1:
+        raise ValueError(
+            f"entry of {entry_bytes} bytes does not fit in a {block_bytes}-byte block"
+        )
+    return capacity
+
+
+class BlockDevice:
+    """An in-memory disk made of fixed-size blocks with IO counters.
+
+    Parameters
+    ----------
+    block_bytes:
+        Size of one block; 4096 by default to match the paper.
+    cache:
+        Optional buffer pool (see :class:`repro.storage.cache.LRUCache`).
+        Reads served by the cache are *not* charged as IOs, mirroring the
+        OS/page-cache effects the paper remarks on in Section 5.
+    name:
+        Diagnostic label (useful when a method owns several devices,
+        e.g. EXACT2's forest of per-object trees).
+    """
+
+    def __init__(
+        self,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        cache: Optional["LRUCache"] = None,
+        name: str = "device",
+        stats: Optional[IOStats] = None,
+    ) -> None:
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self.block_bytes = block_bytes
+        self.name = name
+        # A shared IOStats lets one logical index spread over several
+        # devices (EXACT2's forest of per-object files) report one total.
+        self.stats = stats if stats is not None else IOStats()
+        self._blocks: Dict[int, Any] = {}
+        self._next_id = 0
+        self._cache = cache
+        if cache is not None:
+            cache.attach(self)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, payload: Any = None) -> int:
+        """Allocate a new block holding ``payload``; returns its id.
+
+        Charged as one write IO (the block must reach disk).
+        """
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = payload
+        self.stats.record_allocation()
+        self.stats.record_write()
+        if self._cache is not None:
+            self._cache.put(block_id, payload)
+        return block_id
+
+    def allocate_run(self, payloads: list) -> list:
+        """Allocate a contiguous run of blocks; returns their ids in order.
+
+        Contiguity matters only for documentation purposes — sequential
+        ids model sequential disk layout produced by bulk loading.
+        """
+        return [self.allocate(p) for p in payloads]
+
+    def free(self, block_id: int) -> None:
+        """Release a block. Freed ids are never reused."""
+        self._require(block_id)
+        del self._blocks[block_id]
+        if self._cache is not None:
+            self._cache.invalidate(block_id)
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+    def read(self, block_id: int) -> Any:
+        """Read a block, charging one IO unless the buffer pool has it."""
+        self._require(block_id)
+        if self._cache is not None:
+            hit = self._cache.get(block_id)
+            if hit is not _MISS:
+                self.stats.record_cache_hit()
+                return hit
+        payload = self._blocks[block_id]
+        self.stats.record_read()
+        if self._cache is not None:
+            self._cache.put(block_id, payload)
+        return payload
+
+    def write(self, block_id: int, payload: Any) -> None:
+        """Overwrite a block in place, charging one write IO."""
+        self._require(block_id)
+        self._blocks[block_id] = payload
+        self.stats.record_write()
+        if self._cache is not None:
+            self._cache.put(block_id, payload)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """Number of live (allocated, unfreed) blocks."""
+        return len(self._blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes occupied on "disk": live blocks x block size."""
+        return self.num_blocks * self.block_bytes
+
+    def drop_cache(self) -> None:
+        """Empty the buffer pool (used to measure cold-cache query IOs)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def set_cache(self, cache: Optional["LRUCache"]) -> None:
+        """Attach or detach a buffer pool."""
+        self._cache = cache
+        if cache is not None:
+            cache.attach(self)
+
+    def _require(self, block_id: int) -> None:
+        if block_id not in self._blocks:
+            raise BlockDeviceError(f"{self.name}: invalid block id {block_id}")
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<MISS>"
+
+
+_MISS = _Miss()

@@ -1,0 +1,57 @@
+"""Saving and loading built indexes.
+
+A production index is useless if it must be rebuilt on every process
+start.  Because every structure in this package keeps *all* of its
+state either in plain attributes or in blocks of its
+:class:`~repro.storage.device.BlockDevice`, whole methods pickle
+cleanly; this module wraps that with versioning and integrity checks
+so stale or foreign files fail loudly instead of mysteriously.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import ReproError
+
+#: Bump when on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+_MAGIC = b"REPRO-IDX"
+
+
+class PersistenceError(ReproError):
+    """Raised when an index file is malformed or incompatible."""
+
+
+def save_index(method: Any, path: str | Path) -> int:
+    """Serialize a built method (or any picklable index) to ``path``.
+
+    Returns the number of bytes written.  The file layout is::
+
+        MAGIC (9 bytes) | version (2 bytes BE) | pickle payload
+    """
+    path = Path(path)
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(FORMAT_VERSION.to_bytes(2, "big"))
+    pickle.dump(method, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = buffer.getvalue()
+    path.write_bytes(payload)
+    return len(payload)
+
+
+def load_index(path: str | Path) -> Any:
+    """Load an index previously written by :func:`save_index`."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < len(_MAGIC) + 2 or not raw.startswith(_MAGIC):
+        raise PersistenceError(f"{path} is not a repro index file")
+    version = int.from_bytes(raw[len(_MAGIC) : len(_MAGIC) + 2], "big")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} has format version {version}, expected {FORMAT_VERSION}"
+        )
+    return pickle.loads(raw[len(_MAGIC) + 2 :])

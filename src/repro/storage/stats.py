@@ -1,0 +1,123 @@
+"""IO accounting for the simulated disk.
+
+The paper evaluates every method by the number of 4 KB block IOs it
+performs (TPIE counts these for real).  We reproduce the same accounting
+with an :class:`IOStats` counter that every :class:`~repro.storage.device.
+BlockDevice` updates on each block read, write, and allocation.
+
+Counters can be snapshotted and diffed so a caller can measure the IO
+cost of a single operation (e.g. one top-k query) in isolation::
+
+    with device.stats.measure() as cost:
+        index.query(t1, t2, k)
+    print(cost.reads, cost.writes)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class IOSnapshot:
+    """Immutable view of counter values at a point in time."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total IOs (reads + writes)."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            reads=self.reads - other.reads,
+            writes=self.writes - other.writes,
+            allocations=self.allocations - other.allocations,
+        )
+
+
+@dataclass
+class IOMeasurement:
+    """Mutable result object filled in when a ``measure()`` block exits."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+@dataclass
+class IOStats:
+    """Running IO counters for one block device.
+
+    Attributes
+    ----------
+    reads:
+        Number of block reads served from "disk" (cache hits are not
+        counted; see :class:`repro.storage.cache.LRUCache`).
+    writes:
+        Number of block writes.
+    allocations:
+        Number of blocks ever allocated (monotone; frees do not reduce it).
+    cache_hits:
+        Reads absorbed by the buffer pool.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    cache_hits: int = 0
+    _history: list = field(default_factory=list, repr=False)
+
+    def record_read(self) -> None:
+        self.reads += 1
+
+    def record_write(self) -> None:
+        self.writes += 1
+
+    def record_allocation(self) -> None:
+        self.allocations += 1
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    @property
+    def total(self) -> int:
+        """Total disk IOs (reads + writes)."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> IOSnapshot:
+        """Capture current counter values."""
+        return IOSnapshot(self.reads, self.writes, self.allocations)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.cache_hits = 0
+
+    @contextmanager
+    def measure(self) -> Iterator[IOMeasurement]:
+        """Measure the IOs performed inside a ``with`` block.
+
+        Yields an :class:`IOMeasurement` whose fields are populated when
+        the block exits.
+        """
+        before = self.snapshot()
+        result = IOMeasurement()
+        try:
+            yield result
+        finally:
+            delta = self.snapshot() - before
+            result.reads = delta.reads
+            result.writes = delta.writes
+            result.allocations = delta.allocations

@@ -1,0 +1,5 @@
+"""Continuous top-k monitoring over streaming appends."""
+
+from repro.streaming.window import RankingChange, SlidingWindowMonitor, replay
+
+__all__ = ["SlidingWindowMonitor", "RankingChange", "replay"]

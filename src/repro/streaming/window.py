@@ -1,0 +1,117 @@
+"""Continuous top-k over a sliding window of streaming temporal data.
+
+A natural production use of the paper's machinery: scores stream in as
+appends (Section 4 updates) and an application wants the aggregate
+top-k over the trailing window ``[now - W, now]`` kept current,
+together with *change notifications* (who entered, who left).
+
+:class:`SlidingWindowMonitor` maintains an EXACT2 forest (the cheapest
+structure to update — one small B+-tree insert per tick) and
+re-evaluates the window ranking on demand or on every tick, diffing
+consecutive answers into :class:`RankingChange` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.database import TemporalDatabase
+from repro.core.errors import InvalidQueryError
+from repro.core.queries import TopKQuery
+from repro.core.results import TopKResult
+from repro.exact.exact2 import Exact2
+
+
+@dataclass(frozen=True)
+class RankingChange:
+    """Diff between two consecutive window rankings."""
+
+    time: float
+    entered: tuple
+    left: tuple
+    result: TopKResult = field(compare=False)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.entered or self.left)
+
+
+class SlidingWindowMonitor:
+    """Maintain ``top-k(now - W, now, sum)`` under streaming appends."""
+
+    def __init__(
+        self,
+        database: TemporalDatabase,
+        window: float,
+        k: int,
+    ) -> None:
+        if window <= 0:
+            raise InvalidQueryError("window length must be positive")
+        if k < 1:
+            raise InvalidQueryError("k must be >= 1")
+        self.database = database
+        self.window = window
+        self.k = k
+        self.index = Exact2().build(database)
+        self.now = database.t_max
+        self._last: Optional[TopKResult] = None
+
+    # ------------------------------------------------------------------
+    def tick(self, object_id: int, t_next: float, v_next: float) -> RankingChange:
+        """Ingest one reading and return the ranking diff at ``t_next``.
+
+        Readings must move time forward for the object being updated
+        (the paper's append model); different objects may interleave.
+        """
+        self.database.append_segment(object_id, t_next, v_next)
+        self.index.append(object_id, t_next, v_next)
+        self.now = max(self.now, t_next)
+        return self._evaluate()
+
+    def current(self) -> TopKResult:
+        """The current window's top-k (no ingestion)."""
+        return self._query()
+
+    # ------------------------------------------------------------------
+    def _query(self) -> TopKResult:
+        t1 = max(self.database.t_min, self.now - self.window)
+        return self.index.query(TopKQuery(t1, self.now, self.k))
+
+    def _evaluate(self) -> RankingChange:
+        result = self._query()
+        if self._last is None:
+            change = RankingChange(
+                time=self.now,
+                entered=tuple(result.object_ids),
+                left=(),
+                result=result,
+            )
+        else:
+            before = set(self._last.object_ids)
+            after = set(result.object_ids)
+            change = RankingChange(
+                time=self.now,
+                entered=tuple(sorted(after - before)),
+                left=tuple(sorted(before - after)),
+                result=result,
+            )
+        self._last = result
+        return change
+
+
+def replay(
+    database: TemporalDatabase,
+    ticks: List[tuple],
+    window: float,
+    k: int,
+) -> List[RankingChange]:
+    """Feed ``(object_id, t, v)`` ticks through a monitor; keep the
+    changes where the top-k composition actually moved."""
+    monitor = SlidingWindowMonitor(database, window, k)
+    changes = []
+    for object_id, t, v in ticks:
+        change = monitor.tick(object_id, t, v)
+        if change.changed:
+            changes.append(change)
+    return changes

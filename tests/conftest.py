@@ -1,0 +1,34 @@
+"""Pytest fixtures for the test suite (helpers live in _support)."""
+
+import pytest
+
+from _support import make_random_database
+from repro.core import PiecewiseLinearFunction, TemporalDatabase
+
+
+@pytest.fixture(scope="session")
+def small_db() -> TemporalDatabase:
+    """30 objects, ~20 segments each, domain [0, 100]."""
+    return make_random_database(seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_db() -> TemporalDatabase:
+    """120 objects, ~40 segments each — enough for multi-block indexes."""
+    return make_random_database(num_objects=120, avg_segments=40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def negative_db() -> TemporalDatabase:
+    """Database with negative score values (Section 4 extension)."""
+    return make_random_database(seed=13, negative=True)
+
+
+@pytest.fixture()
+def tiny_plf() -> PiecewiseLinearFunction:
+    """A hand-checkable PLF: triangle then plateau.
+
+    Knots: (0,0), (2,4), (4,0), (6,0), (8,2).
+    Segment areas: 4, 4, 0, 2 -> prefix [0, 4, 8, 8, 10].
+    """
+    return PiecewiseLinearFunction([0, 2, 4, 6, 8], [0, 4, 0, 0, 2])

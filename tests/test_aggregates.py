@@ -1,0 +1,78 @@
+"""Unit tests for aggregation functions (sum / avg / F2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AVG, F2, SUM
+from repro.core.plf import PiecewiseLinearFunction
+
+
+@pytest.fixture()
+def ramp() -> PiecewiseLinearFunction:
+    """g(t) = t on [0, 4]."""
+    return PiecewiseLinearFunction([0, 4], [0, 4])
+
+
+class TestSum:
+    def test_interval(self, ramp):
+        assert SUM.interval(ramp, 0, 4) == pytest.approx(8)
+        assert SUM.interval(ramp, 1, 3) == pytest.approx(4)
+
+    def test_segment_contribution_matches_interval(self, ramp):
+        contribution = SUM.segment_contribution(0, 0, 4, 4, 1, 3)
+        assert contribution == pytest.approx(SUM.interval(ramp, 1, 3))
+
+    def test_finalize_is_identity(self):
+        assert SUM.finalize(7.5, 0, 10) == 7.5
+
+    def test_name(self):
+        assert SUM.name == "sum"
+
+
+class TestAvg:
+    def test_interval_is_mean_value(self, ramp):
+        # Mean of g(t)=t over [0,4] is 2.
+        assert AVG.interval(ramp, 0, 4) == pytest.approx(2)
+
+    def test_finalize_divides_by_width(self):
+        assert AVG.finalize(8.0, 0, 4) == pytest.approx(2)
+
+    def test_finalize_empty_interval(self):
+        assert AVG.finalize(8.0, 4, 4) == 0.0
+
+    def test_avg_equals_sum_over_width(self, ramp, tiny_plf):
+        for fn in (ramp, tiny_plf):
+            a, b = 0.5, 3.5
+            assert AVG.interval(fn, a, b) == pytest.approx(
+                SUM.interval(fn, a, b) / (b - a)
+            )
+
+
+class TestF2:
+    def test_flat_segment(self):
+        # g = 3 on [0, 2]: integral of 9 is 18.
+        assert F2.segment_contribution(0, 3, 2, 3, 0, 2) == pytest.approx(18)
+
+    def test_ramp_closed_form(self, ramp):
+        # integral of t^2 over [0,4] = 64/3.
+        assert F2.interval(ramp, 0, 4) == pytest.approx(64 / 3)
+
+    def test_subinterval(self, ramp):
+        assert F2.interval(ramp, 1, 3) == pytest.approx((27 - 1) / 3)
+
+    def test_negative_scores_square_positive(self):
+        plf = PiecewiseLinearFunction([0, 2], [-3, -3])
+        assert F2.interval(plf, 0, 2) == pytest.approx(18)
+
+    def test_matches_quadrature_random(self):
+        rng = np.random.default_rng(1)
+        times = np.unique(rng.uniform(0, 10, 10))
+        values = rng.uniform(-4, 4, times.size)
+        plf = PiecewiseLinearFunction(times, values)
+        a, b = float(times[0]), float(times[-1])
+        xs = np.linspace(a, b, 100001)
+        expected = np.trapezoid(plf.value_many(xs) ** 2, xs)
+        assert F2.interval(plf, a, b) == pytest.approx(expected, rel=1e-4)
+
+    def test_no_overlap(self):
+        assert F2.segment_contribution(0, 1, 1, 2, 5, 6) == 0.0

@@ -1,0 +1,209 @@
+"""End-to-end tests for APPX1-B / APPX2-B / APPX1 / APPX2 / APPX2+."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopKQuery
+from repro.core.errors import ReproError
+from repro.approximate import Appx1, Appx1B, Appx2, Appx2B, Appx2Plus
+from repro.bench.metrics import precision_recall
+
+from _support import make_random_database, random_intervals
+
+ALL_CLASSES = [Appx1B, Appx2B, Appx1, Appx2, Appx2Plus]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_random_database(num_objects=60, avg_segments=30, seed=202)
+
+
+@pytest.fixture(scope="module")
+def built(db):
+    methods = {}
+    for cls in ALL_CLASSES:
+        if cls.breakpoint_kind == "b1":
+            methods[cls.name] = cls(r=41, kmax=20).build(db)
+        else:
+            methods[cls.name] = cls(epsilon=2e-4, kmax=20).build(db)
+    return methods
+
+
+class TestConstruction:
+    def test_requires_parameters(self):
+        with pytest.raises(ReproError):
+            Appx1()
+        with pytest.raises(ReproError):
+            Appx2(epsilon=0.1, r=10)
+
+    def test_breakpoint_kinds(self, built):
+        assert built["APPX1-B"].breakpoints.method == "BREAKPOINTS1"
+        assert built["APPX1"].breakpoints.method == "BREAKPOINTS2"
+        assert built["APPX2+"].breakpoints.method == "BREAKPOINTS2"
+
+    def test_prebuilt_breakpoints_shared(self, db, built):
+        bp = built["APPX1"].breakpoints
+        clone = Appx2(breakpoints=bp, kmax=20).build(db)
+        assert clone.breakpoints is bp
+
+    def test_index_size_ordering(self, built):
+        """Figure 11(c) orderings that hold at any scale:
+        APPX2 (r*kmax) < APPX1 (r^2*kmax), APPX2 < APPX2+ (which adds
+        the O(N) prefix forest).  The paper's APPX1 < APPX2+ ordering
+        additionally needs r^2*kmax << N, true at its 50M-segment
+        testbed but not at unit-test scale."""
+        assert (
+            built["APPX2"].index_size_bytes < built["APPX1"].index_size_bytes
+        )
+        assert (
+            built["APPX2"].index_size_bytes < built["APPX2+"].index_size_bytes
+        )
+
+
+class TestGuarantees:
+    def test_appx1_epsilon_one(self, db, built):
+        """(eps, 1)-approximation per rank (Lemma 3 + Lemma 6)."""
+        for name in ("APPX1-B", "APPX1"):
+            method = built[name]
+            bound = method.breakpoints.threshold * (1 + 1e-6)
+            for t1, t2 in random_intervals(db, 25, seed=1):
+                ref = db.brute_force_top_k(t1, t2, 10)
+                got = method.query(TopKQuery(t1, t2, 10))
+                for j, item in enumerate(got):
+                    assert abs(item.score - ref[j].score) <= bound
+
+    def test_appx2_epsilon_2logr(self, db, built):
+        """(eps, 2 log r)-approximation per rank (Lemmas 4-5)."""
+        for name in ("APPX2-B", "APPX2"):
+            method = built[name]
+            bp = method.breakpoints
+            alpha = 2 * np.log2(max(bp.r, 2))
+            for t1, t2 in random_intervals(db, 25, seed=2):
+                ref = db.brute_force_top_k(t1, t2, 10)
+                got = method.query(TopKQuery(t1, t2, 10))
+                for j, item in enumerate(got):
+                    truth = ref[j].score
+                    assert item.score >= truth / alpha - bp.threshold - 1e-6
+                    assert item.score <= truth + bp.threshold + 1e-6
+
+    def test_appx2plus_scores_exact(self, db, built):
+        """APPX2+ returns exact aggregates for whatever it returns."""
+        method = built["APPX2+"]
+        for t1, t2 in random_intervals(db, 20, seed=3):
+            got = method.query(TopKQuery(t1, t2, 10))
+            for item in got:
+                assert item.score == pytest.approx(
+                    db.exact_score(item.object_id, t1, t2), abs=1e-6
+                )
+
+    def test_precision_reasonable(self, db, built):
+        """Paper Figure 12(a): precision/recall stays high."""
+        for name, floor in [("APPX1", 0.8), ("APPX2+", 0.7), ("APPX2", 0.5)]:
+            method = built[name]
+            precisions = []
+            for t1, t2 in random_intervals(db, 25, seed=4):
+                ref = db.brute_force_top_k(t1, t2, 10)
+                got = method.query(TopKQuery(t1, t2, 10))
+                precisions.append(precision_recall(got, ref))
+            assert np.mean(precisions) >= floor, name
+
+    def test_b2_beats_b1_for_same_budget(self, db):
+        """Figure 12: same r, BREAKPOINTS2 gives better answers."""
+        r = 31
+        from repro.approximate import epsilon_for_budget
+
+        eps2 = epsilon_for_budget(db, r, tolerance=2)
+        basic = Appx1B(r=r, kmax=15).build(db)
+        improved = Appx1(epsilon=eps2, kmax=15).build(db)
+        score_basic, score_improved = [], []
+        for t1, t2 in random_intervals(db, 25, seed=5):
+            ref = db.brute_force_top_k(t1, t2, 8)
+            score_basic.append(
+                precision_recall(basic.query(TopKQuery(t1, t2, 8)), ref)
+            )
+            score_improved.append(
+                precision_recall(improved.query(TopKQuery(t1, t2, 8)), ref)
+            )
+        assert np.mean(score_improved) >= np.mean(score_basic) - 0.05
+
+
+class TestQueryMechanics:
+    def test_kmax_enforced(self, built):
+        from repro.core.errors import InvalidQueryError
+
+        for method in built.values():
+            with pytest.raises(InvalidQueryError):
+                method.query(TopKQuery(0.0, 50.0, 21))
+
+    def test_query_ios_tiny_for_appx1(self, built):
+        cost = built["APPX1"].measured_query(TopKQuery(10.0, 80.0, 10))
+        assert cost.ios <= 12
+
+    def test_appx2_ios_larger_than_appx1(self, built):
+        q = TopKQuery(10.0, 80.0, 10)
+        io1 = built["APPX1"].measured_query(q).ios
+        io2 = built["APPX2"].measured_query(q).ios
+        io2p = built["APPX2+"].measured_query(q).ios
+        assert io1 <= io2 <= io2p
+
+    def test_result_sorted_descending(self, built):
+        for method in built.values():
+            res = method.query(TopKQuery(5.0, 95.0, 10))
+            assert res.scores == sorted(res.scores, reverse=True)
+
+    def test_duplicate_free_results(self, built):
+        for method in built.values():
+            res = method.query(TopKQuery(5.0, 95.0, 15))
+            assert len(set(res.object_ids)) == len(res.object_ids)
+
+
+class TestNegativeScoresIntegration:
+    def test_methods_run_on_negative_db(self, negative_db):
+        from repro.approximate import build_breakpoints2
+
+        bp = build_breakpoints2(negative_db, 0.005, use_absolute=True)
+        method = Appx1(breakpoints=bp, kmax=10).build(negative_db)
+        res = method.query(TopKQuery(10.0, 90.0, 5))
+        ref = negative_db.brute_force_top_k(10.0, 90.0, 5)
+        bound = 2 * bp.epsilon * negative_db.absolute_total_mass + 1e-6
+        for j, item in enumerate(res):
+            assert abs(item.score - ref[j].score) <= bound
+
+
+class TestUpdates:
+    def test_append_triggers_rebuild_on_mass_doubling(self):
+        db = make_random_database(num_objects=10, avg_segments=8, seed=303)
+        method = Appx2(epsilon=0.01, kmax=10).build(db)
+        old_bp = method.breakpoints
+        # Append enough mass to double M.
+        end = db.t_max
+        target = db.total_mass
+        added = 0.0
+        step = 0
+        while added < target * 1.05:
+            end += 5.0
+            db.append_segment(0, end, 50.0)
+            added += 0.5 * 5.0 * (50.0 + db.get(0).function.values[-2])
+            method.append(0, end, 50.0)
+            step += 1
+            assert step < 200
+        # A rebuild must have happened: breakpoints now extend past the
+        # original domain end (possibly not to the very last append,
+        # which may land after the doubling point).
+        assert method.breakpoints.times[-1] > old_bp.times[-1]
+        assert method.breakpoints is not old_bp
+
+    def test_queries_after_rebuild_are_sane(self):
+        db = make_random_database(num_objects=10, avg_segments=8, seed=304)
+        method = Appx2Plus(epsilon=0.005, kmax=10).build(db)
+        end = db.t_max
+        for _ in range(500):
+            end += 2.0
+            db.append_segment(1, end, 60.0)
+            method.append(1, end, 60.0)
+            if method.breakpoints.times[-1] == db.t_max:
+                break  # the doubling rebuild has fired
+        assert method.breakpoints.times[-1] == db.t_max
+        res = method.query(TopKQuery(db.t_min, db.t_max, 3))
+        # After the heavy appends object 1 dominates.
+        assert 1 in res.object_ids

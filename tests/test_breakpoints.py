@@ -1,0 +1,174 @@
+"""Tests for BREAKPOINTS1/BREAKPOINTS2 (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.approximate import (
+    build_breakpoints1,
+    build_breakpoints2,
+    build_breakpoints2_baseline,
+    epsilon_for_budget,
+)
+
+from _support import make_random_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_random_database(num_objects=50, avg_segments=30, seed=77)
+
+
+class TestBreakpoints1:
+    def test_r_matches_epsilon(self, db):
+        bp = build_breakpoints1(db, epsilon=0.05)
+        # r = 1/eps + 1 interior+boundary points (up to dedup).
+        assert abs(bp.r - 21) <= 1
+
+    def test_r_budget_form(self, db):
+        bp = build_breakpoints1(db, r=41)
+        assert abs(bp.r - 41) <= 1
+        assert bp.epsilon == pytest.approx(1 / 40)
+
+    def test_covers_domain(self, db):
+        bp = build_breakpoints1(db, epsilon=0.1)
+        assert bp.times[0] == db.t_min
+        assert bp.times[-1] == db.t_max
+
+    def test_equal_sum_mass_between_breakpoints(self, db):
+        bp = build_breakpoints1(db, epsilon=0.05)
+        # Between consecutive breakpoints the SUM across objects is eps*M
+        # (except possibly the last slice).
+        cums = np.zeros(bp.r)
+        for obj in db:
+            cums += obj.function.cumulative_many(bp.times)
+        gaps = np.diff(cums)
+        assert np.allclose(gaps[:-1], bp.threshold, rtol=1e-4)
+        assert gaps[-1] <= bp.threshold * (1 + 1e-6)
+
+    def test_lemma2_property(self, db):
+        bp = build_breakpoints1(db, epsilon=0.05)
+        assert bp.verify(db) <= bp.threshold * (1 + 1e-9)
+
+    def test_monotone_strictly_increasing(self, db):
+        bp = build_breakpoints1(db, epsilon=0.02)
+        assert np.all(np.diff(bp.times) > 0)
+
+    def test_requires_exactly_one_parameter(self, db):
+        with pytest.raises(ReproError):
+            build_breakpoints1(db)
+        with pytest.raises(ReproError):
+            build_breakpoints1(db, epsilon=0.1, r=5)
+
+    def test_rejects_bad_values(self, db):
+        with pytest.raises(ReproError):
+            build_breakpoints1(db, epsilon=-1.0)
+        with pytest.raises(ReproError):
+            build_breakpoints1(db, r=1)
+
+
+class TestBreakpoints2:
+    def test_efficient_matches_baseline(self, db):
+        from _support import breakpoints_equivalent
+
+        for eps in (0.02, 0.005, 0.002):
+            fast = build_breakpoints2(db, eps)
+            slow = build_breakpoints2_baseline(db, eps)
+            assert breakpoints_equivalent(fast, slow)
+
+    def test_lemma2_property(self, db):
+        bp = build_breakpoints2(db, 0.004)
+        assert bp.verify(db) <= bp.threshold * (1 + 1e-6)
+
+    def test_max_mass_reaches_threshold(self, db):
+        """Each interior gap is tight: SOME object accumulates eps*M."""
+        bp = build_breakpoints2(db, 0.004)
+        per_object = np.stack(
+            [obj.function.cumulative_many(bp.times) for obj in db]
+        )
+        gap_max = np.diff(per_object, axis=1).max(axis=0)
+        assert np.all(gap_max[:-1] >= bp.threshold * (1 - 1e-6))
+
+    def test_fewer_breakpoints_than_b1(self, db):
+        eps = 0.004
+        b1 = build_breakpoints1(db, epsilon=eps)
+        b2 = build_breakpoints2(db, eps)
+        assert b2.r <= b1.r
+
+    def test_r_bounded_by_inverse_epsilon(self, db):
+        eps = 0.01
+        bp = build_breakpoints2(db, eps)
+        assert bp.r <= 1 / eps + 2
+
+    def test_covers_domain(self, db):
+        bp = build_breakpoints2(db, 0.01)
+        assert bp.times[0] == db.t_min and bp.times[-1] == db.t_max
+
+    def test_snap(self, db):
+        bp = build_breakpoints2(db, 0.005)
+        for t in np.linspace(db.t_min, db.t_max, 37):
+            j = bp.snap(float(t))
+            assert bp.times[j] >= t - 1e-9
+            if j > 0:
+                assert bp.times[j - 1] < t
+
+
+class TestEpsilonForBudget:
+    def test_hits_target_roughly(self, db):
+        target = 25
+        eps = epsilon_for_budget(db, target, tolerance=2)
+        bp = build_breakpoints2(db, eps)
+        assert abs(bp.r - target) <= 6
+
+    def test_smaller_than_b1_epsilon(self, db):
+        """Figure 11(a): for the same r, B2's epsilon is much smaller."""
+        target = 25
+        eps2 = epsilon_for_budget(db, target, tolerance=2)
+        eps1 = 1.0 / (target - 1)
+        assert eps2 < eps1
+
+    def test_rejects_tiny_target(self, db):
+        with pytest.raises(ReproError):
+            epsilon_for_budget(db, 1)
+
+
+class TestNegativeScores:
+    def test_absolute_mode_guarantee(self, negative_db):
+        bp1 = build_breakpoints1(negative_db, epsilon=0.05, use_absolute=True)
+        assert bp1.verify(negative_db, use_absolute=True) <= bp1.threshold * (
+            1 + 1e-9
+        )
+        bp2 = build_breakpoints2(negative_db, 0.01, use_absolute=True)
+        assert bp2.verify(negative_db, use_absolute=True) <= bp2.threshold * (
+            1 + 1e-6
+        )
+
+    def test_signed_error_bounded_by_absolute_threshold(self, negative_db):
+        """Lemma 2 under negatives: |sigma_i(t1,t2) - sigma_i(B(t1),B(t2))|
+        <= eps*M with M on absolute values."""
+        bp = build_breakpoints2(negative_db, 0.01, use_absolute=True)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            t1, t2 = np.sort(rng.uniform(*negative_db.span, 2))
+            s1, s2 = bp.snap_time(float(t1)), bp.snap_time(float(t2))
+            for obj in negative_db:
+                err = abs(obj.score(t1, t2) - obj.score(s1, s2))
+                assert err <= 2 * bp.threshold * (1 + 1e-6)
+
+
+class TestBuildCost:
+    def test_efficient_build_not_slower_with_many_breakpoints(self, db):
+        """The lazy-PQ build should not blow up as eps shrinks (Lemma 1);
+        we check work growth stays near-linear in r."""
+        import time
+
+        t0 = time.perf_counter()
+        coarse = build_breakpoints2(db, 0.02)
+        t_coarse = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fine = build_breakpoints2(db, 0.001)
+        t_fine = time.perf_counter() - t0
+        assert fine.r > coarse.r
+        # Generous bound: 20x more breakpoints may cost at most ~200x
+        # time (covers timer noise); the baseline would be ~r*m.
+        assert t_fine <= max(t_coarse, 0.001) * 400

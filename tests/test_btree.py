@@ -1,0 +1,173 @@
+"""Unit tests for the disk-based B+-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import IndexStateError
+from repro.storage import BlockDevice
+from repro.btree import BPlusTree, internal_fanout, leaf_capacity
+
+
+def build_tree(n=1000, value_columns=2, block_bytes=256, seed=0):
+    """A tree over n sorted random keys on a tiny block size (deep tree)."""
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.uniform(0, 1000, n))
+    values = np.stack([keys * 2, keys * 3], axis=1)[:, :value_columns]
+    device = BlockDevice(block_bytes=block_bytes)
+    tree = BPlusTree(device, value_columns=value_columns)
+    tree.bulk_load(keys, values)
+    return tree, keys, values
+
+
+class TestCapacities:
+    def test_leaf_capacity(self):
+        assert leaf_capacity(5, 4096) == 4096 // 48
+        assert leaf_capacity(0, 4096) == 512
+
+    def test_internal_fanout(self):
+        assert internal_fanout(4096) == 256
+        assert internal_fanout(32) == 3  # floor guard
+
+
+class TestBulkLoad:
+    def test_entry_count_and_invariants(self):
+        tree, keys, _ = build_tree(500)
+        assert tree.num_entries == 500
+        tree.check_invariants()
+
+    def test_items_in_order(self):
+        tree, keys, values = build_tree(300)
+        got_keys = [k for k, _ in tree.items()]
+        assert np.allclose(got_keys, keys)
+
+    def test_rejects_unsorted(self):
+        device = BlockDevice()
+        tree = BPlusTree(device, value_columns=1)
+        with pytest.raises(ValueError):
+            tree.bulk_load(np.asarray([3.0, 1.0]), np.zeros((2, 1)))
+
+    def test_rejects_empty(self):
+        tree = BPlusTree(BlockDevice(), value_columns=1)
+        with pytest.raises(ValueError):
+            tree.bulk_load(np.empty(0), np.empty((0, 1)))
+
+    def test_single_entry(self):
+        tree = BPlusTree(BlockDevice(), value_columns=1)
+        tree.bulk_load(np.asarray([5.0]), np.asarray([[50.0]]))
+        assert tree.successor(0.0) == (5.0, pytest.approx([50.0]))
+
+    def test_height_grows_logarithmically(self):
+        tree, _, _ = build_tree(5000, block_bytes=256)
+        # leaf cap = 256//24 = 10, fanout = 16: height ~ log_16(500) + 1.
+        assert 2 <= tree.height <= 5
+
+    def test_duplicate_keys_allowed(self):
+        keys = np.asarray([1.0, 2.0, 2.0, 2.0, 3.0])
+        tree = BPlusTree(BlockDevice(), value_columns=1)
+        tree.bulk_load(keys, np.arange(5, dtype=float).reshape(-1, 1))
+        key, row = tree.successor(2.0)
+        assert key == 2.0 and row[0] == 1.0  # first duplicate
+
+
+class TestLookups:
+    def test_successor_exact_and_between(self):
+        tree, keys, values = build_tree(800)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            q = float(rng.uniform(-10, 1010))
+            idx = np.searchsorted(keys, q, side="left")
+            got = tree.successor(q)
+            if idx == keys.size:
+                assert got is None
+            else:
+                assert got[0] == pytest.approx(keys[idx])
+                assert np.allclose(got[1], values[idx])
+
+    def test_predecessor_or_equal(self):
+        tree, keys, values = build_tree(800)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            q = float(rng.uniform(-10, 1010))
+            idx = np.searchsorted(keys, q, side="right") - 1
+            got = tree.predecessor_or_equal(q)
+            if idx < 0:
+                assert got is None
+            else:
+                assert got[0] == pytest.approx(keys[idx])
+
+    def test_last_entry(self):
+        tree, keys, values = build_tree(321)
+        key, row = tree.last_entry()
+        assert key == pytest.approx(keys[-1])
+        assert np.allclose(row, values[-1])
+
+    def test_unbuilt_raises(self):
+        tree = BPlusTree(BlockDevice(), value_columns=1)
+        with pytest.raises(IndexStateError):
+            tree.successor(1.0)
+
+
+class TestScans:
+    def test_scan_from_covers_suffix(self):
+        tree, keys, _ = build_tree(600)
+        q = float(keys[200]) - 1e-9
+        seen = np.concatenate([k for k, _ in tree.scan_from(q)])
+        assert np.allclose(seen, keys[200:])
+
+    def test_scan_range(self):
+        tree, keys, _ = build_tree(600)
+        lo, hi = float(keys[100]), float(keys[399])
+        seen = np.concatenate(
+            [k for k, _ in tree.scan_range(lo, hi) if k.size]
+        )
+        assert np.allclose(seen, keys[100:400])
+
+    def test_scan_range_empty(self):
+        tree, keys, _ = build_tree(50)
+        pieces = list(tree.scan_range(2000.0, 3000.0))
+        total = sum(k.size for k, _ in pieces)
+        assert total == 0
+
+    def test_scan_io_linear_in_blocks(self):
+        tree, keys, _ = build_tree(2000, block_bytes=256)
+        tree.device.stats.reset()
+        list(tree.scan_from(float(keys[0])))
+        # leaf cap 10 -> about 200 leaf blocks + descent.
+        assert tree.device.stats.reads <= 220
+
+
+class TestInserts:
+    def test_insert_into_empty(self):
+        tree = BPlusTree(BlockDevice(), value_columns=1)
+        tree.insert(1.0, np.asarray([10.0]))
+        assert tree.successor(0.0)[0] == 1.0
+        tree.check_invariants()
+
+    def test_insert_many_random(self):
+        rng = np.random.default_rng(3)
+        tree = BPlusTree(BlockDevice(block_bytes=256), value_columns=1)
+        tree.bulk_load(np.asarray([0.0]), np.asarray([[0.0]]))
+        inserted = [0.0]
+        for _ in range(500):
+            key = float(rng.uniform(0, 100))
+            tree.insert(key, np.asarray([key]))
+            inserted.append(key)
+        tree.check_invariants()
+        got = [k for k, _ in tree.items()]
+        assert np.allclose(got, sorted(inserted))
+
+    def test_insert_ascending_appends(self):
+        tree = BPlusTree(BlockDevice(block_bytes=256), value_columns=1)
+        tree.bulk_load(np.asarray([0.0]), np.asarray([[0.0]]))
+        for i in range(1, 300):
+            tree.insert(float(i), np.asarray([float(i)]))
+        tree.check_invariants()
+        assert tree.num_entries == 300
+        assert tree.last_entry()[0] == 299.0
+
+    def test_insert_io_logarithmic(self):
+        tree, keys, _ = build_tree(5000, block_bytes=256)
+        tree.device.stats.reset()
+        tree.insert(500.0, np.asarray([1.0, 2.0]))
+        # Root-to-leaf reads + leaf write (+ possible split writes).
+        assert tree.device.stats.total <= 3 * tree.height + 4

@@ -1,0 +1,150 @@
+"""Unit tests for TemporalDatabase (padding, views, updates, sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PiecewiseLinearFunction,
+    TemporalDatabase,
+    TemporalObject,
+)
+from repro.core.errors import InvalidQueryError, ReproError
+
+
+def _obj(object_id, times, values):
+    return TemporalObject(object_id, PiecewiseLinearFunction(times, values))
+
+
+class TestConstruction:
+    def test_requires_objects(self):
+        with pytest.raises(ReproError):
+            TemporalDatabase([])
+
+    def test_requires_unique_ids(self):
+        with pytest.raises(ReproError):
+            TemporalDatabase([_obj(1, [0, 1], [1, 1]), _obj(1, [0, 1], [2, 2])])
+
+    def test_default_span_is_tightest(self):
+        db = TemporalDatabase(
+            [_obj(0, [2, 5], [1, 1]), _obj(1, [0, 9], [1, 1])], pad=False
+        )
+        assert db.span == (0, 9)
+
+    def test_padding_covers_span(self):
+        db = TemporalDatabase(
+            [_obj(0, [2, 5], [1, 1]), _obj(1, [0, 9], [1, 1])], span=(0, 10)
+        )
+        for obj in db:
+            assert obj.function.start == 0
+            assert obj.function.end == 10
+
+    def test_padding_preserves_mass(self):
+        db_padded = TemporalDatabase([_obj(0, [2, 5], [4, 4])], span=(0, 10), pad=True)
+        assert db_padded.total_mass == pytest.approx(12, abs=1e-4)
+
+
+class TestPaperNotation:
+    def test_counts(self, small_db):
+        assert small_db.num_objects == len(small_db.objects) == 30
+        assert small_db.total_segments == sum(o.num_segments for o in small_db)
+        assert small_db.avg_segments == pytest.approx(
+            small_db.total_segments / 30
+        )
+        assert small_db.max_segments == max(o.num_segments for o in small_db)
+
+    def test_total_mass_is_sum_of_objects(self, small_db):
+        assert small_db.total_mass == pytest.approx(
+            sum(o.total_mass for o in small_db)
+        )
+
+    def test_absolute_total_mass_at_least_signed(self, negative_db):
+        assert negative_db.absolute_total_mass >= negative_db.total_mass - 1e-9
+
+
+class TestScoring:
+    def test_scores_match_objects(self, small_db):
+        scores = small_db.scores(10, 40)
+        for idx, obj in enumerate(small_db):
+            assert scores[idx] == pytest.approx(obj.score(10, 40))
+
+    def test_scores_reject_reversed(self, small_db):
+        with pytest.raises(InvalidQueryError):
+            small_db.scores(5, 1)
+
+    def test_brute_force_topk_is_sorted(self, small_db):
+        res = small_db.brute_force_top_k(0, 100, 10)
+        assert res.scores == sorted(res.scores, reverse=True)
+        assert len(res) == 10
+
+    def test_get_and_exact_score(self, small_db):
+        obj = small_db.get(3)
+        assert obj.object_id == 3
+        assert small_db.exact_score(3, 0, 50) == pytest.approx(obj.score(0, 50))
+
+    def test_get_missing_raises(self, small_db):
+        with pytest.raises(ReproError):
+            small_db.get(10_000)
+
+
+class TestBulkViews:
+    def test_all_segments_sorted_and_complete(self, small_db):
+        segments = small_db.all_segments()
+        assert segments.shape[0] == small_db.total_segments
+        assert np.all(np.diff(segments[:, 1]) >= 0)
+        # Every row is a valid segment.
+        assert np.all(segments[:, 3] > segments[:, 1])
+
+    def test_sweep_events_reconstruct_total_function(self, small_db):
+        events = small_db.sweep_events()
+        # Summing all dV jumps and slope changes returns to zero at the end
+        # (every object enters and leaves).
+        assert np.sum(events[:, 1]) == pytest.approx(0, abs=1e-6)
+        # Padding ramps create very steep slopes, so the slope-change sum
+        # cancels only to within roundoff relative to the largest slope.
+        slope_scale = float(np.abs(events[:, 2]).max())
+        assert np.sum(events[:, 2]) == pytest.approx(0, abs=1e-12 * slope_scale)
+
+    def test_sweep_events_integral_matches_mass(self, small_db):
+        events = small_db.sweep_events()
+        times = events[:, 0]
+        w_after = np.cumsum(events[:, 2])
+        dt = np.diff(times)
+        drift = np.concatenate([[0.0], np.cumsum(w_after[:-1] * dt)])
+        v_after = np.cumsum(events[:, 1]) + drift
+        mass = np.sum(v_after[:-1] * dt + 0.5 * w_after[:-1] * dt * dt)
+        # Steep padding ramps cost ~1e-7 relative accuracy in the sweep;
+        # far below any breakpoint threshold (eps*M).
+        assert mass == pytest.approx(small_db.total_mass, rel=1e-5)
+
+
+class TestUpdates:
+    def test_append_segment(self):
+        db = TemporalDatabase([_obj(0, [0, 5], [2, 2])], pad=False)
+        updated = db.append_segment(0, 7.0, 4.0)
+        assert updated.num_segments == 2
+        assert db.get(0).function.end == 7.0
+        assert db.t_max == 7.0
+        assert db.total_mass == pytest.approx(10 + 0.5 * 2 * 6)
+
+    def test_append_missing_object(self, small_db):
+        with pytest.raises(ReproError):
+            small_db.append_segment(999, 200.0, 1.0)
+
+
+class TestSampling:
+    def test_sample_objects(self, medium_db):
+        sub = medium_db.sample_objects(25, seed=1)
+        assert sub.num_objects == 25
+        assert sub.span == medium_db.span
+        # Sampled objects keep their original functions and ids.
+        for obj in sub:
+            assert obj.function == medium_db.get(obj.object_id).function
+
+    def test_sample_too_many(self, small_db):
+        with pytest.raises(ReproError):
+            small_db.sample_objects(10_000)
+
+    def test_sample_deterministic(self, medium_db):
+        a = medium_db.sample_objects(10, seed=5).object_ids()
+        b = medium_db.sample_objects(10, seed=5).object_ids()
+        assert np.array_equal(a, b)

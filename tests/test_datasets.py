@@ -1,0 +1,86 @@
+"""Tests for the synthetic Temp/Meme generators and the workload."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_meme, generate_temp, random_queries
+
+
+class TestTempGenerator:
+    def test_shape(self):
+        db = generate_temp(num_objects=50, avg_readings=40, seed=1)
+        assert db.num_objects == 50
+        assert 20 <= db.avg_segments  # padding adds a couple of knots
+        assert db.span == (0.0, 1.0e6)
+
+    def test_deterministic(self):
+        a = generate_temp(num_objects=10, avg_readings=20, seed=9)
+        b = generate_temp(num_objects=10, avg_readings=20, seed=9)
+        for obj_a, obj_b in zip(a, b):
+            assert obj_a.function == obj_b.function
+
+    def test_seed_changes_data(self):
+        a = generate_temp(num_objects=5, avg_readings=20, seed=1)
+        b = generate_temp(num_objects=5, avg_readings=20, seed=2)
+        assert any(
+            not np.array_equal(x.function.values, y.function.values)
+            for x, y in zip(a, b)
+        )
+
+    def test_positive_scores(self):
+        db = generate_temp(num_objects=20, avg_readings=30, seed=3)
+        for obj in db:
+            assert np.all(obj.function.values >= 0)
+
+    def test_station_heterogeneity(self):
+        """Stations must differ persistently (drives stable top-k)."""
+        db = generate_temp(num_objects=40, avg_readings=50, seed=4)
+        masses = np.asarray([obj.total_mass for obj in db])
+        assert masses.std() / masses.mean() > 0.01
+
+
+class TestMemeGenerator:
+    def test_shape(self):
+        db = generate_meme(num_objects=80, avg_records=10, seed=1)
+        assert db.num_objects == 80
+
+    def test_bursty_lifetimes(self):
+        """Most objects live on a tiny fraction of the domain."""
+        db = generate_meme(num_objects=100, avg_records=10, seed=2)
+        span = db.t_max - db.t_min
+        lifetimes = []
+        for obj in db:
+            fn = obj.function
+            active = fn.times[np.abs(fn.values) > 0]
+            if active.size >= 2:
+                lifetimes.append((active[-1] - active[0]) / span)
+        assert np.median(lifetimes) < 0.2
+
+    def test_heavy_tailed_mass(self):
+        db = generate_meme(num_objects=200, avg_records=10, seed=3)
+        masses = np.sort([obj.total_mass for obj in db])[::-1]
+        top_decile = masses[:20].sum()
+        assert top_decile > masses.sum() * 0.3
+
+    def test_nonnegative_counts(self):
+        db = generate_meme(num_objects=50, avg_records=8, seed=4)
+        for obj in db:
+            assert np.all(obj.function.values >= 0)
+
+
+class TestWorkload:
+    def test_query_shape(self):
+        db = generate_temp(num_objects=10, avg_readings=20, seed=5)
+        queries = random_queries(db, count=20, interval_fraction=0.2, k=7, seed=1)
+        assert len(queries) == 20
+        span = db.t_max - db.t_min
+        for q in queries:
+            assert q.k == 7
+            assert q.length == pytest.approx(span * 0.2)
+            assert db.t_min <= q.t1 <= q.t2 <= db.t_max
+
+    def test_deterministic(self):
+        db = generate_temp(num_objects=10, avg_readings=20, seed=5)
+        a = random_queries(db, count=5, seed=3)
+        b = random_queries(db, count=5, seed=3)
+        assert [(q.t1, q.t2) for q in a] == [(q.t1, q.t2) for q in b]

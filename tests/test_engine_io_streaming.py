@@ -1,0 +1,164 @@
+"""Tests for the engine facade, CSV IO, and streaming monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopKQuery
+from repro.core.errors import InvalidQueryError, ReproError
+from repro.datasets.io import load_csv, save_csv
+from repro.engine import TemporalRankingEngine
+from repro.streaming import SlidingWindowMonitor, replay
+
+from _support import make_random_database
+
+
+class TestCsvIO:
+    def test_round_trip(self, tmp_path):
+        db = make_random_database(num_objects=10, avg_segments=8, seed=31)
+        path = tmp_path / "readings.csv"
+        rows = save_csv(db, path)
+        assert rows == sum(o.num_segments + 1 for o in db)
+        loaded = load_csv(path, span=db.span)
+        assert loaded.num_objects == db.num_objects
+        assert loaded.total_mass == pytest.approx(db.total_mass, rel=1e-12)
+        for obj in db:
+            clone = loaded.get(obj.object_id)
+            assert np.allclose(clone.function.times, obj.function.times)
+            assert np.allclose(clone.function.values, obj.function.values)
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ReproError):
+            load_csv(path)
+
+    def test_rejects_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("object_id,time,value\n1,notatime,3\n")
+        with pytest.raises(ReproError):
+            load_csv(path)
+
+    def test_rejects_single_reading_object(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("object_id,time,value\n1,0.0,3.0\n")
+        with pytest.raises(ReproError):
+            load_csv(path)
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("object_id,time,value\n")
+        with pytest.raises(ReproError):
+            load_csv(path)
+
+    def test_unsorted_readings_ok(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text(
+            "object_id,time,value\n"
+            "0,5.0,2.0\n0,1.0,1.0\n0,3.0,4.0\n"
+            "1,2.0,1.0\n1,0.0,0.0\n"
+        )
+        db = load_csv(path, pad=False)
+        assert db.get(0).function.value(3.0) == pytest.approx(4.0)
+
+
+class TestEngine:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        db = make_random_database(num_objects=25, avg_segments=15, seed=32)
+        return TemporalRankingEngine(db, epsilon=1e-3, kmax=10)
+
+    def test_exact_matches_bruteforce(self, engine):
+        db = engine.database
+        ref = db.brute_force_top_k(20, 80, 5)
+        assert engine.top_k(20, 80, 5).object_ids == ref.object_ids
+
+    def test_approximate_lazy_build(self, engine):
+        assert engine._approximate is None
+        result = engine.top_k(20, 80, 5, approximate=True)
+        assert engine._approximate is not None
+        assert len(result) == 5
+        # APPX2+ scores are exact for returned objects.
+        for item in result:
+            assert item.score == pytest.approx(
+                engine.database.exact_score(item.object_id, 20, 80), abs=1e-6
+            )
+
+    def test_approximate_k_limit(self, engine):
+        with pytest.raises(InvalidQueryError):
+            engine.top_k(0, 50, 11, approximate=True)
+
+    def test_instant(self, engine):
+        res = engine.instant_top_k(42.0, 3)
+        values = [
+            engine.database.get(i).function.value(42.0)
+            for i in res.object_ids
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_quantile(self, engine):
+        res = engine.quantile_top_k(20, 80, 3, phi=0.5)
+        assert len(res) == 3
+
+    def test_append_maintains_exact(self):
+        db = make_random_database(num_objects=10, avg_segments=8, seed=33)
+        engine = TemporalRankingEngine(db)
+        end = db.t_max
+        for i in range(5):
+            end += 1.0
+            engine.append(0, end, 20.0)
+        ref = db.brute_force_top_k(95.0, end, 3)
+        assert engine.top_k(95.0, end, 3).object_ids == ref.object_ids
+
+    def test_repr_and_size(self, engine):
+        assert "exact3" in repr(engine)
+        assert engine.index_size_bytes > 0
+
+
+class TestStreaming:
+    def test_monitor_matches_bruteforce(self):
+        db = make_random_database(num_objects=12, avg_segments=8, seed=34)
+        monitor = SlidingWindowMonitor(db, window=20.0, k=4)
+        rng = np.random.default_rng(1)
+        end = db.t_max
+        for step in range(25):
+            obj = int(step % 12)
+            end += 0.5
+            value = float(rng.uniform(0, 10))
+            change = monitor.tick(obj, end, value)
+            ref = db.brute_force_top_k(max(db.t_min, end - 20.0), end, 4)
+            assert change.result.object_ids == ref.object_ids
+
+    def test_change_detection(self):
+        db = make_random_database(num_objects=6, avg_segments=6, seed=35)
+        monitor = SlidingWindowMonitor(db, window=10.0, k=2)
+        end = db.t_max
+        first = monitor.tick(0, end + 1.0, 0.0)
+        assert len(first.entered) == 2  # initial ranking counts as entered
+        # Pump object 5 hard: it must enter the top-2 eventually.
+        entered_five = False
+        for i in range(10):
+            end += 1.0
+            change = monitor.tick(5, end, 500.0)
+            if 5 in change.entered:
+                entered_five = True
+        assert entered_five
+        assert 5 in monitor.current().object_ids
+
+    def test_replay_collects_changes(self):
+        db = make_random_database(num_objects=6, avg_segments=6, seed=36)
+        end = db.t_max
+        ticks = [(i % 6, end + 1.0 + step, float(step % 7)) for step, i in
+                 enumerate(range(18))]
+        # Fix times strictly increasing per object.
+        ticks = [(obj, end + 1.0 + step, v) for step, (obj, _, v) in enumerate(ticks)]
+        changes = replay(db, ticks, window=15.0, k=3)
+        assert changes  # at least the initial ranking
+        for change in changes:
+            assert change.changed
+
+    def test_rejects_bad_parameters(self):
+        db = make_random_database(num_objects=4, avg_segments=5, seed=37)
+        with pytest.raises(InvalidQueryError):
+            SlidingWindowMonitor(db, window=0.0, k=2)
+        with pytest.raises(InvalidQueryError):
+            SlidingWindowMonitor(db, window=5.0, k=0)

@@ -1,0 +1,74 @@
+"""Tests for EXACT1's long-segment side list and scan-back window."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PiecewiseLinearFunction,
+    TemporalDatabase,
+    TemporalObject,
+    TopKQuery,
+)
+from repro.exact import Exact1
+
+from _support import make_random_database, random_intervals
+
+
+def database_with_long_padders():
+    """Objects active in a narrow window, padded across [0, 1000]."""
+    rng = np.random.default_rng(5)
+    objects = []
+    for i in range(30):
+        start = rng.uniform(400, 500)
+        times = np.unique(start + np.sort(rng.uniform(0, 50, 20)))
+        values = rng.uniform(1, 5, times.size)
+        objects.append(TemporalObject(i, PiecewiseLinearFunction(times, values)))
+    return TemporalDatabase(objects, span=(0.0, 1000.0), pad=True)
+
+
+class TestSideList:
+    def test_padding_goes_to_side_list(self):
+        db = database_with_long_padders()
+        method = Exact1().build(db)
+        # The huge zero pads must not define the scan-back window.
+        assert method.max_segment_duration < 100.0
+        assert len(method._long_blocks) > 0
+
+    def test_correct_with_side_list(self):
+        db = database_with_long_padders()
+        method = Exact1().build(db)
+        for t1, t2 in random_intervals(db, 20, seed=2):
+            ref = db.brute_force_top_k(t1, t2, 5)
+            got = method.query(TopKQuery(t1, t2, 5))
+            assert got.object_ids == ref.object_ids
+            assert np.allclose(got.scores, ref.scores, atol=1e-6)
+
+    def test_narrow_query_ios_stay_small(self):
+        db = database_with_long_padders()
+        method = Exact1().build(db)
+        # A tiny query far from the active window: near-minimal IOs.
+        cost = method.measured_query(TopKQuery(900.0, 905.0, 3))
+        assert cost.ios <= 10 + len(method._long_blocks)
+
+    def test_uniform_durations_no_side_list_regression(self):
+        db = make_random_database(num_objects=20, avg_segments=30, seed=9)
+        method = Exact1().build(db)
+        for t1, t2 in random_intervals(db, 10, seed=3):
+            ref = db.brute_force_top_k(t1, t2, 4)
+            assert method.query(TopKQuery(t1, t2, 4)).object_ids == ref.object_ids
+
+
+class TestBreakpointCap:
+    def test_max_r_truncates(self):
+        from repro.approximate import build_breakpoints2
+
+        db = make_random_database(num_objects=30, avg_segments=20, seed=10)
+        capped = build_breakpoints2(db, 1e-5, max_r=16)
+        assert capped.truncated
+        assert capped.r <= 18  # cap + endpoints after dedup
+
+    def test_uncapped_not_truncated(self):
+        from repro.approximate import build_breakpoints2
+
+        db = make_random_database(num_objects=30, avg_segments=20, seed=10)
+        assert not build_breakpoints2(db, 0.01).truncated

@@ -1,0 +1,164 @@
+"""Correctness, IO behaviour, and update tests for EXACT1/2/3."""
+
+import numpy as np
+import pytest
+
+from repro.core import AVG, TopKQuery
+from repro.core.errors import IndexStateError
+from repro.exact import Exact1, Exact2, Exact3
+
+from _support import make_random_database, random_intervals
+
+EXACT_CLASSES = [Exact1, Exact2, Exact3]
+
+
+@pytest.fixture(scope="module", params=EXACT_CLASSES, ids=lambda c: c.name)
+def built_method(request):
+    db = make_random_database(num_objects=40, avg_segments=25, seed=21)
+    return request.param().build(db), db
+
+
+class TestExactness:
+    def test_matches_brute_force(self, built_method):
+        method, db = built_method
+        for t1, t2 in random_intervals(db, 40, seed=5):
+            ref = db.brute_force_top_k(t1, t2, 8)
+            got = method.query(TopKQuery(t1, t2, 8))
+            assert got.object_ids == ref.object_ids
+            assert np.allclose(got.scores, ref.scores, atol=1e-6)
+
+    def test_full_domain_query(self, built_method):
+        method, db = built_method
+        t1, t2 = db.span
+        ref = db.brute_force_top_k(t1, t2, 5)
+        got = method.query(TopKQuery(t1, t2, 5))
+        assert got.object_ids == ref.object_ids
+
+    def test_k_equals_m(self, built_method):
+        method, db = built_method
+        ref = db.brute_force_top_k(10, 90, db.num_objects)
+        got = method.query(TopKQuery(10, 90, db.num_objects))
+        assert got.object_ids == ref.object_ids
+
+    def test_narrow_interval(self, built_method):
+        method, db = built_method
+        ref = db.brute_force_top_k(50.0, 50.001, 5)
+        got = method.query(TopKQuery(50.0, 50.001, 5))
+        assert got.object_ids == ref.object_ids
+
+    def test_query_before_build_raises(self):
+        for cls in EXACT_CLASSES:
+            with pytest.raises(IndexStateError):
+                cls().query(TopKQuery(0, 1, 1))
+
+
+class TestAllMethodsAgree:
+    def test_pairwise_identical(self):
+        db = make_random_database(num_objects=25, avg_segments=15, seed=33)
+        methods = [cls().build(db) for cls in EXACT_CLASSES]
+        for t1, t2 in random_intervals(db, 25, seed=6):
+            answers = [m.query(TopKQuery(t1, t2, 6)) for m in methods]
+            for other in answers[1:]:
+                assert other.object_ids == answers[0].object_ids
+                assert np.allclose(other.scores, answers[0].scores, atol=1e-6)
+
+
+class TestNonDenseIds:
+    def test_sampled_database(self):
+        db = make_random_database(num_objects=50, avg_segments=12, seed=11)
+        sub = db.sample_objects(17, seed=3)
+        assert sub.num_objects == 17
+        for cls in EXACT_CLASSES:
+            method = cls().build(sub)
+            for t1, t2 in random_intervals(sub, 10, seed=7):
+                ref = sub.brute_force_top_k(t1, t2, 5)
+                got = method.query(TopKQuery(t1, t2, 5))
+                assert got.object_ids == ref.object_ids
+
+
+class TestAggregates:
+    def test_avg_aggregate(self):
+        db = make_random_database(num_objects=20, avg_segments=10, seed=44)
+        for cls in EXACT_CLASSES:
+            method = cls(aggregate=AVG).build(db)
+            ref = db.brute_force_top_k(20, 70, 5, aggregate=AVG)
+            got = method.query(TopKQuery(20, 70, 5))
+            assert got.object_ids == ref.object_ids
+            assert np.allclose(got.scores, ref.scores, atol=1e-9)
+
+
+class TestNegativeScores:
+    def test_exact_methods_unaffected(self, negative_db):
+        for cls in EXACT_CLASSES:
+            method = cls().build(negative_db)
+            for t1, t2 in random_intervals(negative_db, 15, seed=9):
+                ref = negative_db.brute_force_top_k(t1, t2, 6)
+                got = method.query(TopKQuery(t1, t2, 6))
+                assert got.object_ids == ref.object_ids
+
+
+class TestIOBehaviour:
+    def test_exact1_io_grows_with_interval(self):
+        db = make_random_database(num_objects=60, avg_segments=60, seed=55)
+        method = Exact1().build(db)
+        short = method.measured_query(TopKQuery(40, 42, 5)).ios
+        long = method.measured_query(TopKQuery(5, 95, 5)).ios
+        assert long > short * 3
+
+    def test_exact3_io_flat_in_interval(self):
+        db = make_random_database(num_objects=60, avg_segments=60, seed=55)
+        method = Exact3().build(db)
+        short = method.measured_query(TopKQuery(40, 42, 5)).ios
+        long = method.measured_query(TopKQuery(5, 95, 5)).ios
+        assert long <= short * 3 + 10
+
+    def test_exact3_beats_exact1_on_long_intervals(self):
+        db = make_random_database(num_objects=80, avg_segments=80, seed=56)
+        e1 = Exact1().build(db)
+        e3 = Exact3().build(db)
+        q = TopKQuery(5, 95, 10)
+        assert e3.measured_query(q).ios < e1.measured_query(q).ios
+
+    def test_exact2_io_scales_with_m(self):
+        small = make_random_database(num_objects=20, avg_segments=10, seed=57)
+        large = make_random_database(num_objects=80, avg_segments=10, seed=58)
+        io_small = Exact2().build(small).measured_query(TopKQuery(10, 30, 5)).ios
+        io_large = Exact2().build(large).measured_query(TopKQuery(10, 30, 5)).ios
+        assert io_large >= io_small * 3
+
+    def test_index_sizes_linear_in_n(self):
+        small = make_random_database(num_objects=30, avg_segments=20, seed=59)
+        large = make_random_database(num_objects=30, avg_segments=80, seed=60)
+        for cls in EXACT_CLASSES:
+            size_small = cls().build(small).index_size_bytes
+            size_large = cls().build(large).index_size_bytes
+            assert size_large <= size_small * 8  # ~4x data -> ~4x size
+
+
+class TestUpdates:
+    def test_append_keeps_methods_exact(self):
+        db = make_random_database(num_objects=15, avg_segments=10, seed=61)
+        methods = [cls().build(db) for cls in EXACT_CLASSES]
+        rng = np.random.default_rng(0)
+        end = db.t_max
+        for step in range(10):
+            obj_id = int(rng.integers(0, 15))
+            end = end + float(rng.uniform(0.5, 2.0))
+            value = float(rng.uniform(0, 10))
+            db.append_segment(obj_id, end, value)
+            for m in methods:
+                m.append(obj_id, end, value)
+        for t1, t2 in [(90.0, end), (0.0, end), (95.0, 99.0)]:
+            ref = db.brute_force_top_k(t1, t2, 6)
+            for m in methods:
+                got = m.query(TopKQuery(t1, t2, 6))
+                assert got.object_ids == ref.object_ids, m.name
+                assert np.allclose(got.scores, ref.scores, atol=1e-6)
+
+    def test_append_io_is_logarithmic(self):
+        db = make_random_database(num_objects=30, avg_segments=40, seed=62)
+        m = Exact1().build(db)
+        db.append_segment(0, db.t_max + 1.0, 5.0)
+        m.io_stats.reset()
+        m.append(0, db.t_max, 5.0)
+        assert m.io_stats.total <= 4 * m.tree.height + 6

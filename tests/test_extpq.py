@@ -1,0 +1,91 @@
+"""Unit tests for the external priority queue."""
+
+import numpy as np
+import pytest
+
+from repro.extpq import ExternalPriorityQueue
+from repro.storage import BlockDevice
+
+
+class TestBasics:
+    def test_push_pop_sorted(self):
+        pq = ExternalPriorityQueue(BlockDevice(), memory_capacity=4)
+        for key in [5, 1, 3, 2, 4]:
+            pq.push(key, f"p{key}")
+        out = [pq.pop() for _ in range(5)]
+        assert [k for k, _ in out] == [1, 2, 3, 4, 5]
+        assert [p for _, p in out] == ["p1", "p2", "p3", "p4", "p5"]
+
+    def test_len_and_bool(self):
+        pq = ExternalPriorityQueue(BlockDevice(), memory_capacity=4)
+        assert not pq
+        pq.push(1.0)
+        assert len(pq) == 1 and pq
+
+    def test_pop_empty_raises(self):
+        pq = ExternalPriorityQueue(BlockDevice(), memory_capacity=4)
+        with pytest.raises(IndexError):
+            pq.pop()
+
+    def test_peek(self):
+        pq = ExternalPriorityQueue(BlockDevice(), memory_capacity=4)
+        pq.push(3.0, "c")
+        pq.push(1.0, "a")
+        assert pq.peek() == (1.0, "a")
+        assert len(pq) == 2  # peek does not remove
+
+    def test_peek_empty_raises(self):
+        pq = ExternalPriorityQueue(BlockDevice(), memory_capacity=4)
+        with pytest.raises(IndexError):
+            pq.peek()
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            ExternalPriorityQueue(BlockDevice(), memory_capacity=1)
+
+
+class TestSpilling:
+    def test_spills_produce_ios(self):
+        dev = BlockDevice(block_bytes=256)
+        pq = ExternalPriorityQueue(dev, memory_capacity=8, entry_bytes=16)
+        for i in range(100):
+            pq.push(float(i))
+        assert dev.stats.writes > 0  # runs were spilled
+
+    def test_sorted_across_spills(self):
+        rng = np.random.default_rng(0)
+        dev = BlockDevice(block_bytes=256)
+        pq = ExternalPriorityQueue(dev, memory_capacity=16)
+        keys = rng.uniform(0, 1000, 1000)
+        for key in keys:
+            pq.push(float(key))
+        out = [pq.pop()[0] for _ in range(1000)]
+        assert out == sorted(keys.tolist())
+
+    def test_interleaved_push_pop(self):
+        rng = np.random.default_rng(1)
+        dev = BlockDevice(block_bytes=256)
+        pq = ExternalPriorityQueue(dev, memory_capacity=8)
+        import heapq
+
+        reference = []
+        for step in range(2000):
+            if reference and rng.random() < 0.45:
+                expect = heapq.heappop(reference)
+                got, _ = pq.pop()
+                assert got == expect
+            else:
+                key = float(rng.integers(0, 500))
+                heapq.heappush(reference, key)
+                pq.push(key)
+        while reference:
+            assert pq.pop()[0] == heapq.heappop(reference)
+        assert len(pq) == 0
+
+    def test_duplicate_keys_fifo_safe(self):
+        pq = ExternalPriorityQueue(BlockDevice(), memory_capacity=2)
+        for i in range(10):
+            pq.push(7.0, i)
+        popped = [pq.pop() for _ in range(10)]
+        assert all(k == 7.0 for k, _ in popped)
+        assert sorted(p for _, p in popped) == list(range(10))

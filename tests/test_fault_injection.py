@@ -1,0 +1,103 @@
+"""Failure injection: IO errors must propagate cleanly, not corrupt.
+
+The simulated device lets us script read failures at exact points and
+verify that (a) errors surface as exceptions rather than wrong
+answers, and (b) a structure remains fully usable after a failed
+operation (nothing was mutated mid-query).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TopKQuery
+from repro.exact import Exact1, Exact3
+from repro.storage import BlockDevice, BlockDeviceError
+
+from _support import make_random_database
+
+
+class FlakyDevice(BlockDevice):
+    """A device that fails the Nth read after arming."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._fail_in = None
+
+    def arm(self, fail_in: int) -> None:
+        self._fail_in = fail_in
+
+    def read(self, block_id):
+        if self._fail_in is not None:
+            self._fail_in -= 1
+            if self._fail_in <= 0:
+                self._fail_in = None
+                raise BlockDeviceError("injected read failure")
+        return super().read(block_id)
+
+
+def flaky_exact3(db):
+    method = Exact3()
+    flaky = FlakyDevice(name="flaky")
+    # Swap the device before building (tree must share it).
+    method.device = flaky
+    from repro.intervaltree import ExternalIntervalTree
+
+    method.tree = ExternalIntervalTree(flaky, value_columns=4)
+    method.build(db)
+    return method, flaky
+
+
+class TestReadFailures:
+    def test_error_propagates(self):
+        db = make_random_database(num_objects=15, avg_segments=10, seed=81)
+        method, flaky = flaky_exact3(db)
+        flaky.arm(3)
+        with pytest.raises(BlockDeviceError):
+            method.query(TopKQuery(10, 80, 5))
+
+    def test_usable_after_failure(self):
+        db = make_random_database(num_objects=15, avg_segments=10, seed=81)
+        method, flaky = flaky_exact3(db)
+        ref = db.brute_force_top_k(10, 80, 5)
+        flaky.arm(2)
+        with pytest.raises(BlockDeviceError):
+            method.query(TopKQuery(10, 80, 5))
+        # The failed query must not have corrupted anything.
+        got = method.query(TopKQuery(10, 80, 5))
+        assert got.object_ids == ref.object_ids
+
+    def test_repeated_failures_then_success(self):
+        db = make_random_database(num_objects=40, avg_segments=40, seed=82)
+        method, flaky = flaky_exact3(db)
+        ref = db.brute_force_top_k(20, 60, 4)
+        for fail_at in (1, 2, 5, 9):
+            flaky.arm(fail_at)
+            with pytest.raises(BlockDeviceError):
+                method.query(TopKQuery(20, 60, 4))
+        assert method.query(TopKQuery(20, 60, 4)).object_ids == ref.object_ids
+
+    def test_exact1_scan_failure(self):
+        db = make_random_database(num_objects=40, avg_segments=80, seed=83)
+        method = Exact1()
+        flaky = FlakyDevice(name="flaky1")
+        from repro.btree import BPlusTree
+
+        method.device = flaky
+        method.tree = BPlusTree(flaky, value_columns=5)
+        method.build(db)
+        ref = db.brute_force_top_k(5, 95, 4)
+        flaky.arm(10)
+        with pytest.raises(BlockDeviceError):
+            method.query(TopKQuery(5, 95, 4))
+        assert method.query(TopKQuery(5, 95, 4)).object_ids == ref.object_ids
+
+
+class TestFreedBlockAccess:
+    def test_stale_handle_raises(self):
+        device = BlockDevice()
+        block = device.allocate("payload")
+        device.free(block)
+        with pytest.raises(BlockDeviceError):
+            device.read(block)
+        with pytest.raises(BlockDeviceError):
+            device.write(block, "other")

@@ -1,0 +1,147 @@
+"""Unit tests for segment geometry (paper Equation (1))."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import (
+    Segment,
+    interpolate,
+    segment_integral,
+    segment_integrals,
+    solve_linear_mass,
+)
+
+
+class TestInterpolate:
+    def test_endpoints(self):
+        assert interpolate(0, 1, 2, 5, 0) == 1
+        assert interpolate(0, 1, 2, 5, 2) == 5
+
+    def test_midpoint(self):
+        assert interpolate(0, 1, 2, 5, 1) == 3
+
+    def test_degenerate_segment(self):
+        assert interpolate(1, 7, 1, 9, 1) == 7
+
+    def test_negative_slope(self):
+        assert interpolate(0, 10, 10, 0, 4) == pytest.approx(6)
+
+
+class TestSegmentIntegral:
+    def test_full_span_is_trapezoid_area(self):
+        # Trapezoid with parallel sides 2 and 6 over width 4.
+        assert segment_integral(0, 2, 4, 6, 0, 4) == pytest.approx(16)
+
+    def test_no_overlap_right(self):
+        assert segment_integral(0, 2, 4, 6, 5, 9) == 0.0
+
+    def test_no_overlap_left(self):
+        assert segment_integral(5, 2, 9, 6, 0, 4) == 0.0
+
+    def test_touching_boundary_is_zero(self):
+        assert segment_integral(0, 2, 4, 6, 4, 8) == 0.0
+
+    def test_partial_overlap(self):
+        # Over [0, 2] the chord of (0,2)-(4,6) runs 2 -> 4: area 6.
+        assert segment_integral(0, 2, 4, 6, 0, 2) == pytest.approx(6)
+
+    def test_interior_subinterval(self):
+        # Over [1, 3]: values 3 -> 5, area 8.
+        assert segment_integral(0, 2, 4, 6, 1, 3) == pytest.approx(8)
+
+    def test_query_contains_segment(self):
+        assert segment_integral(2, 1, 3, 1, 0, 10) == pytest.approx(1)
+
+    def test_negative_values(self):
+        assert segment_integral(0, -2, 4, -6, 0, 4) == pytest.approx(-16)
+
+    def test_matches_numeric_quadrature(self):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            t0, dt = rng.uniform(0, 10), rng.uniform(0.1, 5)
+            v0, v1 = rng.uniform(-5, 5, 2)
+            a, b = np.sort(rng.uniform(t0 - 1, t0 + dt + 1, 2))
+            xs = np.linspace(max(a, t0), min(b, t0 + dt), 10001)
+            if xs[0] >= xs[-1]:
+                expected = 0.0
+            else:
+                ys = v0 + (v1 - v0) / dt * (xs - t0)
+                expected = np.trapezoid(ys, xs)
+            got = segment_integral(t0, v0, t0 + dt, v1, a, b)
+            assert got == pytest.approx(expected, abs=1e-6)
+
+
+class TestSegmentIntegralsVectorized:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        t0 = rng.uniform(0, 10, 200)
+        dt = rng.uniform(0.1, 3, 200)
+        t1 = t0 + dt
+        v0 = rng.uniform(-4, 8, 200)
+        v1 = rng.uniform(-4, 8, 200)
+        a, b = 3.0, 9.0
+        got = segment_integrals(t0, v0, t1, v1, a, b)
+        for i in range(200):
+            assert got[i] == pytest.approx(
+                segment_integral(t0[i], v0[i], t1[i], v1[i], a, b), abs=1e-12
+            )
+
+    def test_empty_input(self):
+        out = segment_integrals(
+            np.empty(0), np.empty(0), np.empty(0), np.empty(0), 0, 1
+        )
+        assert out.shape == (0,)
+
+
+class TestSegment:
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            Segment(2, 0, 1, 0)
+
+    def test_slope_and_area(self):
+        seg = Segment(0, 2, 4, 6)
+        assert seg.slope == pytest.approx(1.0)
+        assert seg.area == pytest.approx(16)
+        assert seg.duration == 4
+
+    def test_value(self):
+        assert Segment(0, 0, 2, 4).value(1.0) == pytest.approx(2)
+
+
+class TestSolveLinearMass:
+    def test_flat_value(self):
+        # v=2, w=0: mass d = 2x -> x = d/2.
+        assert solve_linear_mass(2.0, 0.0, 3.0, 10.0) == pytest.approx(1.5)
+
+    def test_rising_slope(self):
+        # v=0, w=2: mass = x^2 -> x = sqrt(d).
+        assert solve_linear_mass(0.0, 2.0, 9.0, 10.0) == pytest.approx(3.0)
+
+    def test_falling_slope_full_area(self):
+        # v=4, w=-1 over dt=4: total mass 8; solving for 8 gives 4.
+        assert solve_linear_mass(4.0, -1.0, 8.0, 4.0) == pytest.approx(4.0)
+
+    def test_zero_target(self):
+        assert solve_linear_mass(5.0, 1.0, 0.0, 10.0) == 0.0
+
+    def test_bounded_by_max_dt(self):
+        assert solve_linear_mass(1.0, 0.0, 100.0, 2.5) == 2.5
+
+    def test_monotone_in_target(self):
+        xs = [solve_linear_mass(1.0, 0.5, d, 100.0) for d in np.linspace(0.1, 20, 40)]
+        assert all(b >= a for a, b in zip(xs, xs[1:]))
+
+    def test_consistency_with_integral(self):
+        # Solving then integrating must return the target.
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            v = rng.uniform(0, 5)
+            w = rng.uniform(-1, 1)
+            dt = rng.uniform(0.5, 4)
+            total = v * dt + 0.5 * w * dt * dt
+            if total <= 0:
+                continue
+            target = rng.uniform(0, total)
+            x = solve_linear_mass(v, w, target, dt)
+            got = v * x + 0.5 * w * x * x
+            assert got == pytest.approx(target, abs=1e-9 * max(1, total))

@@ -1,0 +1,133 @@
+"""Tests for holistic (quantile/median) aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import PiecewiseLinearFunction
+from repro.core.errors import InvalidQueryError
+from repro.holistic import (
+    QuantileRanker,
+    interval_median,
+    interval_quantile,
+    measure_below,
+)
+
+from _support import make_random_database
+
+
+@pytest.fixture()
+def ramp():
+    """g(t) = t on [0, 10]: quantiles are analytic."""
+    return PiecewiseLinearFunction([0, 10], [0, 10])
+
+
+class TestMeasureBelow:
+    def test_ramp(self, ramp):
+        # g <= 4 on [0, 4]: measure 4.
+        assert measure_below(ramp, 0, 10, 4.0) == pytest.approx(4)
+
+    def test_above_max(self, ramp):
+        assert measure_below(ramp, 0, 10, 100.0) == pytest.approx(10)
+
+    def test_below_min(self, ramp):
+        assert measure_below(ramp, 2, 10, 1.0) == 0.0
+
+    def test_constant_function(self):
+        plf = PiecewiseLinearFunction([0, 6], [3, 3])
+        assert measure_below(plf, 0, 6, 3.0) == pytest.approx(6)
+        assert measure_below(plf, 0, 6, 2.9) == 0.0
+
+    def test_outside_span_counts_as_zero_value(self):
+        plf = PiecewiseLinearFunction([4, 6], [5, 5])
+        # Query [0, 6]: 4 units of implicit zero + 2 units at 5.
+        assert measure_below(plf, 0, 6, 0.0) == pytest.approx(4)
+        assert measure_below(plf, 0, 6, 5.0) == pytest.approx(6)
+
+    def test_monotone_in_v(self, ramp):
+        vs = np.linspace(-1, 11, 30)
+        ms = [measure_below(ramp, 0, 10, float(v)) for v in vs]
+        assert all(b >= a - 1e-12 for a, b in zip(ms, ms[1:]))
+
+
+class TestIntervalQuantile:
+    def test_ramp_quantiles(self, ramp):
+        for phi in (0.1, 0.25, 0.5, 0.9, 1.0):
+            assert interval_quantile(ramp, 0, 10, phi) == pytest.approx(10 * phi)
+
+    def test_median_shortcut(self, ramp):
+        assert interval_median(ramp, 0, 10) == pytest.approx(5)
+
+    def test_subinterval(self, ramp):
+        # Over [4, 8], values uniform on [4, 8]: median 6.
+        assert interval_median(ramp, 4, 8) == pytest.approx(6)
+
+    def test_v_shape(self):
+        plf = PiecewiseLinearFunction([0, 5, 10], [10, 0, 10])
+        # Values distribution symmetric: median at 5.
+        assert interval_median(plf, 0, 10) == pytest.approx(5)
+
+    def test_matches_dense_sampling(self):
+        db = make_random_database(num_objects=5, avg_segments=15, seed=88)
+        rng = np.random.default_rng(1)
+        for obj in db:
+            t1, t2 = np.sort(rng.uniform(*db.span, 2))
+            if t2 - t1 < 1.0:
+                t2 = t1 + 1.0
+            ts = np.linspace(t1, t2, 200001)
+            sampled = np.quantile(obj.function.value_many(ts), 0.5)
+            exact = interval_median(obj.function, float(t1), float(t2))
+            assert exact == pytest.approx(sampled, abs=0.05)
+
+    def test_rejects_bad_phi(self, ramp):
+        with pytest.raises(InvalidQueryError):
+            interval_quantile(ramp, 0, 10, 0.0)
+        with pytest.raises(InvalidQueryError):
+            interval_quantile(ramp, 0, 10, 1.5)
+
+    def test_rejects_empty_interval(self, ramp):
+        with pytest.raises(InvalidQueryError):
+            interval_quantile(ramp, 5, 5, 0.5)
+
+    def test_quantile_monotone_in_phi(self, ramp):
+        db = make_random_database(num_objects=3, avg_segments=12, seed=89)
+        fn = db.get(0).function
+        qs = [interval_quantile(fn, 10, 90, phi) for phi in np.linspace(0.05, 1, 20)]
+        assert all(b >= a - 1e-9 for a, b in zip(qs, qs[1:]))
+
+
+class TestQuantileRanker:
+    def test_ranking_differs_from_sum(self):
+        """Median ranking is robust to spikes — the outlier-sensitivity
+        motivation from the paper's introduction."""
+        # Spiky: baseline 1 plus a huge spike (sum ~ 10 + 30 = 40, median 1).
+        # Steady: constant 3 (sum 30, median 3).
+        spiky = PiecewiseLinearFunction(
+            [0, 4.9, 5, 5.1, 10], [1, 1, 300, 1, 1]
+        )
+        steady = PiecewiseLinearFunction([0, 10], [3, 3])
+        from repro.core import TemporalDatabase, TemporalObject
+
+        db = TemporalDatabase(
+            [TemporalObject(0, spiky), TemporalObject(1, steady)],
+            span=(0, 10),
+            pad=True,
+        )
+        # By sum the spike wins; by median the steady object wins.
+        assert db.brute_force_top_k(0, 10, 1).object_ids == [0]
+        ranker = QuantileRanker(db, phi=0.5)
+        assert ranker.query(0, 10, 1).object_ids == [1]
+
+    def test_matches_per_object_quantiles(self):
+        db = make_random_database(num_objects=12, avg_segments=10, seed=90)
+        ranker = QuantileRanker(db, phi=0.75)
+        res = ranker.query(20, 80, 12)
+        for item in res:
+            assert item.score == pytest.approx(
+                interval_quantile(db.get(item.object_id).function, 20, 80, 0.75)
+            )
+        assert res.scores == sorted(res.scores, reverse=True)
+
+    def test_bad_k(self):
+        db = make_random_database(num_objects=3, avg_segments=5, seed=91)
+        with pytest.raises(InvalidQueryError):
+            QuantileRanker(db).query(0, 10, 0)

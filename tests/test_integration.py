@@ -1,0 +1,155 @@
+"""Integration tests: full pipelines across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Appx1,
+    Appx2,
+    Appx2Plus,
+    Exact1,
+    Exact2,
+    Exact3,
+    TopKQuery,
+    generate_meme,
+    generate_temp,
+    random_queries,
+)
+from repro.bench import evaluate_method, exact_reference
+from repro.core import from_samples
+from repro.segmentation import bottom_up
+
+from _support import make_random_database
+
+
+class TestTempPipeline:
+    """Generate -> index -> query across all six methods."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        db = generate_temp(num_objects=60, avg_readings=40, seed=11)
+        queries = random_queries(db, count=8, interval_fraction=0.2, k=10, seed=4)
+        exact = exact_reference(db, queries)
+        return db, queries, exact
+
+    def test_exact_methods_perfect(self, setting):
+        db, queries, exact = setting
+        for cls in (Exact1, Exact2, Exact3):
+            method = cls().build(db)
+            for q, ref in zip(queries, exact):
+                got = method.query(q)
+                assert got.object_ids == ref.object_ids
+
+    def test_approximate_methods_high_quality(self, setting):
+        db, queries, exact = setting
+        for cls, floor in ((Appx1, 0.85), (Appx2Plus, 0.75)):
+            method = cls(epsilon=1e-4, kmax=20).build(db)
+            report = evaluate_method(
+                method, db, queries, exact, measure_quality=True
+            )
+            assert report.precision >= floor
+            assert 0.9 <= report.ratio <= 1.1
+
+    def test_approx_query_ios_beat_exact3(self, setting):
+        db, queries, exact = setting
+        exact3 = Exact3().build(db)
+        appx1 = Appx1(epsilon=1e-4, kmax=20).build(db)
+        io_exact = np.mean([exact3.measured_query(q).ios for q in queries])
+        io_appx = np.mean([appx1.measured_query(q).ios for q in queries])
+        assert io_appx < io_exact
+
+
+class TestMemePipeline:
+    def test_bursty_data_flows(self):
+        db = generate_meme(num_objects=150, avg_records=8, seed=21)
+        queries = random_queries(db, count=5, interval_fraction=0.2, k=8, seed=5)
+        exact = exact_reference(db, queries)
+        e3 = Exact3().build(db)
+        a2 = Appx2(epsilon=5e-5, kmax=16).build(db)
+        for q, ref in zip(queries, exact):
+            assert e3.query(q).object_ids == ref.object_ids
+            approx_ids = set(a2.query(q).object_ids)
+            overlap = len(approx_ids & set(ref.object_ids)) / max(len(ref), 1)
+            assert overlap >= 0.4
+
+
+class TestRawIngestPipeline:
+    """Samples -> segmentation -> database -> index -> query."""
+
+    def test_sensor_feed_end_to_end(self):
+        rng = np.random.default_rng(33)
+        objects = []
+        from repro.core import TemporalDatabase, TemporalObject
+
+        for i in range(10):
+            t = np.sort(rng.uniform(0, 50, 500))
+            t = np.unique(t)
+            v = 5 + 3 * np.sin(t / 3 + i) + 0.05 * rng.standard_normal(t.size)
+            raw = from_samples(t, v)
+            compact = bottom_up(raw.times, raw.values, tolerance=0.1)
+            assert compact.num_segments < raw.num_segments
+            objects.append(TemporalObject(i, compact))
+        db = TemporalDatabase(objects, span=(0.0, 50.0), pad=True)
+        method = Exact3().build(db)
+        ref = db.brute_force_top_k(10, 40, 3)
+        assert method.query(TopKQuery(10, 40, 3)).object_ids == ref.object_ids
+
+
+class TestInstantQueryDegenerate:
+    def test_zero_length_interval(self, small_db):
+        """top-k(t, t, sum) degenerates to all-zero scores."""
+        method = Exact3().build(small_db)
+        res = method.query(TopKQuery(50.0, 50.0, 3))
+        assert all(s == pytest.approx(0.0, abs=1e-9) for s in res.scores)
+
+
+class TestPaddingInvariant:
+    def test_stab_returns_every_object(self):
+        db = make_random_database(num_objects=25, avg_segments=10, seed=71)
+        method = Exact3().build(db)
+        rng = np.random.default_rng(0)
+        for t in rng.uniform(*db.span, 20):
+            rows = method.tree.stab(float(t))
+            objs = np.unique(rows[:, 2].astype(int))
+            assert objs.size == db.num_objects
+
+    def test_unpadded_database_still_correct(self):
+        """EXACT3 falls back to in-memory cumulatives for missed stabs."""
+        db = make_random_database(num_objects=10, avg_segments=6, seed=72)
+        unpadded = type(db)(
+            [obj for obj in db], span=db.span, pad=False
+        )
+        method = Exact3().build(unpadded)
+        ref = unpadded.brute_force_top_k(20, 80, 4)
+        assert method.query(TopKQuery(20, 80, 4)).object_ids == ref.object_ids
+
+
+class TestCrossMethodConsistency:
+    def test_all_methods_rank_same_leader(self):
+        """Every method must agree on a clearly dominating object."""
+        from repro.core import (
+            PiecewiseLinearFunction,
+            TemporalDatabase,
+            TemporalObject,
+        )
+
+        objects = [
+            TemporalObject(0, PiecewiseLinearFunction([0, 100], [100, 100])),
+        ]
+        rng = np.random.default_rng(1)
+        for i in range(1, 12):
+            times = np.unique(rng.uniform(0, 100, 8))
+            values = rng.uniform(0, 1, times.size)
+            objects.append(TemporalObject(i, PiecewiseLinearFunction(times, values)))
+        db = TemporalDatabase(objects, span=(0.0, 100.0), pad=True)
+        q = TopKQuery(10.0, 90.0, 1)
+        methods = [
+            Exact1().build(db),
+            Exact2().build(db),
+            Exact3().build(db),
+            Appx1(epsilon=0.01, kmax=5).build(db),
+            Appx2(epsilon=0.01, kmax=5).build(db),
+            Appx2Plus(epsilon=0.01, kmax=5).build(db),
+        ]
+        for m in methods:
+            assert m.query(q).object_ids[0] == 0, m.name

@@ -1,0 +1,147 @@
+"""Unit tests for the external interval tree (EXACT3's substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import IndexStateError
+from repro.storage import BlockDevice
+from repro.intervaltree import ExternalIntervalTree
+
+
+def random_intervals(n=500, span=1000.0, seed=0):
+    rng = np.random.default_rng(seed)
+    lows = rng.uniform(0, span, n)
+    widths = rng.uniform(0.01, span / 10, n)
+    highs = np.minimum(lows + widths, span)
+    values = np.arange(n, dtype=np.float64).reshape(-1, 1)
+    return lows, highs, values
+
+
+def brute_stab(lows, highs, t):
+    return set(np.flatnonzero((lows <= t) & (t <= highs)).tolist())
+
+
+class TestBuildAndStab:
+    def test_stab_matches_brute_force(self):
+        lows, highs, values = random_intervals(800, seed=1)
+        tree = ExternalIntervalTree(BlockDevice(block_bytes=512), value_columns=1)
+        tree.build(lows, highs, values)
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            t = float(rng.uniform(-10, 1010))
+            rows = tree.stab(t)
+            got = set(rows[:, 2].astype(int).tolist())
+            assert got == brute_stab(lows, highs, t)
+
+    def test_stab_at_exact_endpoints(self):
+        lows = np.asarray([0.0, 5.0, 5.0])
+        highs = np.asarray([5.0, 10.0, 7.0])
+        tree = ExternalIntervalTree(BlockDevice(), value_columns=1)
+        tree.build(lows, highs, np.arange(3.0).reshape(-1, 1))
+        got = set(tree.stab(5.0)[:, 2].astype(int).tolist())
+        assert got == {0, 1, 2}  # closed intervals
+
+    def test_invariants(self):
+        lows, highs, values = random_intervals(600, seed=3)
+        tree = ExternalIntervalTree(BlockDevice(block_bytes=512), value_columns=1)
+        tree.build(lows, highs, values)
+        tree.check_invariants()
+
+    def test_rejects_reversed_intervals(self):
+        tree = ExternalIntervalTree(BlockDevice(), value_columns=1)
+        with pytest.raises(ValueError):
+            tree.build(
+                np.asarray([1.0]), np.asarray([0.0]), np.asarray([[0.0]])
+            )
+
+    def test_unbuilt_raises(self):
+        tree = ExternalIntervalTree(BlockDevice(), value_columns=1)
+        with pytest.raises(IndexStateError):
+            tree.stab(1.0)
+
+    def test_empty_result(self):
+        tree = ExternalIntervalTree(BlockDevice(), value_columns=1)
+        tree.build(np.asarray([5.0]), np.asarray([6.0]), np.asarray([[0.0]]))
+        assert tree.stab(100.0).shape[0] == 0
+
+
+class TestSizeAndIO:
+    def test_linear_size(self):
+        # Doubling N should roughly double the footprint (leaf bucketing
+        # keeps the structure O(N/B) blocks, not O(N) blocks).
+        sizes = []
+        for n in (2000, 4000):
+            lows, highs, values = random_intervals(n, seed=4)
+            dev = BlockDevice()
+            tree = ExternalIntervalTree(dev, value_columns=1)
+            tree.build(lows, highs, values)
+            sizes.append(dev.size_bytes)
+        assert sizes[1] <= sizes[0] * 3.0
+
+    def test_stab_io_much_less_than_blocks(self):
+        lows, highs, values = random_intervals(5000, seed=5)
+        dev = BlockDevice()
+        tree = ExternalIntervalTree(dev, value_columns=1)
+        tree.build(lows, highs, values)
+        dev.stats.reset()
+        rows = tree.stab(500.0)
+        total_blocks = dev.num_blocks
+        assert dev.stats.reads < total_blocks / 4
+        # IO is at most height + answer/blocking + slack.
+        assert dev.stats.reads <= 30 + rows.shape[0]
+
+
+class TestPartitionStab:
+    def test_partitioned_domain_returns_one_per_object(self):
+        """EXACT3's invariant: per-object elementary intervals partition
+        [0, T], so any stab returns exactly one interval per object
+        (two at shared endpoints, which the caller dedups)."""
+        rng = np.random.default_rng(6)
+        lows_all, highs_all, obj_all = [], [], []
+        for obj in range(20):
+            cuts = np.unique(np.concatenate([[0.0], rng.uniform(0, 100, 9), [100.0]]))
+            lows_all.append(cuts[:-1])
+            highs_all.append(cuts[1:])
+            obj_all.append(np.full(cuts.size - 1, obj, dtype=np.float64))
+        lows = np.concatenate(lows_all)
+        highs = np.concatenate(highs_all)
+        values = np.concatenate(obj_all).reshape(-1, 1)
+        tree = ExternalIntervalTree(BlockDevice(block_bytes=512), value_columns=1)
+        tree.build(lows, highs, values)
+        for t in rng.uniform(0.001, 99.999, 40):
+            rows = tree.stab(float(t))
+            objs = rows[:, 2].astype(int)
+            unique = np.unique(objs)
+            assert unique.size == 20
+            # Duplicates only at shared endpoints (measure zero here).
+            assert rows.shape[0] in (20, 21, 22)
+
+
+class TestInsert:
+    def test_insert_then_stab(self):
+        lows, highs, values = random_intervals(100, seed=7)
+        tree = ExternalIntervalTree(BlockDevice(), value_columns=1)
+        tree.build(lows, highs, values)
+        tree.insert(2000.0, 2010.0, np.asarray([999.0]))
+        rows = tree.stab(2005.0)
+        assert rows.shape[0] == 1
+        assert rows[0, 2] == 999.0
+
+    def test_rebuild_folds_overflow(self):
+        lows, highs, values = random_intervals(40, seed=8)
+        tree = ExternalIntervalTree(
+            BlockDevice(), value_columns=1, rebuild_fraction=0.1
+        )
+        tree.build(lows, highs, values)
+        for i in range(30):
+            tree.insert(3000.0 + i, 3001.0 + i, np.asarray([1000.0 + i]))
+        # Enough inserts to trigger at least one rebuild.
+        assert tree.num_intervals == 70
+        tree.check_invariants()
+        rows = tree.stab(3000.5)
+        assert rows.shape[0] >= 1
+
+    def test_insert_before_build_raises(self):
+        tree = ExternalIntervalTree(BlockDevice(), value_columns=1)
+        with pytest.raises(IndexStateError):
+            tree.insert(0.0, 1.0, np.asarray([0.0]))

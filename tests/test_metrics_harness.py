@@ -1,0 +1,125 @@
+"""Tests for benchmark metrics, harness, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopKQuery, TopKResult
+from repro.bench import (
+    approximation_ratio,
+    evaluate_method,
+    exact_reference,
+    format_table,
+    precision_recall,
+    rank_score_errors,
+    sweep,
+)
+from repro.exact import Exact3
+
+from _support import make_random_database
+
+
+def result_of(pairs):
+    return TopKResult.from_pairs(pairs)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        a = result_of([(1, 3.0), (2, 2.0)])
+        assert precision_recall(a, a) == 1.0
+
+    def test_disjoint(self):
+        a = result_of([(1, 3.0)])
+        b = result_of([(2, 3.0)])
+        assert precision_recall(a, b) == 0.0
+
+    def test_partial(self):
+        approx = result_of([(1, 3.0), (2, 2.0), (5, 1.0), (6, 0.5)])
+        exact = result_of([(1, 3.0), (2, 2.0), (3, 1.5), (4, 1.0)])
+        assert precision_recall(approx, exact) == 0.5
+
+    def test_short_approx_penalized(self):
+        approx = result_of([(1, 3.0)])
+        exact = result_of([(1, 3.0), (2, 2.0)])
+        assert precision_recall(approx, exact) == 0.5
+
+    def test_empty_exact(self):
+        assert precision_recall(result_of([]), result_of([])) == 1.0
+
+
+class TestApproximationRatio:
+    def test_exact_scores_give_one(self, small_db):
+        exact = small_db.brute_force_top_k(10, 60, 5)
+        assert approximation_ratio(exact, small_db, 10, 60) == pytest.approx(1.0)
+
+    def test_underestimates_below_one(self, small_db):
+        exact = small_db.brute_force_top_k(10, 60, 3)
+        halved = result_of([(it.object_id, it.score / 2) for it in exact])
+        assert approximation_ratio(halved, small_db, 10, 60) == pytest.approx(0.5)
+
+    def test_skips_zero_truth(self, small_db):
+        fake = result_of([(0, 0.0)])
+        # Query interval where object 0 has zero mass: outside domain.
+        value = approximation_ratio(fake, small_db, -5, -1)
+        assert value == 1.0
+
+
+class TestRankScoreErrors:
+    def test_zero_for_identical(self):
+        res = result_of([(1, 4.0), (2, 2.0)])
+        errors = rank_score_errors(res, res, total_mass=10.0)
+        assert np.allclose(errors, 0.0)
+
+    def test_normalized_by_mass(self):
+        a = result_of([(1, 5.0)])
+        b = result_of([(1, 4.0)])
+        assert rank_score_errors(a, b, total_mass=10.0)[0] == pytest.approx(0.1)
+
+
+class TestHarness:
+    def test_evaluate_method_fields(self):
+        db = make_random_database(num_objects=15, avg_segments=10, seed=5)
+        queries = [TopKQuery(10, 50, 5), TopKQuery(20, 80, 5)]
+        exact = exact_reference(db, queries)
+        report = evaluate_method(
+            Exact3(), db, queries, exact, measure_quality=True
+        )
+        assert report.method == "EXACT3"
+        assert report.index_size_bytes > 0
+        assert report.avg_query_ios > 0
+        assert report.precision == pytest.approx(1.0)
+        assert report.ratio == pytest.approx(1.0)
+        row = report.row()
+        assert "query_ios" in row and "precision" in row
+
+    def test_sweep_runs_all_values(self):
+        def make_db(value):
+            return make_random_database(num_objects=value, avg_segments=8, seed=6)
+
+        def make_methods(db, value):
+            return [Exact3()]
+
+        def make_queries(db, value):
+            return [TopKQuery(10, 60, 3)]
+
+        results = sweep([8, 12], make_db, make_methods, make_queries)
+        assert set(results) == {8, 12}
+        assert results[8][0].method == "EXACT3"
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [
+            {"method": "EXACT3", "ios": 120, "ratio": 1.0},
+            {"method": "APPX1", "ios": 6, "ratio": 0.98765},
+        ]
+        table = format_table("demo", rows)
+        assert "EXACT3" in table and "APPX1" in table
+        assert table.splitlines()[1].startswith("method")
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table("empty", [])
+
+    def test_format_handles_nan_and_small(self):
+        table = format_table("x", [{"a": float("nan"), "b": 1.5e-7}])
+        assert "-" in table
+        assert "e-07" in table

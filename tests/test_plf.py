@@ -1,0 +1,209 @@
+"""Unit tests for piecewise linear functions and prefix sums."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidFunctionError
+from repro.core.plf import PiecewiseLinearFunction, from_samples
+
+
+class TestConstruction:
+    def test_requires_two_knots(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([1.0], [2.0])
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0, 2, 2], [0, 1, 2])
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0, 2, 1], [0, 1, 2])
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0, 1, 2], [0, 1])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0, 1], [0, np.inf])
+        with pytest.raises(InvalidFunctionError):
+            PiecewiseLinearFunction([0, np.nan], [0, 1])
+
+    def test_shape_properties(self, tiny_plf):
+        assert tiny_plf.num_segments == 4
+        assert tiny_plf.start == 0
+        assert tiny_plf.end == 8
+        assert tiny_plf.span == (0, 8)
+
+    def test_equality(self, tiny_plf):
+        clone = PiecewiseLinearFunction(tiny_plf.times.copy(), tiny_plf.values.copy())
+        assert clone == tiny_plf
+        assert PiecewiseLinearFunction([0, 1], [1, 1]) != tiny_plf
+
+
+class TestEvaluation:
+    def test_values_at_knots(self, tiny_plf):
+        for t, v in zip([0, 2, 4, 6, 8], [0, 4, 0, 0, 2]):
+            assert tiny_plf.value(t) == v
+
+    def test_interpolated_values(self, tiny_plf):
+        assert tiny_plf.value(1) == 2
+        assert tiny_plf.value(3) == 2
+        assert tiny_plf.value(7) == 1
+
+    def test_zero_outside_span(self, tiny_plf):
+        assert tiny_plf.value(-1) == 0.0
+        assert tiny_plf.value(9) == 0.0
+
+    def test_value_many_matches_scalar(self, tiny_plf):
+        ts = np.linspace(-2, 10, 101)
+        many = tiny_plf.value_many(ts)
+        for t, v in zip(ts, many):
+            assert v == pytest.approx(tiny_plf.value(float(t)))
+
+    def test_slopes(self, tiny_plf):
+        assert np.allclose(tiny_plf.slopes, [2, -2, 0, 1])
+
+    def test_segments_iteration(self, tiny_plf):
+        segs = list(tiny_plf.segments())
+        assert len(segs) == 4
+        assert segs[0].t0 == 0 and segs[0].t1 == 2
+
+    def test_segment_index_error(self, tiny_plf):
+        with pytest.raises(IndexError):
+            tiny_plf.segment(4)
+
+
+class TestIntegration:
+    def test_prefix_masses(self, tiny_plf):
+        assert np.allclose(tiny_plf.prefix_masses, [0, 4, 8, 8, 10])
+
+    def test_total_mass(self, tiny_plf):
+        assert tiny_plf.total_mass == pytest.approx(10)
+
+    def test_cumulative_at_knots(self, tiny_plf):
+        for t, c in zip([0, 2, 4, 6, 8], [0, 4, 8, 8, 10]):
+            assert tiny_plf.cumulative(t) == pytest.approx(c)
+
+    def test_cumulative_clamps(self, tiny_plf):
+        assert tiny_plf.cumulative(-5) == 0.0
+        assert tiny_plf.cumulative(99) == pytest.approx(10)
+
+    def test_cumulative_mid_segment(self, tiny_plf):
+        # Over [0,1] the triangle accumulates 1/2 * 1 * 2 = 1.
+        assert tiny_plf.cumulative(1) == pytest.approx(1)
+
+    def test_integral_difference_identity(self, tiny_plf):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = np.sort(rng.uniform(-1, 9, 2))
+            expected = tiny_plf.cumulative(b) - tiny_plf.cumulative(a)
+            assert tiny_plf.integral(float(a), float(b)) == pytest.approx(expected)
+
+    def test_integral_reversed_is_zero(self, tiny_plf):
+        assert tiny_plf.integral(5, 3) == 0.0
+
+    def test_integral_additivity(self, tiny_plf):
+        assert tiny_plf.integral(0, 3) + tiny_plf.integral(3, 8) == pytest.approx(
+            tiny_plf.total_mass
+        )
+
+    def test_cumulative_many_matches_scalar(self, tiny_plf):
+        ts = np.linspace(-1, 9, 201)
+        many = tiny_plf.cumulative_many(ts)
+        for t, c in zip(ts, many):
+            assert c == pytest.approx(tiny_plf.cumulative(float(t)), abs=1e-12)
+
+    def test_integral_matches_quadrature(self):
+        rng = np.random.default_rng(8)
+        times = np.unique(rng.uniform(0, 50, 40))
+        values = rng.uniform(0, 10, times.size)
+        plf = PiecewiseLinearFunction(times, values)
+        for _ in range(20):
+            a, b = np.sort(rng.uniform(0, 50, 2))
+            xs = np.linspace(a, b, 20001)
+            expected = np.trapezoid(plf.value_many(xs), xs)
+            assert plf.integral(float(a), float(b)) == pytest.approx(
+                expected, rel=1e-3, abs=1e-3
+            )
+
+
+class TestInverseCumulative:
+    def test_round_trip(self, tiny_plf):
+        for target in [0.5, 1, 3.9, 4, 5.5, 8, 9.9]:
+            t = tiny_plf.inverse_cumulative(target)
+            assert tiny_plf.cumulative(t) == pytest.approx(target, abs=1e-9)
+
+    def test_unreachable_returns_inf(self, tiny_plf):
+        assert tiny_plf.inverse_cumulative(10.0001) == float("inf")
+
+    def test_zero_target(self, tiny_plf):
+        assert tiny_plf.inverse_cumulative(0.0) == tiny_plf.start
+
+    def test_skips_flat_zero_piece(self, tiny_plf):
+        # Mass 8 is reached at t=4 but the flat [4,6] piece adds nothing;
+        # any probe just past 8 must land beyond t=6.
+        t = tiny_plf.inverse_cumulative(8.0 + 1e-9)
+        assert t > 6.0
+
+    def test_smallest_t_semantics(self, tiny_plf):
+        # Exactly 8: the smallest t with C(t) >= 8 is 4 (start of plateau).
+        assert tiny_plf.inverse_cumulative(8.0) == pytest.approx(4.0)
+
+
+class TestSection4Extensions:
+    def test_absolute_of_nonnegative_is_identity(self, tiny_plf):
+        assert tiny_plf.absolute() == tiny_plf
+
+    def test_absolute_splits_crossings(self):
+        plf = PiecewiseLinearFunction([0, 2], [-2, 2])
+        ab = plf.absolute()
+        assert ab.num_segments == 2
+        assert ab.value(1) == pytest.approx(0)
+        assert ab.value(0) == 2
+        assert ab.total_mass == pytest.approx(2)
+
+    def test_absolute_preserves_absolute_integral(self):
+        rng = np.random.default_rng(4)
+        times = np.unique(rng.uniform(0, 20, 15))
+        values = rng.uniform(-5, 5, times.size)
+        plf = PiecewiseLinearFunction(times, values)
+        ab = plf.absolute()
+        xs = np.linspace(times[0], times[-1], 50001)
+        expected = np.trapezoid(np.abs(plf.value_many(xs)), xs)
+        assert ab.total_mass == pytest.approx(expected, rel=1e-3)
+
+    def test_padded_extends_span_with_zero_mass(self, tiny_plf):
+        padded = tiny_plf.padded(-10, 20)
+        assert padded.start == -10 and padded.end == 20
+        assert padded.total_mass == pytest.approx(tiny_plf.total_mass, abs=1e-4)
+        assert padded.value(-5) == 0.0
+        assert padded.value(15) == 0.0
+
+    def test_padded_rejects_shrinking(self, tiny_plf):
+        with pytest.raises(InvalidFunctionError):
+            tiny_plf.padded(1, 20)
+
+    def test_padded_noop_when_span_matches(self, tiny_plf):
+        padded = tiny_plf.padded(0, 8)
+        assert padded == tiny_plf
+
+    def test_with_appended(self, tiny_plf):
+        extended = tiny_plf.with_appended(10, 4)
+        assert extended.num_segments == 5
+        assert extended.total_mass == pytest.approx(10 + 0.5 * 2 * (2 + 4))
+
+    def test_with_appended_rejects_backwards(self, tiny_plf):
+        with pytest.raises(InvalidFunctionError):
+            tiny_plf.with_appended(8, 1)
+
+
+class TestFromSamples:
+    def test_sorts_and_dedups(self):
+        plf = from_samples([3, 1, 2, 2], [30, 10, 15, 20])
+        assert np.allclose(plf.times, [1, 2, 3])
+        # Last value wins for the duplicate timestamp.
+        assert plf.value(2) == 20
+
+    def test_matches_direct_construction(self):
+        plf = from_samples([0, 1, 2], [5, 6, 7])
+        assert plf == PiecewiseLinearFunction([0, 1, 2], [5, 6, 7])

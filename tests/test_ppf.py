@@ -1,0 +1,86 @@
+"""Unit tests for piecewise polynomial functions (Section 4 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidFunctionError
+from repro.core.plf import PiecewiseLinearFunction
+from repro.core.ppf import PiecewisePolynomialFunction, from_plf, square_plf
+
+
+class TestConstruction:
+    def test_rejects_bad_coefficient_shape(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewisePolynomialFunction([0, 1, 2], np.zeros((1, 2)))
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(InvalidFunctionError):
+            PiecewisePolynomialFunction([0, 2, 1], np.zeros((2, 2)))
+
+    def test_shape(self):
+        ppf = PiecewisePolynomialFunction([0, 1, 3], np.asarray([[1.0, 0], [2.0, 1]]))
+        assert ppf.num_pieces == 2
+        assert ppf.degree == 1
+        assert ppf.start == 0 and ppf.end == 3
+
+
+class TestEvaluation:
+    def test_constant_piece(self):
+        ppf = PiecewisePolynomialFunction([0, 2], np.asarray([[3.0]]))
+        assert ppf.value(1) == 3.0
+        assert ppf.integral(0, 2) == pytest.approx(6)
+
+    def test_quadratic_piece(self):
+        # f(t) = t^2 on [0, 2] (local coords coincide with global).
+        ppf = PiecewisePolynomialFunction([0, 2], np.asarray([[0.0, 0.0, 1.0]]))
+        assert ppf.value(1.5) == pytest.approx(2.25)
+        assert ppf.integral(0, 2) == pytest.approx(8 / 3)
+
+    def test_zero_outside_span(self):
+        ppf = PiecewisePolynomialFunction([0, 2], np.asarray([[3.0]]))
+        assert ppf.value(-1) == 0.0
+        assert ppf.value(3) == 0.0
+
+    def test_cumulative_clamps(self):
+        ppf = PiecewisePolynomialFunction([0, 2], np.asarray([[3.0]]))
+        assert ppf.cumulative(-1) == 0.0
+        assert ppf.cumulative(10) == pytest.approx(6)
+
+
+class TestFromPlf:
+    def test_values_match(self, tiny_plf):
+        ppf = from_plf(tiny_plf)
+        for t in np.linspace(0, 8, 81):
+            assert ppf.value(float(t)) == pytest.approx(tiny_plf.value(float(t)))
+
+    def test_integrals_match(self, tiny_plf):
+        ppf = from_plf(tiny_plf)
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            a, b = np.sort(rng.uniform(0, 8, 2))
+            assert ppf.integral(float(a), float(b)) == pytest.approx(
+                tiny_plf.integral(float(a), float(b)), abs=1e-10
+            )
+
+
+class TestSquarePlf:
+    def test_pointwise_square(self, tiny_plf):
+        sq = square_plf(tiny_plf)
+        for t in np.linspace(0, 8, 81):
+            assert sq.value(float(t)) == pytest.approx(tiny_plf.value(float(t)) ** 2)
+
+    def test_integral_matches_quadrature(self):
+        rng = np.random.default_rng(9)
+        times = np.unique(rng.uniform(0, 10, 12))
+        values = rng.uniform(-3, 3, times.size)
+        plf = PiecewiseLinearFunction(times, values)
+        sq = square_plf(plf)
+        xs = np.linspace(times[0], times[-1], 100001)
+        expected = np.trapezoid(plf.value_many(xs) ** 2, xs)
+        assert sq.total_mass == pytest.approx(expected, rel=1e-4)
+
+    def test_square_is_nonnegative(self):
+        plf = PiecewiseLinearFunction([0, 1, 2], [-4, 4, -4])
+        sq = square_plf(plf)
+        for t in np.linspace(0, 2, 41):
+            assert sq.value(float(t)) >= 0

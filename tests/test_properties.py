@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import PiecewiseLinearFunction, TemporalDatabase, TemporalObject, TopKQuery
+from repro.core.results import select_top_k
+from repro.exact import Exact1, Exact2, Exact3
+from repro.storage import BlockDevice
+from repro.btree import BPlusTree
+from repro.intervaltree import ExternalIntervalTree
+from repro.approximate import build_breakpoints1, build_breakpoints2
+
+MAX_EXAMPLES = 25
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def plf_strategy(draw, min_knots=2, max_knots=12, nonnegative=True):
+    """Well-conditioned random PLFs: knots built from positive gaps
+    (no filtering, no pathological slopes)."""
+    n = draw(st.integers(min_knots, max_knots))
+    start = draw(st.floats(0, 50, allow_nan=False, allow_infinity=False))
+    gaps = draw(
+        st.lists(
+            st.floats(0.01, 20, allow_nan=False, allow_infinity=False),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    offsets = np.concatenate([[0.0], np.cumsum(gaps)])
+    # Keep everything inside the shared [0, 100] domain.
+    if start + offsets[-1] > 100.0:
+        offsets = offsets * (100.0 - start) / offsets[-1]
+    times = start + offsets
+    times[-1] = min(float(times[-1]), 100.0)
+    low = 0.0 if nonnegative else -10.0
+    values = draw(
+        st.lists(
+            st.floats(low, 10, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return PiecewiseLinearFunction(times, values)
+
+
+@st.composite
+def database_strategy(draw, max_objects=8):
+    m = draw(st.integers(2, max_objects))
+    objects = []
+    for i in range(m):
+        objects.append(TemporalObject(i, draw(plf_strategy())))
+    return TemporalDatabase(objects, span=(0.0, 100.0), pad=True)
+
+
+# ----------------------------------------------------------------------
+# PLF invariants
+# ----------------------------------------------------------------------
+class TestPlfProperties:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(plf_strategy(), st.floats(0, 100), st.floats(0, 100), st.floats(0, 100))
+    def test_integral_additive(self, plf, a, b, c):
+        a, b, c = sorted([a, b, c])
+        whole = plf.integral(a, c)
+        parts = plf.integral(a, b) + plf.integral(b, c)
+        assert abs(whole - parts) <= 1e-6 * max(1.0, abs(whole))
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(plf_strategy())
+    def test_cumulative_monotone_for_nonnegative(self, plf):
+        ts = np.linspace(plf.start, plf.end, 50)
+        cums = plf.cumulative_many(ts)
+        assert np.all(np.diff(cums) >= -1e-9)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(plf_strategy(), st.floats(0, 1))
+    def test_inverse_cumulative_round_trip(self, plf, fraction):
+        total = plf.total_mass
+        assume(total > 1e-6)
+        target = fraction * total
+        t = plf.inverse_cumulative(target)
+        assert abs(plf.cumulative(t) - target) <= 1e-6 * max(1.0, total)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(plf_strategy(nonnegative=False))
+    def test_absolute_dominates_signed(self, plf):
+        ab = plf.absolute()
+        for t in np.linspace(plf.start, plf.end, 20):
+            assert ab.value(float(t)) >= abs(plf.value(float(t))) - 1e-9
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(plf_strategy(), st.floats(0.1, 50))
+    def test_padding_preserves_integrals(self, plf, margin):
+        padded = plf.padded(plf.start - margin, plf.end + margin)
+        for a, b in [(plf.start, plf.end), (plf.start - margin, plf.end)]:
+            assert abs(padded.integral(a, b) - plf.integral(a, b)) <= 1e-5 * max(
+                1.0, abs(plf.integral(a, b))
+            ) + 1e-3
+
+
+# ----------------------------------------------------------------------
+# selection invariants
+# ----------------------------------------------------------------------
+class TestSelectionProperties:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 50), st.floats(0, 100)), max_size=60),
+        st.integers(1, 20),
+    )
+    def test_select_top_k_matches_sort(self, pairs, k):
+        # Dedup ids: answers are sets of objects.
+        seen = {}
+        for obj, score in pairs:
+            seen[obj] = score
+        pairs = list(seen.items())
+        expected = sorted(pairs, key=lambda p: (-p[1], p[0]))[:k]
+        got = select_top_k(pairs, k)
+        assert [(it.object_id, it.score) for it in got] == expected
+
+
+# ----------------------------------------------------------------------
+# index structure invariants
+# ----------------------------------------------------------------------
+class TestBTreeProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=200),
+        st.lists(st.floats(0, 1000, allow_nan=False), max_size=30),
+    )
+    def test_bulk_load_plus_inserts_sorted(self, initial, inserts):
+        initial = sorted(initial)
+        tree = BPlusTree(BlockDevice(block_bytes=256), value_columns=1)
+        tree.bulk_load(
+            np.asarray(initial), np.asarray(initial, dtype=float).reshape(-1, 1)
+        )
+        for key in inserts:
+            tree.insert(key, np.asarray([key]))
+        got = [k for k, _ in tree.items()]
+        assert np.allclose(got, sorted(initial + inserts))
+        tree.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.floats(0, 1000, allow_nan=False), min_size=5, max_size=200
+        ),
+        st.floats(-10, 1010),
+    )
+    def test_successor_agrees_with_searchsorted(self, keys, probe):
+        keys = sorted(keys)
+        tree = BPlusTree(BlockDevice(block_bytes=256), value_columns=1)
+        tree.bulk_load(
+            np.asarray(keys), np.zeros((len(keys), 1))
+        )
+        idx = np.searchsorted(keys, probe, side="left")
+        got = tree.successor(probe)
+        if idx == len(keys):
+            assert got is None
+        else:
+            assert got[0] == keys[idx]
+
+
+class TestIntervalTreeProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)),
+            min_size=1,
+            max_size=150,
+        ),
+        st.floats(-5, 105),
+    )
+    def test_stab_matches_bruteforce(self, raw, probe):
+        lows = np.asarray([min(a, b) for a, b in raw])
+        highs = np.asarray([max(a, b) for a, b in raw])
+        values = np.arange(len(raw), dtype=np.float64).reshape(-1, 1)
+        tree = ExternalIntervalTree(BlockDevice(block_bytes=512), value_columns=1)
+        tree.build(lows, highs, values)
+        got = set(tree.stab(probe)[:, 2].astype(int).tolist())
+        expected = set(
+            np.flatnonzero((lows <= probe) & (probe <= highs)).tolist()
+        )
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# method-level invariants
+# ----------------------------------------------------------------------
+class TestMethodProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(database_strategy(), st.floats(0, 100), st.floats(0, 100), st.integers(1, 5))
+    def test_exact_methods_equal_bruteforce(self, db, a, b, k):
+        t1, t2 = min(a, b), max(a, b)
+        ref = db.brute_force_top_k(t1, t2, k)
+        for cls in (Exact1, Exact2, Exact3):
+            got = cls().build(db).query(TopKQuery(t1, t2, k))
+            assert np.allclose(got.scores, ref.scores, atol=1e-6)
+            for j in range(len(ref)):
+                if got.object_ids[j] != ref.object_ids[j]:
+                    # Rank swaps are only tolerable at numerically
+                    # indistinguishable scores (denormal-scale queries).
+                    assert got.scores[j] == pytest.approx(
+                        ref.scores[j], rel=1e-9, abs=1e-12
+                    )
+
+    @settings(max_examples=10, deadline=None)
+    @given(database_strategy(), st.floats(0.02, 0.3))
+    def test_breakpoints1_lemma2(self, db, epsilon):
+        assume(db.total_mass > 1e-6)
+        bp = build_breakpoints1(db, epsilon=epsilon)
+        assert bp.verify(db) <= bp.threshold * (1 + 1e-6) + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(database_strategy(), st.floats(0.02, 0.3))
+    def test_breakpoints2_lemma2(self, db, epsilon):
+        assume(db.total_mass > 1e-6)
+        bp = build_breakpoints2(db, epsilon)
+        assert bp.verify(db) <= bp.threshold * (1 + 1e-6) + 1e-9

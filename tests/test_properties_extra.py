@@ -1,0 +1,88 @@
+"""Additional property-based tests (hypothesis) for higher layers."""
+
+import numpy as np
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.core import TemporalDatabase, TemporalObject
+from repro.storage import BlockDevice
+from repro.approximate import build_breakpoints1, build_breakpoints2, build_breakpoints2_baseline
+from repro.approximate.dyadic import DyadicIndex
+from repro.holistic import interval_quantile, measure_below
+
+from test_properties import database_strategy, plf_strategy  # reuse strategies
+from _support import breakpoints_equivalent
+
+
+class TestQuantileProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(plf_strategy(), st.floats(0.05, 1.0))
+    def test_quantile_measure_round_trip(self, plf, phi):
+        """mu(quantile(phi)) >= phi * |interval| (definition of inf)."""
+        t1, t2 = plf.start, plf.end
+        assume(t2 - t1 > 1e-6)
+        q = interval_quantile(plf, t1, t2, phi)
+        mu = measure_below(plf, t1, t2, q)
+        assert mu >= phi * (t2 - t1) - 1e-6 * (t2 - t1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(plf_strategy())
+    def test_quantile_bounded_by_extremes(self, plf):
+        t1, t2 = plf.start, plf.end
+        assume(t2 - t1 > 1e-6)
+        lo = min(0.0, float(plf.values.min()))
+        hi = float(plf.values.max())
+        q = interval_quantile(plf, t1, t2, 0.5)
+        assert lo - 1e-9 <= q <= hi + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(plf_strategy(), st.floats(0, 100), st.floats(0.5, 50))
+    def test_measure_additive_in_interval(self, plf, start, width):
+        """mu over [a,b] + mu over [b,c] == mu over [a,c] at any v."""
+        a = start
+        b = a + width / 2
+        c = a + width
+        for v in (0.0, 2.5, 5.0, 11.0):
+            whole = measure_below(plf, a, c, v)
+            parts = measure_below(plf, a, b, v) + measure_below(plf, b, c, v)
+            assert abs(whole - parts) <= 1e-6 * max(1.0, width)
+
+
+class TestBreakpointProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(database_strategy(), st.floats(0.05, 0.5))
+    def test_segment_driven_equals_baseline(self, db, epsilon):
+        assume(db.total_mass > 1e-6)
+        fast = build_breakpoints2(db, epsilon)
+        slow = build_breakpoints2_baseline(db, epsilon)
+        assert breakpoints_equivalent(fast, slow)
+
+    @settings(max_examples=12, deadline=None)
+    @given(database_strategy(), st.floats(0.05, 0.4))
+    def test_b2_never_more_breakpoints_than_b1(self, db, epsilon):
+        assume(db.total_mass > 1e-6)
+        b1 = build_breakpoints1(db, epsilon=epsilon)
+        b2 = build_breakpoints2(db, epsilon)
+        assert b2.r <= b1.r + 1  # +1 slack for boundary dedup
+
+
+class TestDyadicProperties:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.data_too_large],
+    )
+    @given(database_strategy(), st.integers(5, 30), st.data())
+    def test_decomposition_always_exact_cover(self, db, r, data):
+        assume(db.total_mass > 1e-6)
+        bp = build_breakpoints1(db, r=r)
+        index = DyadicIndex(BlockDevice(), bp, kmax=4).build(db)
+        gaps = bp.r - 1
+        assume(gaps >= 2)
+        j1 = data.draw(st.integers(0, gaps - 1))
+        j2 = data.draw(st.integers(j1 + 1, gaps))
+        nodes = index.decompose(j1, j2)
+        covered = sorted((n.lo, n.hi) for n in nodes)
+        assert covered[0][0] == j1 and covered[-1][1] == j2
+        for (_, hi_a), (lo_b, _) in zip(covered, covered[1:]):
+            assert hi_a == lo_b
+        assert len(nodes) <= 2 * np.ceil(np.log2(gaps)) + 2

@@ -1,0 +1,178 @@
+"""Tests for QUERY1 (nested pairs) and QUERY2 (dyadic) structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidQueryError
+from repro.storage import BlockDevice
+from repro.approximate import build_breakpoints1, build_breakpoints2
+from repro.approximate.dyadic import DyadicIndex
+from repro.approximate.query1 import NestedPairIndex
+
+from _support import make_random_database, random_intervals
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = make_random_database(num_objects=40, avg_segments=25, seed=99)
+    bp = build_breakpoints1(db, r=33)
+    return db, bp
+
+
+@pytest.fixture(scope="module")
+def query1(setup):
+    db, bp = setup
+    index = NestedPairIndex(BlockDevice(), bp, kmax=15)
+    return index.build(db)
+
+
+@pytest.fixture(scope="module")
+def query2(setup):
+    db, bp = setup
+    index = DyadicIndex(BlockDevice(), bp, kmax=15)
+    return index.build(db)
+
+
+class TestNestedPairIndex:
+    def test_snapped_scores_are_exact_on_snapped_interval(self, setup, query1):
+        """QUERY1 stores sigma_i(B(t1), B(t2)) exactly."""
+        db, bp = setup
+        for t1, t2 in random_intervals(db, 30, seed=3):
+            res = query1.query(t1, t2, 10)
+            s1, s2 = bp.snap_time(t1), bp.snap_time(t2)
+            if s1 >= s2:
+                assert len(res) == 0
+                continue
+            ref = db.brute_force_top_k(s1, s2, 10)
+            assert res.object_ids == ref.object_ids
+            assert np.allclose(res.scores, ref.scores, atol=1e-6)
+
+    def test_epsilon_one_guarantee(self, setup, query1):
+        """Definition 1 with alpha=1: |sigma~ - sigma| <= eps*M per rank."""
+        db, bp = setup
+        for t1, t2 in random_intervals(db, 30, seed=4):
+            res = query1.query(t1, t2, 10)
+            ref = db.brute_force_top_k(t1, t2, 10)
+            for j, item in enumerate(res):
+                truth = ref[j].score
+                assert abs(item.score - truth) <= bp.threshold * (1 + 1e-6)
+
+    def test_k_exceeding_kmax_rejected(self, query1):
+        with pytest.raises(InvalidQueryError):
+            query1.query(0.0, 50.0, 16)
+
+    def test_degenerate_snap_returns_empty(self, setup, query1):
+        db, bp = setup
+        # Choose t1, t2 inside one breakpoint gap.
+        mid = (bp.times[3] + bp.times[4]) / 2
+        res = query1.query(float(mid), float(mid) + 1e-9, 5)
+        assert len(res) == 0
+
+    def test_query_io_small(self, setup, query1):
+        db, bp = setup
+        query1.device.stats.reset()
+        query1.query(10.0, 80.0, 10)
+        # Two B+-tree descents + list blocks.
+        assert query1.device.stats.reads <= 10
+
+    def test_approximate_score_matches_list(self, setup, query1):
+        db, bp = setup
+        res = query1.query(5.0, 95.0, 5)
+        for item in res:
+            assert query1.approximate_score(
+                item.object_id, 5.0, 95.0
+            ) == pytest.approx(item.score)
+
+
+class TestDyadicIndex:
+    def test_decomposition_is_disjoint_cover(self, setup, query2):
+        db, bp = setup
+        rng = np.random.default_rng(5)
+        num_gaps = bp.r - 1
+        for _ in range(40):
+            j1, j2 = sorted(rng.integers(0, num_gaps + 1, 2))
+            if j1 == j2:
+                continue
+            nodes = query2.decompose(int(j1), int(j2))
+            covered = sorted((n.lo, n.hi) for n in nodes)
+            # Disjoint and exactly covering [j1, j2).
+            assert covered[0][0] == j1
+            assert covered[-1][1] == j2
+            for (lo_a, hi_a), (lo_b, hi_b) in zip(covered, covered[1:]):
+                assert hi_a == lo_b
+
+    def test_decomposition_size_bound(self, setup, query2):
+        """Lemma 4: at most 2*log2(r) dyadic intervals."""
+        db, bp = setup
+        num_gaps = bp.r - 1
+        bound = 2 * np.ceil(np.log2(max(num_gaps, 2))) + 2
+        rng = np.random.default_rng(6)
+        for _ in range(60):
+            j1, j2 = sorted(rng.integers(0, num_gaps + 1, 2))
+            if j1 == j2:
+                continue
+            assert len(query2.decompose(int(j1), int(j2))) <= bound
+
+    def test_candidate_scores_are_lower_bounds(self, setup, query2):
+        """Summed dyadic scores never exceed the snapped-interval truth."""
+        db, bp = setup
+        for t1, t2 in random_intervals(db, 20, seed=7):
+            snapped = query2.snap_indices(t1, t2)
+            if snapped is None:
+                continue
+            s1, s2 = float(bp.times[snapped[0]]), float(bp.times[snapped[1]])
+            for obj_id, score in query2.candidates(t1, t2, 10).items():
+                truth = db.exact_score(obj_id, s1, s2)
+                assert score <= truth + 1e-6
+
+    def test_epsilon_2logr_guarantee(self, setup, query2):
+        """Definition 2 with alpha = 2 log r (Lemma 4)."""
+        db, bp = setup
+        alpha = 2 * np.log2(bp.r)
+        for t1, t2 in random_intervals(db, 30, seed=8):
+            res = query2.query(t1, t2, 10)
+            ref = db.brute_force_top_k(t1, t2, 10)
+            for j, item in enumerate(res):
+                truth = ref[j].score
+                assert item.score >= truth / alpha - bp.threshold - 1e-6
+                assert item.score <= truth + bp.threshold + 1e-6
+
+    def test_candidate_pool_bounded(self, setup, query2):
+        db, bp = setup
+        k = 10
+        bound = 2 * k * np.ceil(np.log2(bp.r)) + k
+        for t1, t2 in random_intervals(db, 20, seed=9):
+            assert len(query2.candidates(t1, t2, k)) <= bound
+
+    def test_k_exceeding_kmax_rejected(self, query2):
+        with pytest.raises(InvalidQueryError):
+            query2.candidates(0.0, 50.0, 99)
+
+    def test_empty_snap(self, setup, query2):
+        db, bp = setup
+        mid = (bp.times[3] + bp.times[4]) / 2
+        assert query2.candidates(float(mid), float(mid), 5) == {}
+
+    def test_smaller_than_query1(self, setup, query1, query2):
+        """Theta(r * kmax) vs Theta(r^2 * kmax) footprint."""
+        assert (
+            query2.device.size_bytes < query1.device.size_bytes
+        )
+
+
+class TestWithBreakpoints2:
+    def test_structures_work_on_b2(self):
+        db = make_random_database(num_objects=30, avg_segments=20, seed=101)
+        bp = build_breakpoints2(db, 0.002)
+        q1 = NestedPairIndex(BlockDevice(), bp, kmax=10).build(db)
+        q2 = DyadicIndex(BlockDevice(), bp, kmax=10).build(db)
+        for t1, t2 in random_intervals(db, 15, seed=11):
+            ref = db.brute_force_top_k(t1, t2, 5)
+            r1 = q1.query(t1, t2, 5)
+            r2 = q2.query(t1, t2, 5)
+            for res in (r1, r2):
+                for j, item in enumerate(res):
+                    # Very fine breakpoints: answers nearly exact.
+                    assert abs(item.score - ref[j].score) <= max(
+                        10 * bp.threshold, 1e-6
+                    ) or item.object_id == ref[j].object_id

@@ -1,0 +1,85 @@
+"""Unit tests for top-k answer sets and selection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import (
+    RankedItem,
+    TopKResult,
+    select_top_k,
+    top_k_from_arrays,
+)
+
+
+class TestTopKResult:
+    def test_from_pairs_orders_descending(self):
+        res = TopKResult.from_pairs([(1, 5.0), (2, 9.0), (3, 7.0)])
+        assert res.object_ids == [2, 3, 1]
+        assert res.scores == [9.0, 7.0, 5.0]
+
+    def test_tie_break_by_id(self):
+        res = TopKResult.from_pairs([(9, 5.0), (2, 5.0), (4, 5.0)])
+        assert res.object_ids == [2, 4, 9]
+
+    def test_indexing_and_iteration(self):
+        res = TopKResult.from_pairs([(1, 2.0), (2, 1.0)])
+        assert res[0] == RankedItem(1, 2.0)
+        assert list(res)[1].object_id == 2
+        assert len(res) == 2
+
+    def test_truncated(self):
+        res = TopKResult.from_pairs([(i, float(i)) for i in range(10)])
+        assert len(res.truncated(3)) == 3
+        assert res.truncated(3).object_ids == [9, 8, 7]
+
+    def test_item_unpacking(self):
+        obj, score = RankedItem(4, 2.5)
+        assert obj == 4 and score == 2.5
+
+    def test_empty(self):
+        assert len(TopKResult()) == 0
+        assert TopKResult().object_ids == []
+
+
+class TestSelectTopK:
+    def test_basic(self):
+        res = select_top_k([(1, 1.0), (2, 3.0), (3, 2.0)], 2)
+        assert res.object_ids == [2, 3]
+
+    def test_k_larger_than_input(self):
+        res = select_top_k([(1, 1.0)], 5)
+        assert res.object_ids == [1]
+
+    def test_k_zero(self):
+        assert len(select_top_k([(1, 1.0)], 0)) == 0
+
+    def test_ties_prefer_lower_id(self):
+        res = select_top_k([(5, 2.0), (1, 2.0), (3, 2.0)], 2)
+        assert res.object_ids == [1, 3]
+
+    def test_matches_full_sort(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n = int(rng.integers(1, 60))
+            pairs = [(int(i), float(rng.integers(0, 8))) for i in range(n)]
+            k = int(rng.integers(1, n + 1))
+            expected = sorted(pairs, key=lambda p: (-p[1], p[0]))[:k]
+            got = select_top_k(pairs, k)
+            assert [(it.object_id, it.score) for it in got] == expected
+
+
+class TestTopKFromArrays:
+    def test_matches_select_top_k(self):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            n = int(rng.integers(1, 80))
+            ids = np.arange(n)
+            scores = rng.integers(0, 6, n).astype(float)
+            k = int(rng.integers(1, n + 1))
+            a = top_k_from_arrays(ids, scores, k)
+            b = select_top_k(zip(ids.tolist(), scores.tolist()), k)
+            assert a.object_ids == b.object_ids
+            assert a.scores == b.scores
+
+    def test_empty_arrays(self):
+        assert len(top_k_from_arrays(np.empty(0, int), np.empty(0), 3)) == 0

@@ -1,0 +1,86 @@
+"""Tests for the time series segmentation algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidFunctionError
+from repro.segmentation import bottom_up, chord_error, sliding_window, swab
+
+ALGORITHMS = [sliding_window, bottom_up, swab]
+
+
+def noisy_signal(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.uniform(0, 20, n))
+    t = np.unique(t)
+    v = np.sin(t) + 2.0 + 0.02 * rng.standard_normal(t.size)
+    return t, v
+
+
+class TestChordError:
+    def test_two_points_zero(self):
+        assert chord_error(np.asarray([0.0, 1.0]), np.asarray([3.0, 4.0])) == 0.0
+
+    def test_collinear_zero(self):
+        t = np.asarray([0.0, 1.0, 2.0])
+        v = np.asarray([0.0, 2.0, 4.0])
+        assert chord_error(t, v) == pytest.approx(0)
+
+    def test_spike(self):
+        t = np.asarray([0.0, 1.0, 2.0])
+        v = np.asarray([0.0, 5.0, 0.0])
+        assert chord_error(t, v) == pytest.approx(5)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda f: f.__name__)
+class TestCommonBehaviour:
+    def test_respects_tolerance(self, algorithm):
+        t, v = noisy_signal(seed=1)
+        tol = 0.1
+        plf = algorithm(t, v, tol)
+        # Max deviation at the original samples stays within tolerance
+        # (small slack: SWAB re-buffers across emitted boundaries).
+        errors = np.abs(plf.value_many(t) - v)
+        assert errors.max() <= tol * 1.5
+
+    def test_fewer_knots_than_samples(self, algorithm):
+        t, v = noisy_signal(seed=2)
+        plf = algorithm(t, v, 0.2)
+        assert plf.num_segments < t.size - 1
+
+    def test_preserves_endpoints(self, algorithm):
+        t, v = noisy_signal(seed=3)
+        plf = algorithm(t, v, 0.1)
+        assert plf.start == t[0]
+        assert plf.end == t[-1]
+        assert plf.value(t[0]) == pytest.approx(v[0])
+        assert plf.value(t[-1]) == pytest.approx(v[-1])
+
+    def test_tiny_input_rejected(self, algorithm):
+        with pytest.raises(InvalidFunctionError):
+            algorithm(np.asarray([0.0]), np.asarray([1.0]), 0.1)
+
+    def test_straight_line_collapses(self, algorithm):
+        t = np.linspace(0, 10, 100)
+        v = 3.0 * t + 1.0
+        plf = algorithm(t, v, 1e-9)
+        assert plf.num_segments <= 3
+
+    def test_tighter_tolerance_more_segments(self, algorithm):
+        t, v = noisy_signal(seed=4)
+        coarse = algorithm(t, v, 0.5)
+        fine = algorithm(t, v, 0.05)
+        assert fine.num_segments >= coarse.num_segments
+
+
+class TestAdaptivity:
+    def test_bottom_up_allocates_to_volatile_region(self):
+        """Paper Section 1 observation (2): adaptive methods put more
+        segments where the series is volatile."""
+        t = np.linspace(0, 20, 400)
+        v = np.where(t < 10, 1.0, np.sin(8 * t))
+        plf = bottom_up(t, v, 0.1)
+        knots = plf.times
+        calm = np.sum(knots < 10)
+        volatile = np.sum(knots >= 10)
+        assert volatile > calm * 2

@@ -1,0 +1,159 @@
+"""Unit tests for the simulated block device, IO stats, and LRU cache."""
+
+import pytest
+
+from repro.storage import (
+    BlockDevice,
+    BlockDeviceError,
+    LRUCache,
+    IOStats,
+    entries_per_block,
+)
+
+
+class TestEntriesPerBlock:
+    def test_basic(self):
+        assert entries_per_block(16, 4096) == 256
+        assert entries_per_block(48, 4096) == 85
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            entries_per_block(0)
+
+    def test_rejects_oversized_entry(self):
+        with pytest.raises(ValueError):
+            entries_per_block(8192, 4096)
+
+
+class TestBlockDevice:
+    def test_allocate_read_write(self):
+        dev = BlockDevice()
+        bid = dev.allocate("hello")
+        assert dev.read(bid) == "hello"
+        dev.write(bid, "world")
+        assert dev.read(bid) == "world"
+
+    def test_io_accounting(self):
+        dev = BlockDevice()
+        bid = dev.allocate([1, 2, 3])  # 1 write
+        dev.read(bid)  # 1 read
+        dev.read(bid)  # 1 read
+        dev.write(bid, [4])  # 1 write
+        assert dev.stats.reads == 2
+        assert dev.stats.writes == 2
+        assert dev.stats.allocations == 1
+        assert dev.stats.total == 4
+
+    def test_invalid_block(self):
+        dev = BlockDevice()
+        with pytest.raises(BlockDeviceError):
+            dev.read(99)
+
+    def test_free(self):
+        dev = BlockDevice()
+        bid = dev.allocate("x")
+        dev.free(bid)
+        with pytest.raises(BlockDeviceError):
+            dev.read(bid)
+        assert dev.num_blocks == 0
+
+    def test_size_bytes(self):
+        dev = BlockDevice(block_bytes=4096)
+        for _ in range(5):
+            dev.allocate(None)
+        assert dev.size_bytes == 5 * 4096
+
+    def test_allocate_run_is_sequential(self):
+        dev = BlockDevice()
+        ids = dev.allocate_run(["a", "b", "c"])
+        assert ids == sorted(ids)
+        assert [dev.read(i) for i in ids] == ["a", "b", "c"]
+
+    def test_shared_stats(self):
+        shared = IOStats()
+        dev1 = BlockDevice(stats=shared)
+        dev2 = BlockDevice(stats=shared)
+        dev1.allocate(1)
+        dev2.allocate(2)
+        assert shared.writes == 2
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            BlockDevice(block_bytes=0)
+
+
+class TestIOStats:
+    def test_measure_context(self):
+        dev = BlockDevice()
+        bid = dev.allocate("x")
+        with dev.stats.measure() as cost:
+            dev.read(bid)
+            dev.read(bid)
+        assert cost.reads == 2
+        assert cost.writes == 0
+        assert cost.total == 2
+
+    def test_snapshot_diff(self):
+        stats = IOStats()
+        before = stats.snapshot()
+        stats.record_read()
+        stats.record_write()
+        delta = stats.snapshot() - before
+        assert delta.reads == 1 and delta.writes == 1
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read()
+        stats.reset()
+        assert stats.total == 0
+
+
+class TestLRUCache:
+    def test_hits_are_free(self):
+        cache = LRUCache(capacity_blocks=4)
+        dev = BlockDevice(cache=cache)
+        bid = dev.allocate("x")  # enters cache on allocate
+        before = dev.stats.reads
+        dev.read(bid)
+        assert dev.stats.reads == before  # cache hit: no IO charged
+        assert dev.stats.cache_hits == 1
+
+    def test_eviction(self):
+        cache = LRUCache(capacity_blocks=2)
+        dev = BlockDevice(cache=cache)
+        ids = [dev.allocate(i) for i in range(3)]
+        # Block 0 was evicted (LRU); reading it costs an IO.
+        before = dev.stats.reads
+        dev.read(ids[0])
+        assert dev.stats.reads == before + 1
+
+    def test_drop_cache(self):
+        cache = LRUCache(capacity_blocks=4)
+        dev = BlockDevice(cache=cache)
+        bid = dev.allocate("x")
+        dev.drop_cache()
+        before = dev.stats.reads
+        dev.read(bid)
+        assert dev.stats.reads == before + 1
+
+    def test_lru_order_refresh(self):
+        cache = LRUCache(capacity_blocks=2)
+        dev = BlockDevice(cache=cache)
+        a = dev.allocate("a")
+        b = dev.allocate("b")
+        dev.read(a)  # refresh a
+        dev.allocate("c")  # evicts b, not a
+        before = dev.stats.reads
+        dev.read(a)
+        assert dev.stats.reads == before  # still cached
+
+    def test_invalidate_on_free(self):
+        cache = LRUCache(capacity_blocks=4)
+        dev = BlockDevice(cache=cache)
+        bid = dev.allocate("x")
+        dev.free(bid)
+        assert bid not in cache
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
