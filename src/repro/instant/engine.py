@@ -46,11 +46,21 @@ class InstantBruteForce:
         return self
 
     def query(self, t: float, k: int) -> TopKResult:
-        """``top-k(t)``: objects with the k highest scores at time t."""
+        """``top-k(t)``: objects with the k highest scores at time t.
+
+        All ``m`` evaluations run through the columnar kernel's
+        :meth:`~repro.core.plfstore.PLFStore.values_at`.
+        """
         if self.database is None:
             raise IndexStateError("engine not built")
         if k < 1:
             raise InvalidQueryError("k must be >= 1")
+        if self.database.wants_store:
+            store = self.database.store()
+            return top_k_from_arrays(store.object_ids, store.values_at(t), k)
+        # Store invalidated by an append (streaming tick): the scalar
+        # loop beats an O(N) snapshot rebuild per query.
+        self.database.note_scalar_fallback()
         ids = self.database.object_ids()
         values = np.asarray(
             [obj.function.value(t) for obj in self.database]
@@ -70,21 +80,9 @@ class InstantIntervalTree:
         self._built = False
 
     def build(self, database: TemporalDatabase) -> "InstantIntervalTree":
-        self._object_ids = database.object_ids()
-        lows, highs, values = [], [], []
-        for obj in database:
-            fn = obj.function
-            n = fn.num_segments
-            rows = np.empty((n, _VALUE_COLUMNS), dtype=np.float64)
-            rows[:, 0] = float(obj.object_id)
-            rows[:, 1] = fn.values[:-1]
-            rows[:, 2] = fn.values[1:]
-            lows.append(fn.times[:-1])
-            highs.append(fn.times[1:])
-            values.append(rows)
-        self.tree.build(
-            np.concatenate(lows), np.concatenate(highs), np.concatenate(values)
-        )
+        store = database.store()
+        self._object_ids = store.object_ids
+        self.tree.build(*store.segment_table())
         self._built = True
         return self
 

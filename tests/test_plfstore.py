@@ -1,0 +1,281 @@
+"""Equivalence tests: PLFStore batch primitives vs per-object PLFs.
+
+The columnar kernel's contract is that every batch primitive reproduces
+the scalar per-object arithmetic (bit-for-bit where the consumers rely
+on it — breakpoint sweeps — and to 1e-9 everywhere else).  Databases
+are randomized, include negative scores, and are padded, per the ISSUE.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PiecewiseLinearFunction, PLFStore, TemporalObject
+from repro.core.errors import ReproError
+
+from _support import make_random_database, random_intervals
+
+
+@pytest.fixture(scope="module", params=[False, True], ids=["positive", "negative"])
+def db(request):
+    return make_random_database(
+        num_objects=40, avg_segments=25, seed=11, negative=request.param
+    )
+
+
+@pytest.fixture(scope="module")
+def store(db):
+    return db.store()
+
+
+def probe_times(db, count=60, seed=5):
+    rng = np.random.default_rng(seed)
+    t_min, t_max = db.span
+    pad = 0.1 * (t_max - t_min)
+    ts = rng.uniform(t_min - pad, t_max + pad, count)
+    knots = np.concatenate([obj.function.times for obj in db])
+    # Include exact knot times: the piece-selection edge cases.
+    return np.concatenate([ts, rng.choice(knots, 20, replace=False)])
+
+
+class TestCumulative:
+    def test_cumulative_at_bitwise(self, db, store):
+        for t in probe_times(db):
+            ref = np.asarray([obj.function.cumulative(t) for obj in db])
+            got = store.cumulative_at(t)
+            assert np.array_equal(ref, got)
+
+    def test_cumulative_at_many_matches(self, db, store):
+        ts = probe_times(db)
+        got = store.cumulative_at_many(ts)
+        for row, t in enumerate(ts):
+            ref = np.asarray([obj.function.cumulative(t) for obj in db])
+            assert np.array_equal(ref, got[row])
+
+    def test_chunked_many_matches_unchunked(self, db, store, monkeypatch):
+        import repro.core.plfstore as mod
+
+        ts = probe_times(db)
+        full = store.cumulative_at_many(ts)
+        monkeypatch.setattr(mod, "_CHUNK_ELEMENTS", db.num_objects * 3)
+        assert np.array_equal(store.cumulative_at_many(ts), full)
+
+
+class TestIntegrals:
+    def test_integrals_bitwise(self, db, store):
+        for t1, t2 in random_intervals(db, 40, seed=3):
+            ref = np.asarray([obj.function.integral(t1, t2) for obj in db])
+            assert np.array_equal(ref, store.integrals(t1, t2))
+
+    def test_integrals_many(self, db, store):
+        queries = np.asarray(random_intervals(db, 25, seed=9))
+        got = store.integrals_many(queries)
+        for row, (t1, t2) in enumerate(queries):
+            ref = np.asarray([obj.function.integral(t1, t2) for obj in db])
+            assert np.allclose(ref, got[row], atol=1e-9)
+
+    def test_reversed_interval_scores_zero(self, store):
+        assert np.all(store.integrals(50.0, 10.0) == 0.0)
+        out = store.integrals_many(np.asarray([[50.0, 10.0], [10.0, 50.0]]))
+        assert np.all(out[0] == 0.0)
+        assert np.any(out[1] != 0.0)
+
+    def test_masses_between(self, db, store):
+        grid = np.linspace(*db.span, 17)
+        masses = store.masses_between(grid)
+        assert masses.shape == (db.num_objects, grid.size - 1)
+        for row, obj in enumerate(db):
+            cums = np.asarray([obj.function.cumulative(g) for g in grid])
+            assert np.allclose(masses[row], np.diff(cums), atol=1e-9)
+
+
+class TestValuesAndTopK:
+    def test_values_at(self, db, store):
+        for t in probe_times(db):
+            ref = np.asarray([obj.function.value(t) for obj in db])
+            assert np.allclose(ref, store.values_at(t), atol=1e-9)
+
+    def test_top_k_matches_brute_force(self, db, store):
+        for t1, t2 in random_intervals(db, 20, seed=21):
+            ref = db.brute_force_top_k(t1, t2, 7)
+            got = store.top_k(t1, t2, 7)
+            assert got.object_ids == ref.object_ids
+            assert np.allclose(got.scores, ref.scores, atol=1e-9)
+
+    def test_top_k_many(self, db, store):
+        queries = np.asarray(random_intervals(db, 10, seed=33))
+        results = store.top_k_many(queries, 5)
+        for (t1, t2), got in zip(queries, results):
+            ref = db.brute_force_top_k(t1, t2, 5)
+            assert got.object_ids == ref.object_ids
+
+
+class TestInverseCumulative:
+    def test_matches_scalar_bitwise(self, db):
+        # Run on |g|: the inverse requires nondecreasing cumulatives.
+        store = db.store(use_absolute=True)
+        rng = np.random.default_rng(17)
+        fractions = rng.uniform(-0.2, 1.3, store.num_objects)
+        targets = fractions * store.totals
+        ref = np.asarray(
+            [
+                fn.inverse_cumulative(float(t))
+                for fn, t in zip(store.functions, targets)
+            ]
+        )
+        got = store.inverse_cumulative_many(targets)
+        assert np.array_equal(ref, got)
+
+    def test_flat_runs_land_on_earliest_crossing(self):
+        # Mass 2 accrues on [0, 2], is flat on [2, 5], then grows again.
+        fn = PiecewiseLinearFunction(
+            [0.0, 2.0, 5.0, 6.0], [2.0, 0.0, 0.0, 2.0]
+        )
+        store = PLFStore([fn])
+        assert fn.inverse_cumulative(2.0) == pytest.approx(2.0)
+        assert store.inverse_cumulative_many(np.asarray([2.0]))[0] == (
+            fn.inverse_cumulative(2.0)
+        )
+        assert store.inverse_cumulative_many(np.asarray([2.5]))[0] == (
+            fn.inverse_cumulative(2.5)
+        )
+        assert store.inverse_cumulative_many(np.asarray([10.0]))[0] == np.inf
+
+
+class TestAbsolute:
+    def test_vectorized_absolute_matches_reference_loop(self, db):
+        for obj in db:
+            fn = obj.function
+            got = fn.absolute()
+            # Reference: the historical per-segment Python loop.
+            ref_times = [float(fn.times[0])]
+            ref_values = [abs(float(fn.values[0]))]
+            for seg in fn.segments():
+                if (seg.v0 < 0 < seg.v1) or (seg.v1 < 0 < seg.v0):
+                    t_cross = seg.t0 - seg.v0 / seg.slope
+                    if seg.t0 < t_cross < seg.t1:
+                        ref_times.append(t_cross)
+                        ref_values.append(0.0)
+                ref_times.append(seg.t1)
+                ref_values.append(abs(seg.v1))
+            assert np.array_equal(got.times, np.asarray(ref_times))
+            assert np.array_equal(got.values, np.asarray(ref_values))
+
+    def test_absolute_store_cached(self, store):
+        assert store.absolute() is store.absolute()
+
+
+class TestStoreLifecycle:
+    def test_database_caches_store(self, db):
+        assert db.store() is db.store()
+
+    def test_append_invalidates_store(self):
+        db = make_random_database(num_objects=6, avg_segments=8, seed=2)
+        before = db.store()
+        end = db.t_max + 1.0
+        db.append_segment(0, end, 3.0)
+        after = db.store()
+        assert after is not before
+        ref = np.asarray([obj.function.cumulative(end) for obj in db])
+        assert np.array_equal(ref, after.cumulative_at(end))
+
+    def test_staleness_clears_after_read_burst(self):
+        """One append must not pin read-heavy workloads to scalar
+        paths forever: a few fallback queries re-arm the rebuild."""
+        db = make_random_database(num_objects=8, avg_segments=6, seed=4)
+        db.store()
+        db.append_segment(0, db.t_max + 1.0, 2.0)
+        assert not db.wants_store
+        for _ in range(3):
+            assert not db.has_store
+            db.scores(10.0, 40.0)  # scalar fallback, counts toward re-arm
+        assert db.wants_store
+        db.scores(10.0, 40.0)  # rebuilds and answers through the kernel
+        assert db.has_store
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ReproError):
+            PLFStore([])
+
+    def test_padded_objects_score_zero_outside_original_span(self):
+        # A padded object contributes 0 outside its true support.
+        fn = PiecewiseLinearFunction([10.0, 20.0], [4.0, 4.0])
+        obj = TemporalObject(0, fn)
+        from repro.core import TemporalDatabase
+
+        db = TemporalDatabase([obj], span=(0.0, 100.0), pad=True)
+        store = db.store()
+        assert store.integrals(0.0, 5.0)[0] == pytest.approx(0.0, abs=1e-6)
+        assert store.integrals(12.0, 18.0)[0] == pytest.approx(24.0)
+
+    def test_store_shape_counters(self, db, store):
+        assert store.num_objects == db.num_objects
+        assert store.num_segments == db.total_segments
+        assert store.num_knots == db.total_segments + db.num_objects
+        assert store.nbytes > 0
+        assert store.sequential_total_mass == pytest.approx(db.total_mass)
+
+
+class TestHarnessKernelModes:
+    def test_kernel_microbenchmark_reports_speedup(self):
+        from repro.bench.harness import kernel_microbenchmark
+
+        db = make_random_database(num_objects=30, avg_segments=10, seed=5)
+        report = kernel_microbenchmark(db, num_queries=3, repeats=1)
+        assert report["m"] == 30
+        assert report["scalar_seconds"] > 0
+        assert report["batch_seconds"] > 0
+        assert report["speedup"] > 0
+
+    def test_evaluate_batched_matches_reference(self):
+        from repro.bench.harness import evaluate_batched, exact_reference
+        from repro.core.queries import TopKQuery
+
+        db = make_random_database(num_objects=25, avg_segments=12, seed=6)
+        queries = [
+            TopKQuery(t1, t2, 5) for t1, t2 in random_intervals(db, 6, seed=8)
+        ]
+        exact = exact_reference(db, queries)
+        report = evaluate_batched(db, queries, exact, measure_quality=True)
+        assert report.method == "KERNEL-BATCH"
+        assert report.precision == pytest.approx(1.0)
+        assert report.ratio == pytest.approx(1.0)
+        assert report.avg_query_ios == 0.0
+        assert report.index_size_bytes > 0
+
+
+class TestScoresRouting:
+    def test_custom_finalize_survives_batched_paths(self):
+        """A subclass overriding only scalar finalize() must stay
+        correct on the kernel-batched Exact2/Exact3 paths (the base
+        finalize_many delegates elementwise)."""
+        from repro.core.aggregates import SumAggregate
+        from repro.core.queries import TopKQuery
+        from repro.exact import Exact2, Exact3
+
+        class Doubled(SumAggregate):
+            name = "sum2x"
+
+            def finalize(self, raw, a, b):
+                return 2.0 * raw
+
+        small = make_random_database(num_objects=12, avg_segments=8, seed=13)
+        t1, t2 = 20.0, 70.0
+        ref = small.brute_force_top_k(t1, t2, 4, aggregate=Doubled())
+        for cls in (Exact2, Exact3):
+            got = cls(aggregate=Doubled()).build(small).query(
+                TopKQuery(t1, t2, 4)
+            )
+            assert got.object_ids == ref.object_ids, cls.__name__
+            assert np.allclose(got.scores, ref.scores, atol=1e-6), cls.__name__
+
+    def test_database_scores_match_per_object_loop(self, db):
+        from repro.core.aggregates import AVG, F2, SUM
+
+        for t1, t2 in random_intervals(db, 15, seed=41):
+            for agg in (SUM, AVG, F2):
+                ref = np.asarray(
+                    [agg.interval(obj.function, t1, t2) for obj in db]
+                )
+                assert np.allclose(
+                    db.scores(t1, t2, agg), ref, atol=1e-9
+                ), agg.name
