@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Index-build timings (scalar vs batched) as JSON, for the BENCH
+trajectory.
+
+For each breakpoint budget ``r`` this measures, on a generated
+Temp-like database:
+
+* QUERY1 (NestedPairIndex) build: historical scalar loop vs the
+  batched top-list materialization pipeline (the ISSUE's >= 10x gate
+  at r~200, m~1000),
+* QUERY2 (DyadicIndex) build: recursive frames vs batched,
+* BREAKPOINTS1 construction wall-clock,
+* BREAKPOINTS2 construction: per-event sweep vs the vectorized
+  danger-check pre-pass.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_build.py [--m 1000] [--navg 60]
+        [--r-list 50,100,200] [--kmax 200] [--seed 0] [--smoke]
+        [--baseline BENCH_build.json] [--max-regression 2.0]
+
+``--smoke`` shrinks every dimension so CI can run in a few seconds.
+With ``--baseline`` the run is compared against the committed
+trajectory entry whose config matches; the script exits nonzero when
+any batched build time regresses by more than ``--max-regression`` x.
+Output is a single JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def timed(fn, repeats=1):
+    """Best-of-``repeats`` wall time (and the last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+#: Baseline timings below this are dominated by scheduler noise and
+#: are not gated by the wall-clock regression check.
+GATE_FLOOR_SECONDS = 0.05
+
+
+#: Timing keys gated by the --baseline regression check (batched paths
+#: only: the scalar reference paths are measured for the speedup
+#: columns, not guarded).
+GATED_KEYS = (
+    "query1_batched_s",
+    "query2_batched_s",
+    "bp1_s",
+    "bp2_batched_s",
+)
+
+#: Speedup ratios gated by the --baseline check.  Ratios are measured
+#: batched-vs-scalar within one run, so they are robust to the host
+#: being slower or faster than the machine that recorded the baseline
+#: (wall-clock gating above only applies to timings large enough to
+#: rise above scheduler noise).
+GATED_RATIOS = (
+    "query1_speedup",
+    "bp2_speedup",
+)
+
+
+def run_point(database, r, kmax, scalar: bool, repeats: int = 1):
+    from repro.approximate.breakpoints import (
+        build_breakpoints1,
+        build_breakpoints2,
+        epsilon_for_budget,
+    )
+    from repro.approximate.dyadic import DyadicIndex
+    from repro.approximate.query1 import NestedPairIndex
+    from repro.storage.device import BlockDevice
+
+    point = {"r": r}
+    bp1_seconds, bp1 = timed(lambda: build_breakpoints1(database, r=r), repeats)
+    point["bp1_s"] = bp1_seconds
+    point["bp1_r"] = bp1.r
+
+    q1_batched, _ = timed(
+        lambda: NestedPairIndex(BlockDevice(), bp1, kmax).build(
+            database, batched=True
+        ),
+        repeats,
+    )
+    point["query1_batched_s"] = q1_batched
+    q2_batched, _ = timed(
+        lambda: DyadicIndex(BlockDevice(), bp1, kmax).build(
+            database, batched=True
+        ),
+        repeats,
+    )
+    point["query2_batched_s"] = q2_batched
+    if scalar:
+        q1_scalar, _ = timed(
+            lambda: NestedPairIndex(BlockDevice(), bp1, kmax).build(
+                database, batched=False
+            )
+        )
+        q2_scalar, _ = timed(
+            lambda: DyadicIndex(BlockDevice(), bp1, kmax).build(
+                database, batched=False
+            )
+        )
+        point["query1_scalar_s"] = q1_scalar
+        point["query2_scalar_s"] = q2_scalar
+        point["query1_speedup"] = q1_scalar / max(q1_batched, 1e-12)
+        point["query2_speedup"] = q2_scalar / max(q2_batched, 1e-12)
+
+    epsilon = epsilon_for_budget(database, r, tolerance=max(2, r // 20))
+    point["bp2_epsilon"] = epsilon
+    bp2_batched, bp2 = timed(
+        lambda: build_breakpoints2(database, epsilon, batched=True), repeats
+    )
+    point["bp2_batched_s"] = bp2_batched
+    point["bp2_r"] = bp2.r
+    if scalar:
+        bp2_scalar, _ = timed(
+            lambda: build_breakpoints2(database, epsilon, batched=False)
+        )
+        point["bp2_scalar_s"] = bp2_scalar
+        point["bp2_speedup"] = bp2_scalar / max(bp2_batched, 1e-12)
+    return point
+
+
+def check_baseline(report, path, max_regression) -> int:
+    """Compare against the matching committed entry; 0 when OK."""
+    with open(path) as handle:
+        history = json.load(handle)
+    if isinstance(history, dict):
+        history = [history]
+    matches = [
+        entry for entry in history if entry.get("config") == report["config"]
+    ]
+    if not matches:
+        print(
+            f"baseline: no entry in {path} matches this config; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    baseline = matches[-1]
+    failures = []
+    base_points = {p["r"]: p for p in baseline["results"]}
+    for point in report["results"]:
+        base = base_points.get(point["r"])
+        if base is None:
+            continue
+        for key in GATED_KEYS:
+            if key not in base or key not in point:
+                continue
+            if base[key] < GATE_FLOOR_SECONDS:
+                continue  # noise-dominated at this scale
+            if point[key] > base[key] * max_regression:
+                failures.append(
+                    f"r={point['r']} {key}: {point[key]:.4f}s vs baseline "
+                    f"{base[key]:.4f}s (> {max_regression}x)"
+                )
+        for key in GATED_RATIOS:
+            if key not in base or key not in point:
+                continue
+            if point[key] * max_regression < base[key]:
+                failures.append(
+                    f"r={point['r']} {key}: {point[key]:.2f}x vs baseline "
+                    f"{base[key]:.2f}x (lost > {max_regression}x)"
+                )
+    for line in failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=1000, help="objects")
+    parser.add_argument("--navg", type=int, default=60, help="avg readings")
+    parser.add_argument(
+        "--r-list", type=str, default="50,100,200", help="breakpoint budgets"
+    )
+    parser.add_argument("--kmax", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="best-of-N for each timing"
+    )
+    parser.add_argument(
+        "--no-scalar",
+        action="store_true",
+        help="skip the scalar reference builds (batched timings only)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="committed BENCH_build.json to compare batched timings against",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.m = min(args.m, 300)
+        args.navg = min(args.navg, 30)
+        args.kmax = min(args.kmax, 60)
+        args.r_list = "40"
+        args.repeats = max(args.repeats, 3)
+
+    from repro.datasets import generate_temp
+
+    r_values = [int(r) for r in args.r_list.split(",") if r]
+    database = generate_temp(
+        num_objects=args.m, avg_readings=args.navg, seed=args.seed
+    )
+    report = {
+        "bench": "build",
+        "config": {
+            "m": args.m,
+            "navg": args.navg,
+            "r_list": r_values,
+            "kmax": args.kmax,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "results": [
+            run_point(
+                database, r, args.kmax,
+                scalar=not args.no_scalar, repeats=args.repeats,
+            )
+            for r in r_values
+        ],
+    }
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    if args.baseline is not None:
+        return check_baseline(report, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

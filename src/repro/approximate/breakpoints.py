@@ -296,6 +296,7 @@ def build_breakpoints2(
     epsilon: float,
     use_absolute: bool = False,
     max_r: Optional[int] = None,
+    batched: bool = True,
 ) -> Breakpoints:
     """Efficient BREAKPOINTS2 (paper Lemma 1): a segment-driven sweep.
 
@@ -324,10 +325,16 @@ def build_breakpoints2(
     The drop rule is what removes the reset term: after a breakpoint,
     non-causing objects are not revisited until their own next segment
     appears, giving ``O((N + r) log)`` total work.
+
+    ``batched`` (default) replaces the per-event Python danger check
+    with a vectorized pre-pass over blocks of segments (see
+    :func:`_sweep_segments_batched`); the heap and all crossing
+    resolution stay scalar, and the produced breakpoint set is
+    byte-identical to ``batched=False`` (the historical per-event
+    loop, kept for the equivalence suite).
     """
     start = time.perf_counter()
     total, store = _prepare_store(database, use_absolute)
-    functions = store.functions
     threshold = epsilon * total
     t_end = database.t_max
     t_start = database.t_min
@@ -339,8 +346,36 @@ def build_breakpoints2(
     seg_right = store.seg_t1[order]
     seg_cum = store.seg_prefix_hi[order]
     seg_obj = store.seg_obj[order]
-    num_segments = seg_left.size
 
+    sweep = _sweep_segments_batched if batched else _sweep_segments_scalar
+    breakpoints, truncated = sweep(
+        store, threshold, t_start, t_end, max_r,
+        seg_left, seg_right, seg_cum, seg_obj,
+    )
+    return Breakpoints(
+        times=np.unique(np.asarray(breakpoints)),
+        epsilon=epsilon,
+        total_mass=total,
+        method="BREAKPOINTS2",
+        build_seconds=time.perf_counter() - start,
+        truncated=truncated,
+    )
+
+
+def _sweep_segments_scalar(
+    store,
+    threshold: float,
+    t_start: float,
+    t_end: float,
+    max_r: Optional[int],
+    seg_left: np.ndarray,
+    seg_right: np.ndarray,
+    seg_cum: np.ndarray,
+    seg_obj: np.ndarray,
+):
+    """The historical per-event BREAKPOINTS2 loop (reference path)."""
+    functions = store.functions
+    num_segments = seg_left.size
     m = len(functions)
     breakpoints: List[float] = [t_start]
     current_index = 0
@@ -402,14 +437,248 @@ def build_breakpoints2(
                 heapq.heappush(heap, (crossing, i, current_index))
             position += 1
     breakpoints.append(t_end)
-    return Breakpoints(
-        times=np.unique(np.asarray(breakpoints)),
-        epsilon=epsilon,
-        total_mass=total,
-        method="BREAKPOINTS2",
-        build_seconds=time.perf_counter() - start,
-        truncated=truncated,
+    return breakpoints, truncated
+
+
+#: Segments per vectorized danger-check block in the batched BP2 sweep.
+_DANGER_BLOCK = 1 << 14
+
+#: Relative slack (of the total mass M) added to the batched danger
+#: pre-filter.  The pre-pass evaluates each block against base masses
+#: snapshotted at block creation; bases only grow as breakpoints
+#: advance, so a stale snapshot flags a *superset* of the truly
+#: dangerous segments — except that a causing object's cached base
+#: (``prev + eps*M`` exactly) can exceed its recomputed cumulative by
+#: a few ulps.  The slack (~1e-9 M, vs ulp drift ~1e-16 M) makes the
+#: filter conservatively wide; flagged segments always re-run the
+#: exact scalar check, so extra flags cost time, never correctness.
+_DANGER_SLACK = 1e-9
+
+
+#: Rebuild the heap eagerly per breakpoint once it holds this many
+#: entries (relative to m): below, stale entries are recomputed lazily
+#: one pop at a time; above, one kernel pass refreshes every crossing.
+_EAGER_RESET_FRACTION = 8
+
+
+def _sweep_segments_batched(
+    store,
+    threshold: float,
+    t_start: float,
+    t_end: float,
+    max_r: Optional[int],
+    seg_left: np.ndarray,
+    seg_right: np.ndarray,
+    seg_cum: np.ndarray,
+    seg_obj: np.ndarray,
+):
+    """BREAKPOINTS2 sweep with batched danger checks and crossings.
+
+    Produces the same breakpoint sequence as
+    :func:`_sweep_segments_scalar`, event for event, with the scalar
+    per-event math replaced by per-breakpoint kernel passes:
+
+    * "which objects become dangerous in this block of segments" is a
+      vectorized pre-pass over ``_DANGER_BLOCK`` segments (a
+      conservative superset — see ``_DANGER_SLACK``); unflagged
+      segments are skipped in bulk,
+    * exact bases and crossings are served from per-object memos
+      (per breakpoint index) while the dangerous heap is small — the
+      lazy sweep's O(touched) accounting, which keeps the Lemma 1
+      advantage over the baseline's reset term — and from one
+      ``cumulative_at`` + ``inverse_cumulative_many`` kernel pass per
+      breakpoint once the heap grows past
+      ``m / _EAGER_RESET_FRACTION`` entries (both sources are
+      bit-identical to the scalar loop's per-object calls, with the
+      causing object's exact-threshold rebase overriding its kernel
+      value),
+    * in that large-heap regime, a new breakpoint also rebuilds the
+      heap outright from the cached crossings instead of letting each
+      stale entry pop-recompute-push individually.  A rebuilt entry is
+      dropped when its crossing lies past the object's current
+      frontier — exactly the scalar drop rule; the object's own next
+      segment re-discovers the crossing before its time, so the
+      accepted breakpoint sequence is unchanged (the equivalence
+      suite asserts byte-identity),
+    * the per-object ``frontier`` array becomes a lazy lookup over the
+      per-object stream positions.
+    """
+    functions = store.functions
+    num_segments = seg_left.size
+    m = len(functions)
+    breakpoints: List[float] = [t_start]
+    current_index = 0
+    current_time = t_start
+    base_index = np.full(m, -1, dtype=np.int64)
+    base_mass = np.zeros(m, dtype=np.float64)
+
+    # Frontier (right endpoint of each object's most recently seen
+    # segment), synced lazily: bulk-skipped segment ranges are folded
+    # in with one vectorized max-scatter right before any read, so the
+    # total sync work is O(N) across the whole sweep.
+    frontier = np.full(m, -np.inf, dtype=np.float64)
+    synced_upto = 0
+    position = 0
+
+    def frontier_of(i: int) -> float:
+        nonlocal synced_upto
+        if synced_upto < position:
+            window = slice(synced_upto, position)
+            np.maximum.at(frontier, seg_obj[window], seg_right[window])
+            synced_upto = position
+        return float(frontier[i])
+
+    def rebased_mass(i: int) -> float:
+        if base_index[i] != current_index:
+            base_mass[i] = functions[i].cumulative(current_time)
+            base_index[i] = current_index
+        return float(base_mass[i])
+
+    # Exact bases and crossings come from one of two bit-identical
+    # sources: per-object scalar computations memoized per breakpoint
+    # index (the lazy sweep's O(touched) accounting), or — once an
+    # eager reset has run for the current index — full kernel vectors.
+    cache_index = -1
+    base_vec: Optional[np.ndarray] = None
+    crossings: Optional[np.ndarray] = None
+    crossing_index = np.full(m, -1, dtype=np.int64)
+    crossing_memo = np.zeros(m, dtype=np.float64)
+
+    def full_refresh() -> None:
+        nonlocal cache_index, base_vec, crossings
+        if cache_index == current_index:
+            return
+        kernel = store.cumulative_at(current_time)
+        base_vec = np.where(base_index == current_index, base_mass, kernel)
+        crossings = store.inverse_cumulative_many(base_vec + threshold)
+        cache_index = current_index
+
+    def base_of(i: int) -> float:
+        if cache_index == current_index:
+            return float(base_vec[i])
+        return rebased_mass(i)
+
+    def crossing_of(i: int) -> float:
+        if cache_index == current_index:
+            return float(crossings[i])
+        if crossing_index[i] != current_index:
+            crossing_memo[i] = functions[i].inverse_cumulative(
+                rebased_mass(i) + threshold
+            )
+            crossing_index[i] = current_index
+        return float(crossing_memo[i])
+
+    # Slack scales with the mass magnitude (base drift is ulps of the
+    # per-object cumulatives, not of the threshold).
+    slack = _DANGER_SLACK * max(
+        float(np.abs(store.totals).max()), abs(threshold)
     )
+    block_end = 0
+    flagged: List[int] = []
+    flag_cursor = 0
+    reset_min = max(64, m // _EAGER_RESET_FRACTION)
+    kernel_index = -1
+    kernel_base: Optional[np.ndarray] = None
+
+    heap: list = []  # (crossing time, object, base index)
+    truncated = False
+    while position < num_segments or heap:
+        if max_r is not None and len(breakpoints) >= max_r:
+            truncated = True
+            break
+        next_segment_t = seg_left[position] if position < num_segments else np.inf
+        next_candidate_t = heap[0][0] if heap else np.inf
+        if next_candidate_t >= t_end and next_segment_t == np.inf:
+            break
+        if next_candidate_t <= next_segment_t:
+            # ---- crossing resolution.
+            candidate, i, base = heapq.heappop(heap)
+            if candidate >= t_end:
+                break
+            if base != current_index:
+                # Stale lower bound: recompute exactly against the
+                # newest breakpoint; keep only if still inside the
+                # object's current segment (the scalar drop rule).
+                fresh = crossing_of(i)
+                if fresh <= frontier_of(i):
+                    heapq.heappush(heap, (fresh, i, current_index))
+                continue
+            # Fresh minimum: this is b_{j+1}.  The causing object
+            # rebases exactly at the threshold on top of the base its
+            # accepted crossing was computed from.
+            caused_base = base_of(i)
+            breakpoints.append(candidate)
+            current_index += 1
+            current_time = candidate
+            base_mass[i] = caused_base + threshold
+            base_index[i] = current_index
+            if len(heap) >= reset_min:
+                # Eager reset: every entry would pop stale against the
+                # new breakpoint anyway; one kernel pass refreshes all
+                # crossings and rebuilds the heap (duplicates
+                # collapse).  Entries past their object's frontier are
+                # dropped — the scalar drop rule; the object's own
+                # next segment re-discovers the crossing in time.
+                full_refresh()
+                live = {i} | {entry[1] for entry in heap}
+                heap = []
+                for obj in live:
+                    fresh = float(crossings[obj])
+                    if fresh <= frontier_of(obj):
+                        heap.append((fresh, obj, current_index))
+                heapq.heapify(heap)
+            else:
+                nxt = crossing_of(i)
+                if nxt <= frontier_of(i):
+                    heapq.heappush(heap, (nxt, i, current_index))
+        else:
+            # ---- segment arrivals: batched danger pre-pass.
+            if position >= block_end:
+                block_start = position
+                block_end = min(position + _DANGER_BLOCK, num_segments)
+                if kernel_index != current_index:
+                    kernel_base = store.cumulative_at(current_time)
+                    kernel_index = current_index
+                snapshot = np.where(
+                    base_index == current_index, base_mass, kernel_base
+                )
+                window = slice(block_start, block_end)
+                danger = (
+                    seg_cum[window] - snapshot[seg_obj[window]]
+                    >= threshold - slack
+                )
+                flagged = (block_start + np.flatnonzero(danger)).tolist()
+                flag_cursor = 0
+            while flag_cursor < len(flagged) and flagged[flag_cursor] < position:
+                flag_cursor += 1
+            first = (
+                flagged[flag_cursor]
+                if flag_cursor < len(flagged)
+                else num_segments
+            )
+            if first == position:
+                # The exact danger check for the flagged segment
+                # (identical compare and push value as the scalar
+                # loop, via the cached bases/crossings).
+                flag_cursor += 1
+                i = int(seg_obj[position])
+                if seg_cum[position] - base_of(i) >= threshold:
+                    heapq.heappush(
+                        heap, (crossing_of(i), i, current_index)
+                    )
+                position += 1
+                continue
+            # A clean run up to the next flagged segment, the next heap
+            # candidate's arrival, or the block end — skip it in bulk.
+            target = min(first, block_end)
+            if heap:
+                target = min(
+                    target,
+                    int(np.searchsorted(seg_left, next_candidate_t, "left")),
+                )
+            position = target
+    breakpoints.append(t_end)
+    return breakpoints, truncated
 
 
 def _prepare_store(database: TemporalDatabase, use_absolute: bool):

@@ -30,7 +30,9 @@ from repro.btree.tree import BPlusTree
 from repro.approximate.breakpoints import Breakpoints
 from repro.approximate.toplists import (
     StoredTopList,
+    TopListBatcher,
     cumulative_matrix,
+    cumulative_matrix_T,
     top_kmax_of_column,
 )
 
@@ -71,22 +73,63 @@ class DyadicIndex:
         self.snap_tree = BPlusTree(device, value_columns=1)
 
     # ------------------------------------------------------------------
-    def build(self, database: TemporalDatabase) -> "DyadicIndex":
+    def build(
+        self, database: TemporalDatabase, batched: bool = True
+    ) -> "DyadicIndex":
+        """Materialize every dyadic node list and wire the segment tree.
+
+        The batched path (default) first enumerates all node ``(lo,
+        hi)`` ranges in the recursion's preorder, materializes every
+        node's top list in one :class:`TopListBatcher` pass over the
+        row differences ``P_T[lo] - P_T[hi]``, then wires the tree
+        with the same allocation/write sequence as the recursive
+        build — node lists, device layout, and IO charges are all
+        byte-identical to ``batched=False`` (the historical per-frame
+        recursion).
+        """
         times = self.breakpoints.times
-        ids, matrix = cumulative_matrix(database, times)
         num_gaps = times.size - 1
-        self.root_id = self._build_node(ids, matrix, 0, num_gaps)
+        if batched:
+            ids, p_t = cumulative_matrix_T(database, times)
+            los, his = self._enumerate_nodes(0, num_gaps)
+            neg = np.ascontiguousarray(p_t[los] - p_t[his])
+            nonneg = bool(database.store().knot_values.min() >= 0.0)
+            batcher = TopListBatcher(ids, los.size, self.kmax, nonneg)
+            top_ids, top_scores, _ = batcher.top_lists(neg)
+            cursor = [0]
+            self.root_id = self._wire_node(
+                top_ids, top_scores, cursor, 0, num_gaps
+            )
+        else:
+            ids, matrix = cumulative_matrix(database, times)
+            self.root_id = self._build_node(ids, matrix, 0, num_gaps)
         self.snap_tree.bulk_load(
             times, np.arange(times.size, dtype=np.float64).reshape(-1, 1)
         )
         return self
 
-    def _build_node(
-        self, ids: np.ndarray, matrix: np.ndarray, lo: int, hi: int
-    ) -> int:
-        """Create the node covering elementary gaps ``[lo, hi)``."""
-        scores = matrix[:, hi] - matrix[:, lo]
-        top_ids, top_scores = top_kmax_of_column(ids, scores, self.kmax)
+    @staticmethod
+    def _enumerate_nodes(lo: int, hi: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All node ranges in recursion preorder: (los, his) arrays."""
+        los: List[int] = []
+        his: List[int] = []
+        stack = [(lo, hi)]
+        while stack:
+            node_lo, node_hi = stack.pop()
+            los.append(node_lo)
+            his.append(node_hi)
+            if node_hi - node_lo > 1:
+                mid = (node_lo + node_hi) // 2
+                # Push right first so the left subtree pops next
+                # (preorder, matching the recursive build).
+                stack.append((mid, node_hi))
+                stack.append((node_lo, mid))
+        return np.asarray(los, dtype=np.int64), np.asarray(his, dtype=np.int64)
+
+    def _make_node(
+        self, lo: int, hi: int, top_ids: np.ndarray, top_scores: np.ndarray
+    ) -> Tuple[_DyadicNode, int]:
+        """Allocate one node holding the given (already sorted) list."""
         # Inline when the list shares the node's block comfortably
         # (leave ~1/8 of the block for the node metadata).
         inline_budget = (StoredTopList.capacity(self.device) * 7) // 8
@@ -97,6 +140,40 @@ class DyadicIndex:
             node = _DyadicNode(lo=lo, hi=hi, top_list=stored)
         node_id = self.device.allocate(node)
         self.num_nodes += 1
+        return node, node_id
+
+    def _wire_node(
+        self,
+        top_ids: np.ndarray,
+        top_scores: np.ndarray,
+        cursor: List[int],
+        lo: int,
+        hi: int,
+    ) -> int:
+        """Wire the subtree over ``[lo, hi)`` from batch-built lists.
+
+        ``cursor`` walks the preorder columns of the batched arrays;
+        allocation order matches :meth:`_build_node` exactly.
+        """
+        column = cursor[0]
+        cursor[0] += 1
+        node, node_id = self._make_node(
+            lo, hi, top_ids[column].copy(), top_scores[column].copy()
+        )
+        if hi - lo > 1:
+            mid = (lo + hi) // 2
+            node.left = self._wire_node(top_ids, top_scores, cursor, lo, mid)
+            node.right = self._wire_node(top_ids, top_scores, cursor, mid, hi)
+            self.device.write(node_id, node)
+        return node_id
+
+    def _build_node(
+        self, ids: np.ndarray, matrix: np.ndarray, lo: int, hi: int
+    ) -> int:
+        """Create the node covering elementary gaps ``[lo, hi)``."""
+        scores = matrix[:, hi] - matrix[:, lo]
+        top_ids, top_scores = top_kmax_of_column(ids, scores, self.kmax)
+        node, node_id = self._make_node(lo, hi, top_ids, top_scores)
         if hi - lo > 1:
             mid = (lo + hi) // 2
             node.left = self._build_node(ids, matrix, lo, mid)
@@ -155,16 +232,36 @@ class DyadicIndex:
         snapped = self.snap_indices(t1, t2)
         if snapped is None:
             return {}
-        scores: Dict[int, float] = {}
+        id_chunks: List[np.ndarray] = []
+        val_chunks: List[np.ndarray] = []
         for node in self.decompose(*snapped):
             if node.inline_rows is not None:
                 ids, vals = node.inline_rows
                 ids, vals = ids[:k], vals[:k]
             else:
                 ids, vals = node.top_list.read_top(self.device, k)
-            for object_id, value in zip(ids, vals):
-                scores[int(object_id)] = scores.get(int(object_id), 0.0) + float(value)
-        return scores
+            id_chunks.append(ids)
+            val_chunks.append(vals)
+        if not id_chunks:
+            return {}
+        all_ids = np.concatenate(id_chunks)
+        all_vals = np.concatenate(val_chunks)
+        # Aggregate repeated objects with np.add.at: the unbuffered
+        # accumulation adds contributions in stream order from 0.0,
+        # exactly the float summation order of the historical
+        # per-entry dict loop, so summed scores match bit for bit.
+        unique_ids, inverse = np.unique(all_ids, return_inverse=True)
+        sums = np.zeros(unique_ids.size, dtype=np.float64)
+        np.add.at(sums, inverse, all_vals)
+        # Present candidates in first-appearance order, matching the
+        # historical dict's insertion order (consumers iterate it).
+        first_seen = np.full(unique_ids.size, all_ids.size, dtype=np.int64)
+        np.minimum.at(first_seen, inverse, np.arange(all_ids.size))
+        order = np.argsort(first_seen)
+        return {
+            int(object_id): float(total)
+            for object_id, total in zip(unique_ids[order], sums[order])
+        }
 
     def query(self, t1: float, t2: float, k: int) -> TopKResult:
         """Top-k by summed candidate scores (the APPX2 answer)."""

@@ -210,9 +210,9 @@ class Appx2Plus(Appx2):
         if not pool:
             return TopKResult()
         ids = np.fromiter(pool.keys(), dtype=np.int64, count=len(pool))
-        exact = np.asarray(
-            [self.rescorer.score(int(i), query.t1, query.t2) for i in ids]
-        )
+        # Batched multi-candidate Equation-(2) rescoring: bit-identical
+        # scores and IO charges to per-candidate ``rescorer.score``.
+        exact = self.rescorer.score_many(ids, query.t1, query.t2)
         return top_k_from_arrays(ids, exact, query.k)
 
     @property

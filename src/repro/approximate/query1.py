@@ -26,7 +26,9 @@ from repro.btree.tree import BPlusTree
 from repro.approximate.breakpoints import Breakpoints
 from repro.approximate.toplists import (
     StoredTopList,
+    TopListBatcher,
     cumulative_matrix,
+    cumulative_matrix_T,
     top_kmax_of_column,
 )
 
@@ -48,26 +50,54 @@ class NestedPairIndex:
         self._lists: Dict[Tuple[int, int], StoredTopList] = {}
 
     # ------------------------------------------------------------------
-    def build(self, database: TemporalDatabase) -> "NestedPairIndex":
-        """Materialize the ``r(r-1)/2`` interval lists and the trees."""
+    def build(
+        self, database: TemporalDatabase, batched: bool = True
+    ) -> "NestedPairIndex":
+        """Materialize the ``r(r-1)/2`` interval lists and the trees.
+
+        The batched path (default) processes each left endpoint's whole
+        score matrix ``P[:, j+1:] - P[:, j:j+1]`` in one
+        :class:`TopListBatcher` pass and bulk-packs the resulting
+        family of lists through :meth:`StoredTopList.store_many`;
+        ``batched=False`` keeps the historical one-column-at-a-time
+        loop.  Both produce byte-identical stored lists on an
+        identically laid-out device (the equivalence suite asserts
+        this).
+        """
         times = self.breakpoints.times
         r = times.size
-        ids, matrix = cumulative_matrix(database, times)
+        if batched:
+            ids, p_t = cumulative_matrix_T(database, times)
+            m = p_t.shape[1]
+            nonneg = bool(database.store().knot_values.min() >= 0.0)
+            batcher = TopListBatcher(ids, r - 1, self.kmax, nonneg)
+            neg_buffer = np.empty((r - 1, m), dtype=np.float64)
+        else:
+            ids, matrix = cumulative_matrix(database, times)
         for j in range(r - 1):
-            right_keys = []
-            right_rows = []
-            base = matrix[:, j]
-            for j2 in range(j + 1, r):
-                scores = matrix[:, j2] - base
-                top_ids, top_scores = top_kmax_of_column(ids, scores, self.kmax)
-                stored = StoredTopList.store(self.device, top_ids, top_scores)
-                self._lists[(j, j2)] = stored
-                right_keys.append(times[j2])
-                right_rows.append([float(j2)])
+            if batched:
+                neg = neg_buffer[: r - 1 - j]
+                np.subtract(p_t[j], p_t[j + 1 :], out=neg)
+                top_ids, top_scores, _ = batcher.top_lists(neg)
+                stored_lists = StoredTopList.store_many(
+                    self.device, top_ids, top_scores
+                )
+                for offset, stored in enumerate(stored_lists):
+                    self._lists[(j, j + 1 + offset)] = stored
+            else:
+                base = matrix[:, j]
+                for j2 in range(j + 1, r):
+                    scores = matrix[:, j2] - base
+                    top_ids, top_scores = top_kmax_of_column(
+                        ids, scores, self.kmax
+                    )
+                    self._lists[(j, j2)] = StoredTopList.store(
+                        self.device, top_ids, top_scores
+                    )
+            right_keys = times[j + 1 :]
+            right_rows = np.arange(j + 1, r, dtype=np.float64).reshape(-1, 1)
             subtree = BPlusTree(self.device, value_columns=1)
-            subtree.bulk_load(
-                np.asarray(right_keys), np.asarray(right_rows, dtype=np.float64)
-            )
+            subtree.bulk_load(np.asarray(right_keys), right_rows)
             self._subtrees[j] = subtree
         top_keys = times[:-1]
         top_rows = np.arange(r - 1, dtype=np.float64).reshape(-1, 1)

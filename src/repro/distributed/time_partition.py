@@ -25,6 +25,7 @@ paper's conclusion leaves open.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List
 
 import numpy as np
@@ -112,14 +113,20 @@ class TimePartitionedCluster:
         ]
         totals: Dict[int, float] = {}
         seen: set = set()
+        # Bounded min-heap of the k best running totals.  A total is
+        # final the round it is resolved (random access probes every
+        # node for a newly seen object exactly once), so the k-th best
+        # is maintained in O(log k) per object instead of re-sorting
+        # all totals on every batch round.
+        best_k: List[float] = []
 
         def threshold() -> float:
             return float(sum(frontiers))
 
         def kth_best() -> float:
-            if len(totals) < k:
+            if len(best_k) < k:
                 return -np.inf
-            return sorted(totals.values(), reverse=True)[k - 1]
+            return best_k[0]
 
         while kth_best() < threshold() and any(
             cursors[i] < len(streams[i]) for i in range(len(nodes))
@@ -147,6 +154,14 @@ class TimePartitionedCluster:
                     self.comm.record(len(probed))
                     for object_id, score in probed.items():
                         totals[object_id] = totals.get(object_id, 0.0) + score
+                for object_id in new_ids:
+                    if object_id not in totals:
+                        continue
+                    value = totals[object_id]
+                    if len(best_k) < k:
+                        heapq.heappush(best_k, value)
+                    elif value > best_k[0]:
+                        heapq.heapreplace(best_k, value)
         if not totals:
             return TopKResult()
         ids = np.fromiter(totals.keys(), dtype=np.int64, count=len(totals))

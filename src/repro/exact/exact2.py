@@ -31,6 +31,7 @@ from repro.core.results import TopKResult, top_k_from_arrays
 from repro.exact.base import RankingMethod
 from repro.storage.device import BlockDevice
 from repro.storage.stats import IOStats
+from repro.btree.node import leaf_capacity
 from repro.btree.tree import BPlusTree
 
 #: Value-row layout for prefix entries: seg_t0, seg_v0, seg_t1, seg_v1,
@@ -77,6 +78,69 @@ def cumulative_from_prefix_tree(tree: BPlusTree, t: float, total: float) -> floa
     return prefix_right - segment_integral(s0, v0, s1, v1, t, s1)
 
 
+def _eq2_cumulative_batch(
+    store, rows: np.ndarray, t: float, totals: np.ndarray, leaf_cap: int
+):
+    """Vectorized :func:`cumulative_from_prefix_tree` over store rows.
+
+    Returns ``(cumulatives, extra_leaf_hops)``.  The arithmetic
+    replicates the scalar path bit for bit: the successor segment is
+    the first whose right endpoint is >= ``t`` (a shared lower-bound
+    bisection over the CSR knot arrays), and the within-segment part
+    subtracted from the stored prefix uses exactly the
+    ``segment_integral``/``interpolate`` operation order.  The hop
+    count is the number of next-leaf reads a bulk-loaded tree's
+    successor walk pays beyond its root-to-leaf descent: the walk
+    lands in the last leaf whose min key is <= ``t`` and hops once
+    when the successor entry lives in the following leaf.
+    """
+    t = float(t)
+    off_lo = store.offsets[rows]
+    off_hi = store.offsets[rows + 1]
+    ends = store.knot_times[off_hi - 1]
+    past = t > ends
+    # Lower bound: first knot index in [off_lo + 1, off_hi - 1] whose
+    # time is >= t (for past rows the bisection parks at the last
+    # knot; the result is masked below).
+    lo = off_lo + 1
+    hi = off_hi - 1
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        less = active & (store.knot_times[mid] < t)
+        stop = active & ~less
+        lo[less] = mid[less] + 1
+        hi[stop] = mid[stop]
+    right = lo
+    j = right - 1
+    s0 = store.knot_times[j]
+    v0 = store.knot_values[j]
+    s1 = store.knot_times[right]
+    v1 = store.knot_values[right]
+    prefix_right = store.prefix_masses[right]
+    # segment_integral(s0, v0, s1, v1, max(t, s0), s1), vectorized with
+    # the same operation order (chord slope, interpolate both ends,
+    # trapezoid; empty overlap contributes exactly 0).
+    w = (v1 - v0) / (s1 - s0)
+    t_left = np.maximum(t, s0)
+    width = s1 - t_left
+    v_left = v0 + w * (t_left - s0)
+    v_right = v0 + w * (s1 - s0)
+    area = 0.5 * width * (v_left + v_right)
+    integral = np.where(width > 0, area, 0.0)
+    cum = np.where(past, totals, prefix_right - integral)
+    # IO model: successor position s among the tree's keys (the right
+    # endpoints), and the leaf the descent lands in.
+    succ = right - off_lo - 1
+    has_successor = ~past
+    ties = has_successor & (s1 == t)
+    landed = np.maximum((succ + ties - 1) // leaf_cap, 0)
+    hops = np.where(has_successor, succ // leaf_cap - landed, 0)
+    return cum, hops
+
+
 class Exact2(RankingMethod):
     """The EXACT2 method (one prefix-sum B+-tree per object)."""
 
@@ -98,6 +162,11 @@ class Exact2(RankingMethod):
         self._devices: List[BlockDevice] = []
         self._totals: Dict[int, float] = {}
         self._modeled_query_ios = 0
+        # True while every tree is exactly its bulk-loaded form; the
+        # batched candidate-rescoring IO model (score_many) relies on
+        # the packed leaf layout, so any insert disables it.
+        self._bulk_only = True
+        self._row_cache = None
 
     # ------------------------------------------------------------------
     def _build(self, database: TemporalDatabase) -> None:
@@ -105,6 +174,8 @@ class Exact2(RankingMethod):
         # prefix arrays the forest needs anyway, and a warm store lets
         # _query take the batched kernel path from the first query.
         database.store()
+        self._bulk_only = True
+        self._row_cache = None
         for obj in database:
             fn = obj.function
             keys, rows = build_prefix_entries(fn.times, fn.values, fn.prefix_masses)
@@ -135,6 +206,59 @@ class Exact2(RankingMethod):
         high = cumulative_from_prefix_tree(tree, t2, total)
         low = cumulative_from_prefix_tree(tree, t1, total)
         return high - low
+
+    def score_many(
+        self, object_ids: np.ndarray, t1: float, t2: float
+    ) -> np.ndarray:
+        """Batched :meth:`score` for a candidate subset (APPX2+).
+
+        When the database's columnar store is warm and every tree is
+        still in bulk-loaded form, all candidates are scored in one
+        vectorized Equation-(2) pass that replicates the per-tree
+        arithmetic operation for operation — results are bit-identical
+        to the scalar loop — and the IO model charges exactly what the
+        ``2 |K|`` successor walks would have read (two root-to-leaf
+        descents per candidate plus any next-leaf hop the landed leaf
+        would miss).  Otherwise the historical per-candidate loop
+        answers (appends both invalidate the store and repack leaves).
+        """
+        ids = np.asarray(object_ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        # getattr: forests unpickled from pre-batching index files have
+        # no bulk-layout marker; treat them as insert-touched (scalar).
+        usable = (
+            getattr(self, "_bulk_only", False)
+            and self.database is not None
+            and self.database.wants_store
+        )
+        if not usable:
+            if self.database is not None and not self.database.wants_store:
+                self.database.note_scalar_fallback()
+            return np.asarray(
+                [self.score(int(i), t1, t2) for i in ids], dtype=np.float64
+            )
+        store = self.database.store()
+        row_of = self._row_lookup(store)
+        rows = np.asarray([row_of[int(i)] for i in ids], dtype=np.int64)
+        totals = np.asarray(
+            [self._totals[int(i)] for i in ids], dtype=np.float64
+        )
+        cap = leaf_capacity(_PREFIX_COLUMNS, self.block_bytes)
+        high, hops_high = _eq2_cumulative_batch(store, rows, t2, totals, cap)
+        low, hops_low = _eq2_cumulative_batch(store, rows, t1, totals, cap)
+        heights = sum(self.trees[int(i)].height for i in ids)
+        self._stats.reads += int(2 * heights + hops_high.sum() + hops_low.sum())
+        return high - low
+
+    def _row_lookup(self, store) -> Dict[int, int]:
+        """Object id -> store row, cached per store snapshot."""
+        if self._row_cache is None or self._row_cache[0] is not store:
+            self._row_cache = (
+                store,
+                {int(oid): r for r, oid in enumerate(store.object_ids)},
+            )
+        return self._row_cache[1]
 
     def _query(self, query: TopKQuery) -> TopKResult:
         """Batched Equation (2): score all ``m`` objects in one kernel pass.
@@ -182,6 +306,7 @@ class Exact2(RankingMethod):
         new_prefix = prev_prefix + area
         row = np.asarray([t_prev, v_prev, t_next, v_next, new_prefix])
         height_before = tree.height
+        self._bulk_only = False
         tree.insert(t_next, row)
         self._totals[object_id] = new_prefix
         # Only this tree's height can have changed; adjust the cached

@@ -86,6 +86,14 @@ class IOStats:
     def record_allocation(self) -> None:
         self.allocations += 1
 
+    def record_writes(self, count: int) -> None:
+        """Charge ``count`` write IOs in one call (bulk allocation)."""
+        self.writes += count
+
+    def record_allocations(self, count: int) -> None:
+        """Record ``count`` block allocations in one call."""
+        self.allocations += count
+
     def record_cache_hit(self) -> None:
         self.cache_hits += 1
 
