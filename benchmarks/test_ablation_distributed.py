@@ -9,7 +9,6 @@ object-partitioned layout.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.bench import print_table
 from repro.distributed import ObjectPartitionedCluster, TimePartitionedCluster

@@ -11,12 +11,10 @@ from __future__ import annotations
 
 from repro.bench import (
     approximation_ratio,
-    evaluate_method,
     exact_reference,
     precision_recall,
     print_table,
 )
-from repro.core import TopKQuery
 
 from _bench_config import (
     DEFAULT_K,

@@ -52,7 +52,7 @@ def main() -> None:
         rows.append((method.name, np.mean(precisions), np.mean(ratios), np.mean(ios)))
 
     exact_ios = np.mean([exact.measured_query(q).ios for q in queries])
-    print(f"top-20 over 20%-of-domain windows, 15 random queries:")
+    print("top-20 over 20%-of-domain windows, 15 random queries:")
     print(f"{'method':<8s} {'precision':>10s} {'ratio':>8s} {'IOs':>8s}")
     print(f"{'EXACT3':<8s} {'1.00':>10s} {'1.000':>8s} {exact_ios:8.0f}")
     for name, precision, ratio, io in rows:

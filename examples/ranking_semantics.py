@@ -57,14 +57,14 @@ def main() -> None:
 
     print("query interval [0, 100], k = 3\n")
     print(f"instant top-3 at t=50   : {names(instant.query(50.0, 3))}")
-    print(f"  (the burst wins the instant ranking at its spike...)")
+    print("  (the burst wins the instant ranking at its spike...)")
     print(f"instant top-3 at t=90   : {names(instant.query(90.0, 3))}")
-    print(f"  (...but pick a different t and the answer flips — the")
-    print(f"   paper's argument against instant ranking)\n")
+    print("  (...but pick a different t and the answer flips — the")
+    print("   paper's argument against instant ranking)\n")
     print(f"aggregate (sum) top-3   : {names(aggregate.query(TopKQuery(0, 100, 3)))}")
-    print(f"  (total area: steady accumulation beats the brief spike)\n")
+    print("  (total area: steady accumulation beats the brief spike)\n")
     print(f"median (holistic) top-3 : {names(median.query(0, 100, 3))}")
-    print(f"  (robust to the spike entirely: burst ranks by its baseline)")
+    print("  (robust to the spike entirely: burst ranks by its baseline)")
 
 
 if __name__ == "__main__":

@@ -11,19 +11,28 @@ Temp-like database:
 * QUERY2 (DyadicIndex) build: recursive frames vs batched,
 * BREAKPOINTS1 construction wall-clock,
 * BREAKPOINTS2 construction: per-event sweep vs the vectorized
-  danger-check pre-pass.
+  danger-check pre-pass,
+* with ``--workers``/``--backend``: the multi-core fan-out of the
+  QUERY1/QUERY2/BREAKPOINTS2 batched builds through the shared
+  executor, timed against the single-core batched path.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_build.py [--m 1000] [--navg 60]
         [--r-list 50,100,200] [--kmax 200] [--seed 0] [--smoke]
+        [--workers 4] [--backend process]
         [--baseline BENCH_build.json] [--max-regression 2.0]
 
 ``--smoke`` shrinks every dimension so CI can run in a few seconds.
-With ``--baseline`` the run is compared against the committed
-trajectory entry whose config matches; the script exits nonzero when
-any batched build time regresses by more than ``--max-regression`` x.
-Output is a single JSON object on stdout.
+The resolved executor backend and worker count are always printed
+into the JSON record (top-level ``executor``), so trajectory entries
+from different machines/backends stay distinguishable before
+normalization.  With ``--baseline`` the run is compared against the
+committed trajectory entry whose config matches; the script exits
+nonzero when any batched build time regresses by more than
+``--max-regression`` x (parallel timings are recorded but not gated —
+they depend on the host's core count).  Output is a single JSON
+object on stdout.
 """
 
 from __future__ import annotations
@@ -43,11 +52,6 @@ def timed(fn, repeats=1):
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
-
-
-#: Baseline timings below this are dominated by scheduler noise and
-#: are not gated by the wall-clock regression check.
-GATE_FLOOR_SECONDS = 0.05
 
 
 #: Timing keys gated by the --baseline regression check (batched paths
@@ -71,7 +75,9 @@ GATED_RATIOS = (
 )
 
 
-def run_point(database, r, kmax, scalar: bool, repeats: int = 1):
+def run_point(
+    database, r, kmax, scalar: bool, repeats: int = 1, executor=None
+):
     from repro.approximate.breakpoints import (
         build_breakpoints1,
         build_breakpoints2,
@@ -115,6 +121,27 @@ def run_point(database, r, kmax, scalar: bool, repeats: int = 1):
         point["query2_scalar_s"] = q2_scalar
         point["query1_speedup"] = q1_scalar / max(q1_batched, 1e-12)
         point["query2_speedup"] = q2_scalar / max(q2_batched, 1e-12)
+    if executor is not None and not executor.is_serial:
+        q1_parallel, _ = timed(
+            lambda: NestedPairIndex(BlockDevice(), bp1, kmax).build(
+                database, batched=True, executor=executor
+            ),
+            repeats,
+        )
+        point["query1_parallel_s"] = q1_parallel
+        point["query1_parallel_speedup"] = q1_batched / max(
+            q1_parallel, 1e-12
+        )
+        q2_parallel, _ = timed(
+            lambda: DyadicIndex(BlockDevice(), bp1, kmax).build(
+                database, batched=True, executor=executor
+            ),
+            repeats,
+        )
+        point["query2_parallel_s"] = q2_parallel
+        point["query2_parallel_speedup"] = q2_batched / max(
+            q2_parallel, 1e-12
+        )
 
     epsilon = epsilon_for_budget(database, r, tolerance=max(2, r // 20))
     point["bp2_epsilon"] = epsilon
@@ -129,49 +156,45 @@ def run_point(database, r, kmax, scalar: bool, repeats: int = 1):
         )
         point["bp2_scalar_s"] = bp2_scalar
         point["bp2_speedup"] = bp2_scalar / max(bp2_batched, 1e-12)
+    if executor is not None and not executor.is_serial:
+        bp2_parallel, _ = timed(
+            lambda: build_breakpoints2(
+                database, epsilon, batched=True, executor=executor
+            ),
+            repeats,
+        )
+        point["bp2_parallel_s"] = bp2_parallel
+        point["bp2_parallel_speedup"] = bp2_batched / max(
+            bp2_parallel, 1e-12
+        )
     return point
 
 
 def check_baseline(report, path, max_regression) -> int:
     """Compare against the matching committed entry; 0 when OK."""
+    from repro.bench.gating import compare_results, find_baseline_entry
+
     with open(path) as handle:
         history = json.load(handle)
-    if isinstance(history, dict):
-        history = [history]
-    matches = [
-        entry for entry in history if entry.get("config") == report["config"]
-    ]
-    if not matches:
+    baseline = find_baseline_entry(history, report["config"])
+    if baseline is None:
         print(
             f"baseline: no entry in {path} matches this config; skipping",
             file=sys.stderr,
         )
         return 0
-    baseline = matches[-1]
     failures = []
     base_points = {p["r"]: p for p in baseline["results"]}
     for point in report["results"]:
         base = base_points.get(point["r"])
         if base is None:
             continue
-        for key in GATED_KEYS:
-            if key not in base or key not in point:
-                continue
-            if base[key] < GATE_FLOOR_SECONDS:
-                continue  # noise-dominated at this scale
-            if point[key] > base[key] * max_regression:
-                failures.append(
-                    f"r={point['r']} {key}: {point[key]:.4f}s vs baseline "
-                    f"{base[key]:.4f}s (> {max_regression}x)"
-                )
-        for key in GATED_RATIOS:
-            if key not in base or key not in point:
-                continue
-            if point[key] * max_regression < base[key]:
-                failures.append(
-                    f"r={point['r']} {key}: {point[key]:.2f}x vs baseline "
-                    f"{base[key]:.2f}x (lost > {max_regression}x)"
-                )
+        failures.extend(
+            compare_results(
+                base, point, GATED_KEYS, GATED_RATIOS, max_regression,
+                label=f"r={point['r']} ",
+            )
+        )
     for line in failures:
         print(f"REGRESSION: {line}", file=sys.stderr)
     return 1 if failures else 0
@@ -195,6 +218,20 @@ def main(argv=None) -> int:
         help="skip the scalar reference builds (batched timings only)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out worker count (default: REPRO_WORKERS or all cores)",
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="fan-out backend; defaults to process when --workers > 1 "
+        "is given, else REPRO_EXECUTOR or serial",
+    )
+    parser.add_argument(
         "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
     )
     parser.add_argument(
@@ -213,6 +250,12 @@ def main(argv=None) -> int:
         args.repeats = max(args.repeats, 3)
 
     from repro.datasets import generate_temp
+    from repro.parallel import get_executor, resolve_backend
+
+    backend = args.backend
+    if backend is None and args.workers is not None and args.workers > 1:
+        backend = "process"
+    executor = get_executor(resolve_backend(backend), args.workers)
 
     r_values = [int(r) for r in args.r_list.split(",") if r]
     database = generate_temp(
@@ -228,10 +271,19 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "smoke": bool(args.smoke),
         },
+        # Resolved fan-out settings: kept out of ``config`` (baseline
+        # matching is on the machine-independent workload shape) but
+        # always recorded so entries from different machines/backends
+        # are distinguishable before normalization.
+        "executor": {
+            "backend": executor.backend,
+            "workers": executor.workers,
+        },
         "results": [
             run_point(
                 database, r, args.kmax,
                 scalar=not args.no_scalar, repeats=args.repeats,
+                executor=executor,
             )
             for r in r_values
         ],

@@ -12,9 +12,14 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_kernel.py [--m 1000] [--navg 60]
         [--queries 8] [--r 40] [--seed 0] [--smoke]
+        [--baseline BENCH_kernel.json] [--max-regression 2.0]
 
 ``--smoke`` shrinks every dimension so CI can run the script in a few
-seconds.  Output is a single JSON object on stdout.
+seconds.  With ``--baseline`` the run is compared against the
+committed trajectory entry whose config matches; the script exits
+nonzero when a gated timing or speedup ratio regresses by more than
+``--max-regression`` x.  Output is a single JSON object (``config`` +
+``results``) on stdout.
 """
 
 from __future__ import annotations
@@ -23,6 +28,45 @@ import argparse
 import json
 import sys
 import time
+
+#: Wall-clock keys gated by the --baseline regression check (batched /
+#: efficient paths only; scalar references feed the ratio gates).
+GATED_KEYS = (
+    "batch_seconds",
+    "bp1_seconds",
+    "bp2_seconds",
+)
+
+#: Speedup ratios gated by the --baseline check.  Ratios compare two
+#: paths within one run, so they are robust to the host being slower
+#: or faster than the machine that recorded the baseline (that is the
+#: machine normalization; absolute timings only gate above the floor).
+GATED_RATIOS = (
+    "speedup",
+    "bp2_baseline_speedup",
+)
+
+
+def check_baseline(report, path, max_regression) -> int:
+    """Compare against the matching committed entry; 0 when OK."""
+    from repro.bench.gating import compare_results, find_baseline_entry
+
+    with open(path) as handle:
+        history = json.load(handle)
+    baseline = find_baseline_entry(history, report["config"])
+    if baseline is None:
+        print(
+            f"baseline: no entry in {path} matches this config; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    failures = compare_results(
+        baseline["results"], report["results"],
+        GATED_KEYS, GATED_RATIOS, max_regression,
+    )
+    for line in failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -36,6 +80,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
     )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="committed BENCH_kernel.json to compare this run against",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
     args = parser.parse_args(argv)
     if args.smoke:
         args.m = min(args.m, 120)
@@ -55,28 +106,47 @@ def main(argv=None) -> int:
     database = generate_temp(
         num_objects=args.m, avg_readings=args.navg, seed=args.seed
     )
-    report = kernel_microbenchmark(
-        database, num_queries=args.queries, seed=args.seed, repeats=args.repeats
+    results = kernel_microbenchmark(
+        database, num_queries=args.queries, seed=args.seed,
+        repeats=args.repeats,
     )
 
     start = time.perf_counter()
     bp1 = build_breakpoints1(database, r=args.r)
-    report["bp1_seconds"] = time.perf_counter() - start
-    report["bp1_r"] = float(bp1.r)
+    results["bp1_seconds"] = time.perf_counter() - start
+    results["bp1_r"] = float(bp1.r)
 
     epsilon = epsilon_for_budget(
         database, args.r, tolerance=max(2, args.r // 20)
     )
     start = time.perf_counter()
     bp2 = build_breakpoints2(database, epsilon)
-    report["bp2_seconds"] = time.perf_counter() - start
-    report["bp2_r"] = float(bp2.r)
+    results["bp2_seconds"] = time.perf_counter() - start
+    results["bp2_r"] = float(bp2.r)
     start = time.perf_counter()
     build_breakpoints2_baseline(database, epsilon)
-    report["bp2_baseline_seconds"] = time.perf_counter() - start
+    results["bp2_baseline_seconds"] = time.perf_counter() - start
+    results["bp2_baseline_speedup"] = results["bp2_baseline_seconds"] / max(
+        results["bp2_seconds"], 1e-12
+    )
 
+    report = {
+        "bench": "kernel",
+        "config": {
+            "m": args.m,
+            "navg": args.navg,
+            "queries": args.queries,
+            "r": args.r,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "smoke": bool(args.smoke),
+        },
+        "results": results,
+    }
     json.dump(report, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
+    if args.baseline is not None:
+        return check_baseline(report, args.baseline, args.max_regression)
     return 0
 
 

@@ -31,6 +31,7 @@ from repro.core.queries import TopKQuery
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.exact.base import RankingMethod
 from repro.exact.exact2 import Exact2
+from repro.parallel.executor import ParallelExecutor
 from repro.storage.cache import LRUCache
 from repro.storage.device import BlockDevice
 from repro.storage.stats import IOStats
@@ -61,6 +62,7 @@ class _ApproximateBase(RankingMethod):
         breakpoints: Optional[Breakpoints] = None,
         block_bytes: int = 4096,
         cache_blocks: int = 0,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
         super().__init__()
         if breakpoints is None and (epsilon is None) == (r is None):
@@ -68,6 +70,9 @@ class _ApproximateBase(RankingMethod):
         self.epsilon = epsilon
         self.r_budget = r
         self.kmax = kmax
+        #: Fan-out executor for index construction (None: resolve from
+        #: the environment at build time; see repro.parallel).
+        self.executor = executor
         self._prebuilt = breakpoints
         self._stats = IOStats()
         self._cache = LRUCache(cache_blocks) if cache_blocks > 0 else None
@@ -89,8 +94,10 @@ class _ApproximateBase(RankingMethod):
             return build_breakpoints1(database, r=self.r_budget)
         epsilon = self.epsilon
         if epsilon is None:
-            epsilon = epsilon_for_budget(database, self.r_budget)
-        return build_breakpoints2(database, epsilon)
+            epsilon = epsilon_for_budget(
+                database, self.r_budget, executor=self.executor
+            )
+        return build_breakpoints2(database, epsilon, executor=self.executor)
 
     @property
     def io_stats(self) -> IOStats:
@@ -147,7 +154,7 @@ class Appx1(_ApproximateBase):
     def _build(self, database: TemporalDatabase) -> None:
         self.breakpoints = self._build_breakpoints(database)
         self.index = NestedPairIndex(self.device, self.breakpoints, self.kmax)
-        self.index.build(database)
+        self.index.build(database, executor=self.executor)
 
     def _query(self, query: TopKQuery) -> TopKResult:
         return self.index.query(query.t1, query.t2, query.k)
@@ -169,7 +176,7 @@ class Appx2(_ApproximateBase):
     def _build(self, database: TemporalDatabase) -> None:
         self.breakpoints = self._build_breakpoints(database)
         self.index = DyadicIndex(self.device, self.breakpoints, self.kmax)
-        self.index.build(database)
+        self.index.build(database, executor=self.executor)
 
     def _query(self, query: TopKQuery) -> TopKResult:
         return self.index.query(query.t1, query.t2, query.k)

@@ -23,6 +23,13 @@ from repro.core.errors import InvalidQueryError
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.storage.device import BlockDevice
 from repro.btree.tree import BPlusTree
+from repro.parallel.executor import (
+    OVERSUBSCRIPTION,
+    ParallelExecutor,
+    get_executor,
+    weighted_chunk_ranges,
+)
+from repro.parallel.workers import query1_toplists_chunk
 from repro.approximate.breakpoints import Breakpoints
 from repro.approximate.toplists import (
     StoredTopList,
@@ -51,7 +58,10 @@ class NestedPairIndex:
 
     # ------------------------------------------------------------------
     def build(
-        self, database: TemporalDatabase, batched: bool = True
+        self,
+        database: TemporalDatabase,
+        batched: bool = True,
+        executor: Optional[ParallelExecutor] = None,
     ) -> "NestedPairIndex":
         """Materialize the ``r(r-1)/2`` interval lists and the trees.
 
@@ -63,22 +73,39 @@ class NestedPairIndex:
         loop.  Both produce byte-identical stored lists on an
         identically laid-out device (the equivalence suite asserts
         this).
+
+        ``executor`` (default: the environment-resolved
+        :func:`repro.parallel.get_executor`) fans the independent
+        per-left-endpoint batches out across workers; device writes
+        and tree wiring stay on the coordinator, in ``j`` order, so
+        every backend yields a byte-identical index.
         """
         times = self.breakpoints.times
         r = times.size
+        materialized = None
         if batched:
             ids, p_t = cumulative_matrix_T(database, times)
             m = p_t.shape[1]
             nonneg = bool(database.store().knot_values.min() >= 0.0)
-            batcher = TopListBatcher(ids, r - 1, self.kmax, nonneg)
-            neg_buffer = np.empty((r - 1, m), dtype=np.float64)
+            if executor is None:
+                executor = get_executor()
+            if executor.is_serial:
+                batcher = TopListBatcher(ids, r - 1, self.kmax, nonneg)
+                neg_buffer = np.empty((r - 1, m), dtype=np.float64)
+            else:
+                materialized = self._materialize_parallel(
+                    ids, p_t, nonneg, executor
+                )
         else:
             ids, matrix = cumulative_matrix(database, times)
         for j in range(r - 1):
             if batched:
-                neg = neg_buffer[: r - 1 - j]
-                np.subtract(p_t[j], p_t[j + 1 :], out=neg)
-                top_ids, top_scores, _ = batcher.top_lists(neg)
+                if materialized is not None:
+                    top_ids, top_scores = materialized[j]
+                else:
+                    neg = neg_buffer[: r - 1 - j]
+                    np.subtract(p_t[j], p_t[j + 1 :], out=neg)
+                    top_ids, top_scores, _ = batcher.top_lists(neg)
                 stored_lists = StoredTopList.store_many(
                     self.device, top_ids, top_scores
                 )
@@ -103,6 +130,35 @@ class NestedPairIndex:
         top_rows = np.arange(r - 1, dtype=np.float64).reshape(-1, 1)
         self.top_tree.bulk_load(top_keys, top_rows)
         return self
+
+    def _materialize_parallel(
+        self,
+        ids: np.ndarray,
+        p_t: np.ndarray,
+        nonneg: bool,
+        executor: ParallelExecutor,
+    ) -> list:
+        """All per-``j`` top lists, fanned out over contiguous chunks.
+
+        Chunks are balanced by each left endpoint's row count (``j``
+        owns ``r - 1 - j`` lists) and mildly oversubscribed so one
+        slow chunk cannot serialize the pool.  Results come back in
+        submission order and flatten to one ``(top_ids, top_scores)``
+        pair per ``j`` — byte-identical to the serial batcher's
+        output, committed by the caller in ``j`` order.
+        """
+        r = p_t.shape[0]
+        weights = np.arange(r - 1, 0, -1, dtype=np.float64)
+        chunks = weighted_chunk_ranges(
+            weights, executor.workers * OVERSUBSCRIPTION
+        )
+        state = (ids, p_t, self.kmax, nonneg)
+        with executor.session(state) as session:
+            parts = session.map(query1_toplists_chunk, chunks)
+        materialized: list = []
+        for chunk_lists in parts:
+            materialized.extend(chunk_lists)
+        return materialized
 
     # ------------------------------------------------------------------
     def query(self, t1: float, t2: float, k: int) -> TopKResult:

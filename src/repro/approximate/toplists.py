@@ -360,7 +360,7 @@ class StoredTopList:
         """Read the first ``k`` entries (``ceil(k/B)`` block reads)."""
         cap = StoredTopList.capacity(device)
         needed_blocks = max(1, -(-min(k, self.count) // cap))
-        pieces = [device.read(b) for b in self.block_ids[:needed_blocks]]
+        pieces = device.read_many(self.block_ids[:needed_blocks])
         if isinstance(pieces[0], tuple):
             ids = np.concatenate([p[0] for p in pieces])[:k]
             scores = np.concatenate([p[1] for p in pieces])[:k]

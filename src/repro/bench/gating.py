@@ -1,0 +1,71 @@
+"""Shared regression-gate arithmetic for the committed BENCH baselines.
+
+Both bench scripts (``scripts/bench_build.py``, ``scripts/bench_kernel.
+py``) gate CI on trajectory entries committed in ``BENCH_*.json``.
+The comparison rules live here, once:
+
+* wall-clock keys are gated only above a noise floor (tiny timings
+  are scheduler noise, not signal),
+* speedup-ratio keys are always gated — ratios compare two paths
+  within one run, so they normalize away how fast the recording
+  machine was,
+* a run regresses when a timing grows, or a ratio shrinks, by more
+  than ``max_regression`` x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Baseline timings below this are dominated by scheduler noise and
+#: are not gated by the wall-clock regression check.
+GATE_FLOOR_SECONDS = 0.05
+
+
+def find_baseline_entry(
+    history, config: dict
+) -> Optional[dict]:
+    """The newest committed entry whose ``config`` matches, if any."""
+    if isinstance(history, dict):
+        history = [history]
+    matches = [
+        entry for entry in history if entry.get("config") == config
+    ]
+    return matches[-1] if matches else None
+
+
+def compare_results(
+    base: Dict[str, float],
+    current: Dict[str, float],
+    gated_keys: Sequence[str],
+    gated_ratios: Sequence[str],
+    max_regression: float,
+    floor: float = GATE_FLOOR_SECONDS,
+    label: str = "",
+) -> List[str]:
+    """Failure lines for every gated regression of ``current`` vs ``base``.
+
+    ``label`` prefixes each line (e.g. ``"r=200 "`` for per-point
+    build results).  Keys missing on either side are skipped, so old
+    baselines keep gating new runs that add keys.
+    """
+    failures: List[str] = []
+    for key in gated_keys:
+        if key not in base or key not in current:
+            continue
+        if base[key] < floor:
+            continue  # noise-dominated at this scale
+        if current[key] > base[key] * max_regression:
+            failures.append(
+                f"{label}{key}: {current[key]:.4f}s vs baseline "
+                f"{base[key]:.4f}s (> {max_regression}x)"
+            )
+    for key in gated_ratios:
+        if key not in base or key not in current:
+            continue
+        if current[key] * max_regression < base[key]:
+            failures.append(
+                f"{label}{key}: {current[key]:.2f}x vs baseline "
+                f"{base[key]:.2f}x (lost > {max_regression}x)"
+            )
+    return failures

@@ -23,18 +23,35 @@ from repro.core import TopKQuery
 from repro.core.database import TemporalDatabase
 from repro.datasets import generate_meme, generate_temp, random_queries
 from repro.exact import Exact1, Exact2, Exact3
+from repro.parallel import BACKENDS, get_executor
 from repro.storage.persistence import load_index, save_index
 
 _EXACT_METHODS = {"exact1": Exact1, "exact2": Exact2, "exact3": Exact3}
 
 
-def _make_method(name: str, epsilon: float, kmax: int):
+def _resolve_executor(args: argparse.Namespace):
+    """The build executor the flags ask for (None: environment default).
+
+    ``--workers N`` alone implies the process backend — otherwise the
+    worker count would be silently discarded by the serial default.
+    """
+    if args.executor is None and args.workers is None:
+        return None
+    backend = args.executor
+    if backend is None and args.workers is not None and args.workers > 1:
+        backend = "process"
+    return get_executor(backend, args.workers)
+
+
+def _make_method(name: str, epsilon: float, kmax: int, executor=None):
     lower = name.lower()
     if lower in _EXACT_METHODS:
         return _EXACT_METHODS[lower]()
     upper = name.upper().replace("PLUS", "+")
     if upper in APPROXIMATE_METHODS:
-        return APPROXIMATE_METHODS[upper](epsilon=epsilon, kmax=kmax)
+        return APPROXIMATE_METHODS[upper](
+            epsilon=epsilon, kmax=kmax, executor=executor
+        )
     valid = sorted(_EXACT_METHODS) + sorted(APPROXIMATE_METHODS)
     raise SystemExit(f"unknown method {name!r}; choose from {valid}")
 
@@ -57,7 +74,9 @@ def cmd_build(args: argparse.Namespace) -> int:
     db = load_index(args.database)
     if not isinstance(db, TemporalDatabase):
         raise SystemExit(f"{args.database} does not contain a database")
-    method = _make_method(args.method, args.epsilon, args.kmax)
+    method = _make_method(
+        args.method, args.epsilon, args.kmax, _resolve_executor(args)
+    )
     method.build(db)
     written = save_index(method, args.output)
     print(
@@ -87,10 +106,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
     )
     exact = exact_reference(db, queries)
     rows = []
+    executor = _resolve_executor(args)
     methods = [Exact1(), Exact2(), Exact3()]
     for name in ("APPX1", "APPX2", "APPX2+"):
         methods.append(
-            APPROXIMATE_METHODS[name](epsilon=args.epsilon, kmax=args.kmax)
+            APPROXIMATE_METHODS[name](
+                epsilon=args.epsilon, kmax=args.kmax, executor=executor
+            )
         )
     for method in methods:
         report = evaluate_method(
@@ -117,6 +139,21 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=list(BACKENDS),
+        default=None,
+        help="index-build fan-out backend (default: REPRO_EXECUTOR or serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan-out worker count (default: REPRO_WORKERS or all cores)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -138,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--epsilon", type=float, default=1e-4)
     p_build.add_argument("--kmax", type=int, default=50)
     p_build.add_argument("-o", "--output", required=True)
+    _add_executor_options(p_build)
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser("query", help="run one aggregate top-k query")
@@ -155,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--epsilon", type=float, default=1e-4)
     p_cmp.add_argument("--kmax", type=int, default=50)
     p_cmp.add_argument("--seed", type=int, default=0)
+    _add_executor_options(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_info = sub.add_parser("info", help="inspect a saved dataset or index")

@@ -20,7 +20,6 @@ import numpy as np
 from repro.core.aggregates import SUM, Aggregate
 from repro.core.errors import InvalidQueryError, ReproError
 from repro.core.objects import TemporalObject
-from repro.core.plf import PiecewiseLinearFunction
 from repro.core.plfstore import PLFStore
 from repro.core.results import TopKResult, top_k_from_arrays
 

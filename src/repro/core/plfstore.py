@@ -61,6 +61,173 @@ from repro.core.results import TopKResult, top_k_from_arrays
 _CHUNK_ELEMENTS = 4 << 20
 
 
+class CSRView:
+    """A picklable, shareable view of a store's CSR kernel arrays.
+
+    Process-pool build workers need the batch kernels without the
+    ``m`` Python function objects (and their lazy caches) a full
+    :class:`PLFStore` drags along: the view bundles exactly the seven
+    flat arrays the kernels read, so it pickles cheaply on spawn
+    platforms and is inherited copy-on-write under fork.  It exposes
+    the two primitives the parallel BREAKPOINTS2 sweep fans out —
+    both over an optional contiguous object range ``[lo, hi)``, so
+    each worker computes only its own slice.
+
+    The arithmetic here *is* the store's (:class:`PLFStore` delegates
+    to its cached view), and every operation is elementwise per
+    object, so range results are byte-identical slices of the
+    full-store answers.
+    """
+
+    __slots__ = (
+        "knot_times",
+        "knot_values",
+        "offsets",
+        "prefix_masses",
+        "starts",
+        "ends",
+        "totals",
+    )
+
+    def __init__(
+        self,
+        knot_times: np.ndarray,
+        knot_values: np.ndarray,
+        offsets: np.ndarray,
+        prefix_masses: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        totals: np.ndarray,
+    ) -> None:
+        self.knot_times = knot_times
+        self.knot_values = knot_values
+        self.offsets = offsets
+        self.prefix_masses = prefix_masses
+        self.starts = starts
+        self.ends = ends
+        self.totals = totals
+
+    @property
+    def num_objects(self) -> int:
+        """``m``."""
+        return int(self.offsets.size - 1)
+
+    def _locate(self, tc: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Flat knot index of the segment containing each clamped time.
+
+        ``tc`` must broadcast to ``(..., hi - lo)`` and satisfy
+        ``starts <= tc <= ends`` elementwise over objects
+        ``[lo, hi)``.  Returns, per entry, the largest knot index
+        ``j`` within the object's segment-left range with
+        ``knot_times[j] <= tc`` — the same piece the scalar
+        ``searchsorted(times, t, "right") - 1`` selects.  Implemented
+        as a shared bisection over the CSR arrays: ``O(log max_n)``
+        vectorized rounds instead of per-object Python searches.
+        """
+        shape = tc.shape
+        low = np.broadcast_to(self.offsets[lo:hi], shape).copy()
+        # Restrict to segment-left knots so ``j`` always names a piece
+        # (times at an object's end map to its last piece with dt = 0
+        # before the boundary masks take over).
+        high = np.broadcast_to(self.offsets[lo + 1 : hi + 1] - 2, shape).copy()
+        while True:
+            active = low < high
+            if not active.any():
+                break
+            mid = (low + high + 1) >> 1
+            go_up = active & (self.knot_times[mid] <= tc)
+            go_down = active & ~go_up
+            low[go_up] = mid[go_up]
+            high[go_down] = mid[go_down] - 1
+        return low
+
+    def _cumulative_clamped(self, tc: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """``C_i(tc)`` given located pieces; scalar-identical arithmetic.
+
+        Mirrors ``prefix[j] + seg.integral(seg.t0, t)``: the trapezoid
+        ``0.5 * dt * (v0 + v_t)`` with ``v_t`` from the segment's chord.
+        """
+        t0 = self.knot_times[j]
+        v0 = self.knot_values[j]
+        w = (self.knot_values[j + 1] - v0) / (self.knot_times[j + 1] - t0)
+        dt = tc - t0
+        v_t = v0 + w * dt
+        return self.prefix_masses[j] + 0.5 * dt * (v0 + v_t)
+
+    def cumulative_at(
+        self, t: float, lo: int = 0, hi: Optional[int] = None
+    ) -> np.ndarray:
+        """``C_i(t)`` for objects ``[lo, hi)``: a ``(hi - lo,)`` array.
+
+        Clamped exactly like the scalar :meth:`PiecewiseLinearFunction.
+        cumulative`: 0 before the object's span, total mass after it.
+        """
+        if hi is None:
+            hi = self.num_objects
+        t = float(t)
+        starts = self.starts[lo:hi]
+        ends = self.ends[lo:hi]
+        tc = np.clip(t, starts, ends)
+        cum = self._cumulative_clamped(tc, self._locate(tc, lo, hi))
+        return np.where(
+            t <= starts,
+            0.0,
+            np.where(t >= ends, self.totals[lo:hi], cum),
+        )
+
+    def inverse_cumulative_many(
+        self, targets: np.ndarray, lo: int = 0, hi: Optional[int] = None
+    ) -> np.ndarray:
+        """Per-object smallest ``t`` with ``C_i(t) >= targets[i - lo]``.
+
+        The batched BREAKPOINTS2 reset step: one call replaces the
+        scalar ``inverse_cumulative`` calls for objects ``[lo, hi)``,
+        with identical piece selection (left-biased bisection on the
+        prefix masses) and the same stable quadratic root, so results
+        match bit for bit.  Requires nondecreasing cumulatives (run on
+        the absolute store when scores may be negative).  Entries
+        whose total mass never reaches the target come back ``inf``.
+        """
+        if hi is None:
+            hi = self.num_objects
+        targets = np.asarray(targets, dtype=np.float64)
+        low = self.offsets[lo:hi].copy()
+        high = self.offsets[lo + 1 : hi + 1] - 2
+        # Largest knot j in the object's segment-left range with
+        # prefix[j] < target (prefix[start] = 0 < target holds whenever
+        # the target is positive; nonpositive targets are masked below).
+        while True:
+            active = low < high
+            if not active.any():
+                break
+            mid = (low + high + 1) >> 1
+            go_up = active & (self.prefix_masses[mid] < targets)
+            go_down = active & ~go_up
+            low[go_up] = mid[go_up]
+            high[go_down] = mid[go_down] - 1
+        j = low
+        v0 = self.knot_values[j]
+        t0 = self.knot_times[j]
+        max_dt = self.knot_times[j + 1] - t0
+        w = (self.knot_values[j + 1] - v0) / max_dt
+        need = targets - self.prefix_masses[j]
+        # solve_linear_mass, vectorized with the same operation order.
+        disc = np.maximum(v0 * v0 + 2.0 * w * need, 0.0)
+        denom = v0 + np.sqrt(disc)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x = 2.0 * need / denom
+        dt = np.where(denom <= 0, max_dt, np.minimum(x, max_dt))
+        crossing = t0 + dt
+        out = np.where(targets <= 0.0, self.starts[lo:hi], crossing)
+        return np.where(targets > self.totals[lo:hi], np.inf, out)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRView(m={self.num_objects}, "
+            f"knots={int(self.knot_times.size)})"
+        )
+
+
 class PLFStore:
     """An immutable columnar snapshot of ``m`` piecewise linear functions.
 
@@ -99,6 +266,7 @@ class PLFStore:
         "_seg_obj",
         "_slopes",
         "_absolute",
+        "_csr",
     )
 
     def __init__(
@@ -134,6 +302,7 @@ class PLFStore:
         self._seg_obj: Optional[np.ndarray] = None
         self._slopes: Optional[np.ndarray] = None
         self._absolute: Optional["PLFStore"] = None
+        self._csr: Optional[CSRView] = None
 
     # ------------------------------------------------------------------
     # shape
@@ -258,46 +427,34 @@ class PLFStore:
     # ------------------------------------------------------------------
     # batched piece location
     # ------------------------------------------------------------------
-    def _locate(self, tc: np.ndarray) -> np.ndarray:
-        """Flat knot index of the segment containing each clamped time.
+    def csr_view(self) -> CSRView:
+        """The picklable kernel-array view (cached; arrays are shared).
 
-        ``tc`` must broadcast to ``(..., m)`` and satisfy
-        ``starts <= tc <= ends`` elementwise.  Returns, per entry, the
-        largest knot index ``j`` within the object's segment-left range
-        with ``knot_times[j] <= tc`` — the same piece the scalar
-        ``searchsorted(times, t, "right") - 1`` selects.  Implemented as
-        a shared bisection over the CSR arrays: ``O(log max_n)``
-        vectorized rounds instead of ``m`` Python-level searches.
+        Parallel builders ship this to pool workers instead of the
+        store itself — no function objects, no lazy caches, same
+        arithmetic (the store's own kernels delegate here).
         """
-        shape = tc.shape
-        lo = np.broadcast_to(self.offsets[:-1], shape).copy()
-        # Restrict to segment-left knots so ``j`` always names a piece
-        # (times at an object's end map to its last piece with dt = 0
-        # before the boundary masks take over).
-        hi = np.broadcast_to(self.offsets[1:] - 2, shape).copy()
-        while True:
-            active = lo < hi
-            if not active.any():
-                break
-            mid = (lo + hi + 1) >> 1
-            go_up = active & (self.knot_times[mid] <= tc)
-            go_down = active & ~go_up
-            lo[go_up] = mid[go_up]
-            hi[go_down] = mid[go_down] - 1
-        return lo
+        if self._csr is None:
+            self._csr = CSRView(
+                self.knot_times,
+                self.knot_values,
+                self.offsets,
+                self.prefix_masses,
+                self.starts,
+                self.ends,
+                self.totals,
+            )
+        return self._csr
+
+    def _locate(self, tc: np.ndarray) -> np.ndarray:
+        """Flat knot index of the segment containing each clamped time
+        (see :meth:`CSRView._locate`; full object range)."""
+        return self.csr_view()._locate(tc, 0, self.num_objects)
 
     def _cumulative_clamped(self, tc: np.ndarray, j: np.ndarray) -> np.ndarray:
-        """``C_i(tc)`` given located pieces; scalar-identical arithmetic.
-
-        Mirrors ``prefix[j] + seg.integral(seg.t0, t)``: the trapezoid
-        ``0.5 * dt * (v0 + v_t)`` with ``v_t`` from the segment's chord.
-        """
-        t0 = self.knot_times[j]
-        v0 = self.knot_values[j]
-        w = (self.knot_values[j + 1] - v0) / (self.knot_times[j + 1] - t0)
-        dt = tc - t0
-        v_t = v0 + w * dt
-        return self.prefix_masses[j] + 0.5 * dt * (v0 + v_t)
+        """``C_i(tc)`` given located pieces; scalar-identical arithmetic
+        (see :meth:`CSRView._cumulative_clamped`)."""
+        return self.csr_view()._cumulative_clamped(tc, j)
 
     # ------------------------------------------------------------------
     # batch primitives
@@ -308,12 +465,7 @@ class PLFStore:
         Clamped exactly like the scalar :meth:`PiecewiseLinearFunction.
         cumulative`: 0 before the object's span, total mass after it.
         """
-        t = float(t)
-        tc = np.clip(t, self.starts, self.ends)
-        cum = self._cumulative_clamped(tc, self._locate(tc))
-        return np.where(
-            t <= self.starts, 0.0, np.where(t >= self.ends, self.totals, cum)
-        )
+        return self.csr_view().cumulative_at(t)
 
     def cumulative_at_many(self, ts: np.ndarray) -> np.ndarray:
         """``C_i(t)`` for every object and every query time: ``(q, m)``.
@@ -426,44 +578,10 @@ class PLFStore:
     def inverse_cumulative_many(self, targets: np.ndarray) -> np.ndarray:
         """Per-object smallest ``t`` with ``C_i(t) >= targets[i]``.
 
-        The batched BREAKPOINTS2 reset step: one call replaces ``m``
-        scalar ``inverse_cumulative`` calls, with identical piece
-        selection (left-biased bisection on the prefix masses) and the
-        same stable quadratic root, so results match bit for bit.
-        Requires nondecreasing cumulatives (run on the absolute store
-        when scores may be negative).  Entries whose total mass never
-        reaches the target come back ``inf``.
+        The batched BREAKPOINTS2 reset step (see
+        :meth:`CSRView.inverse_cumulative_many`; full object range).
         """
-        targets = np.asarray(targets, dtype=np.float64)
-        lo = self.offsets[:-1].copy()
-        hi = self.offsets[1:] - 2
-        # Largest knot j in the object's segment-left range with
-        # prefix[j] < target (prefix[start] = 0 < target holds whenever
-        # the target is positive; nonpositive targets are masked below).
-        while True:
-            active = lo < hi
-            if not active.any():
-                break
-            mid = (lo + hi + 1) >> 1
-            go_up = active & (self.prefix_masses[mid] < targets)
-            go_down = active & ~go_up
-            lo[go_up] = mid[go_up]
-            hi[go_down] = mid[go_down] - 1
-        j = lo
-        v0 = self.knot_values[j]
-        t0 = self.knot_times[j]
-        max_dt = self.knot_times[j + 1] - t0
-        w = (self.knot_values[j + 1] - v0) / max_dt
-        need = targets - self.prefix_masses[j]
-        # solve_linear_mass, vectorized with the same operation order.
-        disc = np.maximum(v0 * v0 + 2.0 * w * need, 0.0)
-        denom = v0 + np.sqrt(disc)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            x = 2.0 * need / denom
-        dt = np.where(denom <= 0, max_dt, np.minimum(x, max_dt))
-        crossing = t0 + dt
-        out = np.where(targets <= 0.0, self.starts, crossing)
-        return np.where(targets > self.totals, np.inf, out)
+        return self.csr_view().inverse_cumulative_many(targets)
 
     # ------------------------------------------------------------------
     # query answering

@@ -1,0 +1,36 @@
+"""Shared parallel execution for the index-build fan-out.
+
+See :mod:`repro.parallel.executor` for the backend/ determinism
+contract and :mod:`repro.parallel.workers` for the chunk tasks the
+build pipelines fan out.
+"""
+
+from repro.parallel.executor import (
+    BACKEND_ENV,
+    BACKENDS,
+    OVERSUBSCRIPTION,
+    WORKERS_ENV,
+    ParallelExecutor,
+    Session,
+    chunk_ranges,
+    get_executor,
+    resolve_backend,
+    resolve_workers,
+    weighted_chunk_ranges,
+    worker_state,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "OVERSUBSCRIPTION",
+    "WORKERS_ENV",
+    "ParallelExecutor",
+    "Session",
+    "chunk_ranges",
+    "get_executor",
+    "resolve_backend",
+    "resolve_workers",
+    "weighted_chunk_ranges",
+    "worker_state",
+]

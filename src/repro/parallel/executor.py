@@ -1,0 +1,268 @@
+"""A shared parallel executor for the index-build fan-out.
+
+The heavy build pipelines — QUERY1's per-left-endpoint top-list
+batches, QUERY2's per-node batches, the BREAKPOINTS2 danger-check and
+crossing kernel pre-passes — are all families of *independent* chunk
+tasks over shared read-only arrays.  This module gives them one
+executor abstraction with three interchangeable backends:
+
+* ``serial`` — run chunks inline (the default; zero overhead, and the
+  reference behavior every other backend must reproduce byte for
+  byte),
+* ``thread`` — a ``ThreadPoolExecutor``; NumPy kernels release the GIL
+  only partially, so this backend helps mainly when chunk work is
+  dominated by large vectorized selections and sorts,
+* ``process`` — a ``ProcessPoolExecutor``, forked where the platform
+  allows it so the shared read-only arrays are inherited
+  copy-on-write instead of pickled per task (spawn platforms fall
+  back to pickling the session state once per worker).
+
+Determinism contract
+--------------------
+:meth:`Session.map` always returns results in task-submission order,
+and every task is a pure function of ``(session state, task args)``;
+workers never touch a :class:`~repro.storage.device.BlockDevice` or
+:class:`~repro.storage.stats.IOStats`.  The coordinator performs all
+device writes and IO accounting itself, in task order, so fanned-out
+builds produce byte-identical devices, stats, and artifacts on every
+backend — asserted by ``tests/test_build_equivalence.py``.
+
+Backend and worker count resolve from the ``REPRO_EXECUTOR`` and
+``REPRO_WORKERS`` environment variables when not given explicitly, so
+CI can force the process pool across a whole test run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+#: Recognized backend names, in documentation order.
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment variables consulted by :func:`get_executor`.
+BACKEND_ENV = "REPRO_EXECUTOR"
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Chunks submitted per worker by the fan-out builders: mild
+#: oversubscription so one slow chunk cannot serialize the pool.
+OVERSUBSCRIPTION = 4
+
+_WORKER_STATE: Any = None
+
+
+def _set_worker_state(state: Any) -> None:
+    """Install a session's shared state (the pool initializer)."""
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def worker_state() -> Any:
+    """The state installed for the current session's tasks.
+
+    Inside a ``process`` session this is the per-worker copy installed
+    by the pool initializer (forked copy-on-write where available);
+    inside ``serial``/``thread`` sessions it is the coordinator's own
+    object.
+    """
+    return _WORKER_STATE
+
+
+# ----------------------------------------------------------------------
+# resolution
+# ----------------------------------------------------------------------
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The effective backend name: explicit arg, else env, else serial."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "serial"
+    backend = str(backend).lower()
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown executor backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit arg, else env, else cores."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ReproError(
+                    f"{WORKERS_ENV}={env!r} is not an integer worker count"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 1:
+        raise ReproError("executor workers must be at least 1")
+    return workers
+
+
+# ----------------------------------------------------------------------
+# chunk scheduling
+# ----------------------------------------------------------------------
+def chunk_ranges(
+    n: int, parts: int, min_size: int = 1
+) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``parts`` contiguous chunks.
+
+    Chunk sizes differ by at most one and every chunk holds at least
+    ``min_size`` items (fewer chunks are produced when ``n`` is
+    small).  Contiguity keeps each worker streaming over one slice of
+    the shared arrays — the shared-memory-friendly schedule.
+    """
+    if n <= 0:
+        return []
+    parts = max(1, min(int(parts), n // max(1, int(min_size)) or 1))
+    base, extra = divmod(n, parts)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(parts):
+        hi = lo + base + (1 if index < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def weighted_chunk_ranges(
+    weights: Sequence[float], parts: int
+) -> List[Tuple[int, int]]:
+    """Contiguous chunks of near-equal total *weight*.
+
+    The QUERY1 fan-out uses this with weight ``r - 1 - j`` per left
+    endpoint ``j``: early endpoints own quadratically more list rows
+    than late ones, so equal-count chunks would put almost all the
+    work in the first chunk.  Cuts are placed at the weight quantiles
+    (deterministically), preserving order.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    n = int(weights.size)
+    if n == 0:
+        return []
+    parts = max(1, min(int(parts), n))
+    cumulative = np.cumsum(weights)
+    total = float(cumulative[-1])
+    if not np.isfinite(total) or total <= 0.0:
+        return chunk_ranges(n, parts)
+    targets = total * np.arange(1, parts + 1) / parts
+    cuts = np.searchsorted(cumulative, targets, side="left") + 1
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for cut in cuts:
+        hi = min(max(int(cut), lo), n)
+        if hi > lo:
+            ranges.append((lo, hi))
+            lo = hi
+    if lo < n:
+        ranges.append((lo, n))
+    return ranges
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+class Session:
+    """One open fan-out scope: shared state plus (for pool backends) a
+    live worker pool.
+
+    Builders open one session per build and call :meth:`map` as many
+    times as they need; the pool (and, for process backends, the
+    per-worker state installation) is paid once per session, not per
+    call.  Always used as a context manager.
+    """
+
+    def __init__(self, executor: "ParallelExecutor", state: Any) -> None:
+        self._executor = executor
+        self._state = state
+        self._pool = None
+        self._saved_state: Any = None
+
+    def __enter__(self) -> "Session":
+        backend = self._executor.backend
+        if backend == "process":
+            # Prefer fork only where it is actually safe (Linux):
+            # macOS lists fork as available but its default moved to
+            # spawn because forking after threads exist can crash the
+            # Objective-C runtime / BLAS.  Elsewhere, take the
+            # platform default (state then pickles once per worker).
+            methods = multiprocessing.get_all_start_methods()
+            if sys.platform.startswith("linux") and "fork" in methods:
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._executor.workers,
+                mp_context=context,
+                initializer=_set_worker_state,
+                initargs=(self._state,),
+            )
+        else:
+            self._saved_state = worker_state()
+            _set_worker_state(self._state)
+            if backend == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._executor.workers
+                )
+        return self
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> list:
+        """Run ``fn`` over ``tasks``; results in task-submission order.
+
+        A task exception propagates to the coordinator (the pool is
+        torn down by the session exit), so a failed fan-out never
+        commits partial results.
+        """
+        tasks = list(tasks)
+        if self._pool is None:
+            return [fn(task) for task in tasks]
+        return list(self._pool.map(fn, tasks))
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._executor.backend != "process":
+            _set_worker_state(self._saved_state)
+
+
+class ParallelExecutor:
+    """A backend + worker-count pair; sessions do the actual work.
+
+    Instances are cheap value objects: no pool lives outside an open
+    :meth:`session`, so executors can be stored on long-lived method
+    objects (CLI, benchmarks) without leaking OS resources.
+    """
+
+    def __init__(self, backend: str, workers: int) -> None:
+        self.backend = resolve_backend(backend)
+        self.workers = 1 if self.backend == "serial" else resolve_workers(workers)
+
+    @property
+    def is_serial(self) -> bool:
+        """True when chunk tasks run inline on the coordinator."""
+        return self.backend == "serial"
+
+    def session(self, state: Any = None) -> Session:
+        """Open a fan-out scope sharing ``state`` with all workers."""
+        return Session(self, state)
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(backend={self.backend!r}, workers={self.workers})"
+
+
+def get_executor(
+    backend: Optional[str] = None, workers: Optional[int] = None
+) -> ParallelExecutor:
+    """The environment-resolved executor (defaults: serial, all cores)."""
+    return ParallelExecutor(resolve_backend(backend), resolve_workers(workers))

@@ -17,7 +17,6 @@ import numpy as np
 from repro.core.errors import InvalidFunctionError
 from repro.core.plf import PiecewiseLinearFunction, from_samples
 from repro.segmentation.bottom_up import bottom_up
-from repro.segmentation.sliding_window import chord_error
 
 
 def swab(

@@ -23,7 +23,7 @@ class LRUCache:
             raise ValueError("capacity_blocks must be positive")
         self.capacity_blocks = capacity_blocks
         self._entries: "OrderedDict[int, Any]" = OrderedDict()
-        self._device = None  # type: Optional[object]
+        self._device: Optional[Any] = None
 
     def attach(self, device: object) -> None:
         """Bind to a device (informational; a cache serves one device)."""

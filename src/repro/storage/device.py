@@ -17,7 +17,8 @@ Structures decide their own packing via :func:`entries_per_block`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import os
+from typing import Any, Dict, Optional, Sequence
 
 from repro.storage.stats import IOStats
 
@@ -79,6 +80,12 @@ class BlockDevice:
         self._blocks: Dict[int, Any] = {}
         self._next_id = 0
         self._cache = cache
+        # Parallel build discipline: every mutation must come from the
+        # process that owns the device (the build coordinator).  A
+        # fan-out worker inheriting a forked copy may read payloads,
+        # but an attempted write there would silently diverge from the
+        # coordinator's layout and IO counts — so it raises instead.
+        self._owner_pid = os.getpid()
         if cache is not None:
             cache.attach(self)
 
@@ -90,6 +97,7 @@ class BlockDevice:
 
         Charged as one write IO (the block must reach disk).
         """
+        self._require_coordinator()
         block_id = self._next_id
         self._next_id += 1
         self._blocks[block_id] = payload
@@ -107,7 +115,12 @@ class BlockDevice:
         write per block) — but the counters are updated in bulk, so
         index builders can pack a whole family of lists without a
         Python-level stats round-trip per block.
+
+        This is the ordered bulk-commit chokepoint of the parallel
+        builders: workers hand their payloads back to the coordinator,
+        which commits them here in task order.
         """
+        self._require_coordinator()
         count = len(payloads)
         block_ids = list(range(self._next_id, self._next_id + count))
         self._next_id += count
@@ -129,6 +142,7 @@ class BlockDevice:
 
     def free(self, block_id: int) -> None:
         """Release a block. Freed ids are never reused."""
+        self._require_coordinator()
         self._require(block_id)
         del self._blocks[block_id]
         if self._cache is not None:
@@ -151,8 +165,36 @@ class BlockDevice:
             self._cache.put(block_id, payload)
         return payload
 
+    def read_many(self, block_ids: Sequence[int]) -> list:
+        """Read several blocks in order with one bulk read charge.
+
+        IO accounting matches a loop of :meth:`read` exactly — one
+        cache-hit count per cached block, one read IO per uncached
+        block — but the counters are updated once, which matters for
+        multi-block list reads on the query path.
+        """
+        payloads = []
+        misses = 0
+        for block_id in block_ids:
+            self._require(block_id)
+            if self._cache is not None:
+                hit = self._cache.get(block_id)
+                if hit is not _MISS:
+                    self.stats.record_cache_hit()
+                    payloads.append(hit)
+                    continue
+            payload = self._blocks[block_id]
+            misses += 1
+            if self._cache is not None:
+                self._cache.put(block_id, payload)
+            payloads.append(payload)
+        if misses:
+            self.stats.record_reads(misses)
+        return payloads
+
     def write(self, block_id: int, payload: Any) -> None:
         """Overwrite a block in place, charging one write IO."""
+        self._require_coordinator()
         self._require(block_id)
         self._blocks[block_id] = payload
         self.stats.record_write()
@@ -186,6 +228,23 @@ class BlockDevice:
     def _require(self, block_id: int) -> None:
         if block_id not in self._blocks:
             raise BlockDeviceError(f"{self.name}: invalid block id {block_id}")
+
+    def _require_coordinator(self) -> None:
+        if os.getpid() != self._owner_pid:
+            raise BlockDeviceError(
+                f"{self.name}: block mutation from a worker process "
+                f"(pid {os.getpid()}, owner {self._owner_pid}); device "
+                "writes must stay on the build coordinator"
+            )
+
+    def __setstate__(self, state: dict) -> None:
+        # A device deliberately unpickled elsewhere (a saved index
+        # loaded by the CLI, a spawned worker receiving one as session
+        # state) belongs to the process that unpickled it; only
+        # fork-inherited copies keep the original owner and stay
+        # read-only.
+        self.__dict__.update(state)
+        self._owner_pid = os.getpid()
 
 
 class _Miss:

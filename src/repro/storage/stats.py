@@ -86,6 +86,10 @@ class IOStats:
     def record_allocation(self) -> None:
         self.allocations += 1
 
+    def record_reads(self, count: int) -> None:
+        """Charge ``count`` read IOs in one call (bulk block reads)."""
+        self.reads += count
+
     def record_writes(self, count: int) -> None:
         """Charge ``count`` write IOs in one call (bulk allocation)."""
         self.writes += count

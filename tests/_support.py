@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import PiecewiseLinearFunction, TemporalDatabase, TemporalObject
 
@@ -47,8 +46,6 @@ def breakpoints_equivalent(a, b, atol: float = 1e-6) -> bool:
     exists); both results satisfy Lemma 2, so tests treat them as
     equivalent.
     """
-    import numpy as np
-
     short, long = (a, b) if a.r <= b.r else (b, a)
     if long.r - short.r > 1:
         return False

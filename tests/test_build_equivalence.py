@@ -1,4 +1,4 @@
-"""Equivalence suite for the batched index-build pipeline (PR 2).
+"""Equivalence suite for the batched index-build pipeline (PRs 2-3).
 
 Every batched builder must produce *byte-identical* artifacts to the
 historical scalar path it replaced:
@@ -10,7 +10,15 @@ historical scalar path it replaced:
   the absolute-value (Section 4) variant,
 * APPX2+ rescored answers with unchanged IO counts,
 * the dyadic candidate pools (scores and dict order).
+
+PR 3 adds the executor dimension: the multi-core fan-out of the three
+build pipelines must reproduce the serial artifacts byte for byte on
+every backend (serial, thread pool, process pool — including a
+single-worker process pool and a tie-heavy dataset), and a worker
+failure must propagate without corrupting the device.
 """
+
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -24,10 +32,33 @@ from repro.approximate.toplists import (
     top_kmax_of_column,
     top_kmax_of_columns,
 )
+from repro.core import PiecewiseLinearFunction, TemporalObject
+from repro.core.database import TemporalDatabase
 from repro.core.queries import TopKQuery
+from repro.parallel import get_executor
 from repro.storage import BlockDevice
 
 from _support import make_random_database, random_intervals
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: (backend, workers) combinations the fan-out must be exact under.
+EXECUTOR_MATRIX = [
+    pytest.param("serial", 1, id="serial"),
+    pytest.param("thread", 2, id="thread2"),
+    pytest.param(
+        "process",
+        2,
+        id="process2",
+        marks=pytest.mark.skipif(not _HAS_FORK, reason="needs fork"),
+    ),
+    pytest.param(
+        "process",
+        1,
+        id="process1",
+        marks=pytest.mark.skipif(not _HAS_FORK, reason="needs fork"),
+    ),
+]
 
 
 @pytest.fixture(scope="module")
@@ -327,3 +358,164 @@ class TestAppx2PlusRescoring:
                     want_ids, want_scores = want.object_ids, want.scores
                 assert got.object_ids == want_ids, name
                 assert got.scores == want_scores, name
+
+
+def _tie_heavy_database() -> TemporalDatabase:
+    """A database where most objects tie exactly on every interval.
+
+    25 identical constant-valued objects produce equal scores for
+    every breakpoint pair (the canonical ``(-score, id)`` boundary
+    ties the batcher must repair); a few varying objects keep the
+    breakpoint constructions non-degenerate.
+    """
+    objects = [
+        TemporalObject(
+            i,
+            PiecewiseLinearFunction(
+                np.array([0.0, 100.0]), np.array([1.0, 1.0])
+            ),
+        )
+        for i in range(25)
+    ]
+    rng = np.random.default_rng(99)
+    for i in range(25, 30):
+        times = np.unique(rng.uniform(0, 100, 12))
+        objects.append(
+            TemporalObject(
+                i,
+                PiecewiseLinearFunction(
+                    times, rng.uniform(0, 5, times.size)
+                ),
+            )
+        )
+    return TemporalDatabase(objects, span=(0.0, 100.0), pad=True)
+
+
+def _assert_same_query1(dev_a, idx_a, dev_b, idx_b, kmax):
+    assert _device_state(dev_a) == _device_state(dev_b)
+    assert set(idx_a._lists) == set(idx_b._lists)
+    for key, stored_a in idx_a._lists.items():
+        stored_b = idx_b._lists[key]
+        assert stored_a.block_ids == stored_b.block_ids, key
+        ids_a, scores_a = stored_a.read_top(dev_a, kmax)
+        ids_b, scores_b = stored_b.read_top(dev_b, kmax)
+        assert ids_a.tobytes() == ids_b.tobytes(), key
+        assert scores_a.tobytes() == scores_b.tobytes(), key
+
+
+def _assert_same_query2(dev_a, idx_a, dev_b, idx_b, kmax):
+    assert idx_a.root_id == idx_b.root_id
+    assert idx_a.num_nodes == idx_b.num_nodes
+    assert _device_state(dev_a) == _device_state(dev_b)
+    for node_a, node_b in zip(
+        TestQuery2BuildEquivalence._walk(idx_a),
+        TestQuery2BuildEquivalence._walk(idx_b),
+    ):
+        assert (node_a.lo, node_a.hi) == (node_b.lo, node_b.hi)
+        assert (node_a.left, node_a.right) == (node_b.left, node_b.right)
+        if node_a.inline_rows is not None:
+            ids_a, scores_a = node_a.inline_rows
+            ids_b, scores_b = node_b.inline_rows
+        else:
+            assert node_a.top_list.block_ids == node_b.top_list.block_ids
+            ids_a, scores_a = node_a.top_list.read_top(dev_a, kmax)
+            ids_b, scores_b = node_b.top_list.read_top(dev_b, kmax)
+        assert ids_a.tobytes() == ids_b.tobytes()
+        assert scores_a.tobytes() == scores_b.tobytes()
+
+
+@pytest.mark.parametrize("backend,workers", EXECUTOR_MATRIX)
+class TestExecutorBackendEquivalence:
+    """Fan-out determinism: every backend reproduces the serial build."""
+
+    def test_query1_byte_identical(self, setup, backend, workers):
+        db, bp = setup
+        dev_ref = BlockDevice()
+        ref = NestedPairIndex(dev_ref, bp, kmax=15).build(
+            db, executor=get_executor("serial", 1)
+        )
+        dev = BlockDevice()
+        idx = NestedPairIndex(dev, bp, kmax=15).build(
+            db, executor=get_executor(backend, workers)
+        )
+        _assert_same_query1(dev_ref, ref, dev, idx, 15)
+
+    def test_query2_byte_identical(self, setup, backend, workers):
+        db, bp = setup
+        dev_ref = BlockDevice()
+        ref = DyadicIndex(dev_ref, bp, kmax=15).build(
+            db, executor=get_executor("serial", 1)
+        )
+        dev = BlockDevice()
+        idx = DyadicIndex(dev, bp, kmax=15).build(
+            db, executor=get_executor(backend, workers)
+        )
+        _assert_same_query2(dev_ref, ref, dev, idx, 15)
+
+    @pytest.mark.parametrize("epsilon", [0.01, 0.0005])
+    def test_breakpoints2_byte_identical(
+        self, setup, backend, workers, epsilon
+    ):
+        db, _ = setup
+        ref = build_breakpoints2(
+            db, epsilon, executor=get_executor("serial", 1)
+        )
+        got = build_breakpoints2(
+            db, epsilon, executor=get_executor(backend, workers)
+        )
+        assert ref.times.tobytes() == got.times.tobytes()
+
+    def test_tie_heavy_dataset_byte_identical(self, backend, workers):
+        db = _tie_heavy_database()
+        bp = build_breakpoints1(db, r=11)
+        dev_ref = BlockDevice()
+        ref = NestedPairIndex(dev_ref, bp, kmax=10).build(
+            db, executor=get_executor("serial", 1)
+        )
+        dev = BlockDevice()
+        idx = NestedPairIndex(dev, bp, kmax=10).build(
+            db, executor=get_executor(backend, workers)
+        )
+        _assert_same_query1(dev_ref, ref, dev, idx, 10)
+        dev_ref2, dev2 = BlockDevice(), BlockDevice()
+        dref = DyadicIndex(dev_ref2, bp, kmax=10).build(
+            db, executor=get_executor("serial", 1)
+        )
+        didx = DyadicIndex(dev2, bp, kmax=10).build(
+            db, executor=get_executor(backend, workers)
+        )
+        _assert_same_query2(dev_ref2, dref, dev2, didx, 10)
+
+
+def _boom_chunk(bounds):
+    raise RuntimeError("injected worker failure")
+
+
+class TestWorkerFaults:
+    """A failed worker must propagate cleanly, device untouched."""
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "thread",
+            pytest.param(
+                "process",
+                marks=pytest.mark.skipif(not _HAS_FORK, reason="needs fork"),
+            ),
+        ],
+    )
+    def test_query1_worker_failure_leaves_device_clean(
+        self, setup, backend, monkeypatch
+    ):
+        db, bp = setup
+        monkeypatch.setattr(
+            "repro.approximate.query1.query1_toplists_chunk", _boom_chunk
+        )
+        device = BlockDevice()
+        before = (_device_state(device), device.stats.reads)
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            NestedPairIndex(device, bp, kmax=15).build(
+                db, executor=get_executor(backend, 2)
+            )
+        assert (_device_state(device), device.stats.reads) == before
+        assert device.num_blocks == 0

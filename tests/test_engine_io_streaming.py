@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import TopKQuery
 from repro.core.errors import InvalidQueryError, ReproError
 from repro.datasets.io import load_csv, save_csv
 from repro.engine import TemporalRankingEngine

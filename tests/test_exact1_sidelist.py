@@ -1,7 +1,6 @@
 """Tests for EXACT1's long-segment side list and scan-back window."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     PiecewiseLinearFunction,

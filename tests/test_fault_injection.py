@@ -6,7 +6,6 @@ answers, and (b) a structure remains fully usable after a failed
 operation (nothing was mutated mid-query).
 """
 
-import numpy as np
 import pytest
 
 from repro.core import TopKQuery

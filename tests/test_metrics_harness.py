@@ -123,3 +123,44 @@ class TestReporting:
         table = format_table("x", [{"a": float("nan"), "b": 1.5e-7}])
         assert "-" in table
         assert "e-07" in table
+
+
+class TestBenchGating:
+    """The shared BENCH baseline gate (repro.bench.gating)."""
+
+    def test_find_baseline_entry_matches_config_latest_wins(self):
+        from repro.bench.gating import find_baseline_entry
+
+        history = [
+            {"config": {"m": 10}, "results": {"x": 1.0}},
+            {"config": {"m": 20}, "results": {"x": 2.0}},
+            {"config": {"m": 10}, "results": {"x": 3.0}},
+        ]
+        assert find_baseline_entry(history, {"m": 10})["results"]["x"] == 3.0
+        assert find_baseline_entry(history, {"m": 99}) is None
+        single = {"config": {"m": 20}, "results": {}}
+        assert find_baseline_entry(single, {"m": 20}) is single
+
+    def test_compare_results_gates_timings_and_ratios(self):
+        from repro.bench.gating import compare_results
+
+        base = {"slow_s": 1.0, "tiny_s": 0.001, "speedup": 10.0}
+        # Regressed timing, noise-floor timing, and lost ratio.
+        current = {"slow_s": 2.5, "tiny_s": 1.0, "speedup": 4.0}
+        failures = compare_results(
+            base, current, ("slow_s", "tiny_s"), ("speedup",), 2.0,
+            label="r=7 ",
+        )
+        assert len(failures) == 2  # tiny_s is below the noise floor
+        assert any("slow_s" in line for line in failures)
+        assert any("speedup" in line for line in failures)
+        assert all(line.startswith("r=7 ") for line in failures)
+
+    def test_compare_results_passes_within_budget(self):
+        from repro.bench.gating import compare_results
+
+        base = {"slow_s": 1.0, "speedup": 10.0}
+        current = {"slow_s": 1.8, "speedup": 6.0, "extra": 5.0}
+        assert not compare_results(
+            base, current, ("slow_s", "missing"), ("speedup",), 2.0
+        )

@@ -1,0 +1,201 @@
+"""Executor subsystem tests: chunking, resolution, sessions, faults.
+
+The build-level byte-identity of fanned-out indexes lives in
+``test_build_equivalence.py``; this module covers the executor
+machinery itself plus the device's coordinator-ownership guard.
+"""
+
+import multiprocessing
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ReproError
+from repro.parallel import (
+    BACKEND_ENV,
+    WORKERS_ENV,
+    ParallelExecutor,
+    chunk_ranges,
+    get_executor,
+    resolve_backend,
+    resolve_workers,
+    weighted_chunk_ranges,
+    worker_state,
+)
+from repro.storage.cache import LRUCache
+from repro.storage.device import BlockDevice, BlockDeviceError
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: Backends every session-behavior test runs under (process backends
+#: need fork so test-module functions resolve inside workers).
+SESSION_BACKENDS = [
+    pytest.param("serial", 1, id="serial"),
+    pytest.param("thread", 2, id="thread2"),
+    pytest.param(
+        "process",
+        2,
+        id="process2",
+        marks=pytest.mark.skipif(_HAS_FORK is False, reason="needs fork"),
+    ),
+    pytest.param(
+        "process",
+        1,
+        id="process1",
+        marks=pytest.mark.skipif(_HAS_FORK is False, reason="needs fork"),
+    ),
+]
+
+
+def _echo_task(task):
+    """(task, state-sum, worker pid) — enough to check order + state."""
+    state = worker_state()
+    return task, float(np.sum(state)), os.getpid()
+
+
+def _boom_task(task):
+    raise RuntimeError(f"worker failure on task {task!r}")
+
+
+def _mutate_device_task(task):
+    device = worker_state()
+    try:
+        device.allocate(np.zeros(1))
+    except BlockDeviceError:
+        return "guarded"
+    return "allocated"
+
+
+class TestChunkRanges:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 16, 1000])
+    @pytest.mark.parametrize("parts", [1, 2, 3, 8, 64])
+    def test_cover_contiguously_in_order(self, n, parts):
+        ranges = chunk_ranges(n, parts)
+        flat = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert flat == list(range(n))
+        assert len(ranges) <= max(1, parts) or n == 0
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [hi - lo for lo, hi in chunk_ranges(103, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_min_size_limits_chunk_count(self):
+        ranges = chunk_ranges(10, 8, min_size=4)
+        assert len(ranges) == 2
+        assert all(hi - lo >= 4 for lo, hi in ranges)
+
+    def test_weighted_cover_and_balance(self):
+        weights = np.arange(100, 0, -1, dtype=np.float64)
+        ranges = weighted_chunk_ranges(weights, 4)
+        flat = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert flat == list(range(100))
+        loads = [float(weights[lo:hi].sum()) for lo, hi in ranges]
+        target = float(weights.sum()) / 4
+        assert max(loads) <= 2 * target
+
+    def test_weighted_degenerate_weights_fall_back(self):
+        assert weighted_chunk_ranges(np.zeros(6), 3) == chunk_ranges(6, 3)
+        assert weighted_chunk_ranges([], 3) == []
+
+
+class TestResolution:
+    def test_backend_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        assert resolve_backend("thread") == "thread"
+        assert resolve_backend() == "process"
+
+    def test_backend_default_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend() == "serial"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ReproError):
+            resolve_backend("cluster")
+
+    def test_workers_env_and_floor(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(5) == 5
+        with pytest.raises(ReproError):
+            resolve_workers(0)
+
+    def test_serial_executor_reports_one_worker(self):
+        executor = ParallelExecutor("serial", 8)
+        assert executor.is_serial
+        assert executor.workers == 1
+
+
+class TestSessions:
+    @pytest.mark.parametrize("backend,workers", SESSION_BACKENDS)
+    def test_map_preserves_order_and_state(self, backend, workers):
+        executor = get_executor(backend, workers)
+        state = np.arange(5, dtype=np.float64)
+        tasks = list(range(20))
+        with executor.session(state) as session:
+            results = session.map(_echo_task, tasks)
+        assert [task for task, _, _ in results] == tasks
+        assert all(total == 10.0 for _, total, _ in results)
+
+    @pytest.mark.parametrize("backend,workers", SESSION_BACKENDS)
+    def test_worker_exception_propagates(self, backend, workers):
+        executor = get_executor(backend, workers)
+        with pytest.raises(RuntimeError, match="worker failure"):
+            with executor.session(None) as session:
+                session.map(_boom_task, [1, 2, 3])
+
+    def test_thread_session_restores_previous_state(self):
+        executor = get_executor("thread", 2)
+        with executor.session("outer") as outer:
+            assert worker_state() == "outer"
+            outer.map(lambda task: task, [1])
+        assert worker_state() is None
+
+
+class TestDeviceCoordinatorGuard:
+    @pytest.mark.skipif(not _HAS_FORK, reason="needs fork")
+    def test_forked_worker_cannot_mutate_device(self):
+        device = BlockDevice()
+        device.allocate(np.zeros(2))
+        before = (device.num_blocks, device.stats.writes)
+        executor = get_executor("process", 1)
+        with executor.session(device) as session:
+            assert session.map(_mutate_device_task, [0]) == ["guarded"]
+        assert (device.num_blocks, device.stats.writes) == before
+
+    def test_thread_workers_share_the_coordinator(self):
+        # Same process: threads are part of the coordinator and may
+        # commit (the builders still funnel writes through one loop).
+        device = BlockDevice()
+        executor = get_executor("thread", 2)
+        with executor.session(device) as session:
+            assert session.map(_mutate_device_task, [0]) == ["allocated"]
+
+    def test_unpickled_device_is_owned_by_its_process(self):
+        device = BlockDevice()
+        device.allocate(np.ones(3))
+        clone = pickle.loads(pickle.dumps(device))
+        assert clone.allocate(np.ones(3)) == 1  # not guarded
+
+
+class TestReadMany:
+    @pytest.mark.parametrize("cache_blocks", [0, 2])
+    def test_matches_read_loop_counts_and_payloads(self, cache_blocks):
+        def fresh(cache_blocks):
+            cache = LRUCache(cache_blocks) if cache_blocks else None
+            device = BlockDevice(cache=cache)
+            ids = [device.allocate(np.full(4, i)) for i in range(6)]
+            device.drop_cache()
+            return device, ids
+
+        dev_loop, ids_loop = fresh(cache_blocks)
+        dev_bulk, ids_bulk = fresh(cache_blocks)
+        for _ in range(2):  # second pass exercises cache hits
+            want = [dev_loop.read(b) for b in ids_loop]
+            got = dev_bulk.read_many(ids_bulk)
+            assert all(
+                a.tobytes() == b.tobytes() for a, b in zip(want, got)
+            )
+        assert dev_loop.stats.reads == dev_bulk.stats.reads
+        assert dev_loop.stats.cache_hits == dev_bulk.stats.cache_hits

@@ -3,7 +3,6 @@
 import numpy as np
 from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
-from repro.core import TemporalDatabase, TemporalObject
 from repro.storage import BlockDevice
 from repro.approximate import build_breakpoints1, build_breakpoints2, build_breakpoints2_baseline
 from repro.approximate.dyadic import DyadicIndex

@@ -1,7 +1,6 @@
 """Unit tests for top-k answer sets and selection helpers."""
 
 import numpy as np
-import pytest
 
 from repro.core.results import (
     RankedItem,
