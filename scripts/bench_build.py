@@ -249,6 +249,7 @@ def main(argv=None) -> int:
         args.r_list = "40"
         args.repeats = max(args.repeats, 3)
 
+    from repro.bench.gating import host_metadata
     from repro.datasets import generate_temp
     from repro.parallel import get_executor, resolve_backend
 
@@ -271,14 +272,16 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "smoke": bool(args.smoke),
         },
-        # Resolved fan-out settings: kept out of ``config`` (baseline
-        # matching is on the machine-independent workload shape) but
-        # always recorded so entries from different machines/backends
-        # are distinguishable before normalization.
+        # Resolved fan-out settings and host facts: kept out of
+        # ``config`` (baseline matching is on the machine-independent
+        # workload shape) but always recorded so entries from
+        # different machines/backends are distinguishable before
+        # normalization.
         "executor": {
             "backend": executor.backend,
             "workers": executor.workers,
         },
+        "host": host_metadata(),
         "results": [
             run_point(
                 database, r, args.kmax,

@@ -100,6 +100,7 @@ def main(argv=None) -> int:
         build_breakpoints2_baseline,
         epsilon_for_budget,
     )
+    from repro.bench.gating import host_metadata
     from repro.bench.harness import kernel_microbenchmark
     from repro.datasets import generate_temp
 
@@ -141,6 +142,9 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "smoke": bool(args.smoke),
         },
+        # Host facts live beside (not inside) config: baseline matching
+        # keys on the machine-independent workload shape only.
+        "host": host_metadata(),
         "results": results,
     }
     json.dump(report, sys.stdout, indent=2, sort_keys=True)

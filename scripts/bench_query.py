@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Batched-vs-scalar query serving throughput as JSON, for the BENCH
+trajectory.
+
+Builds the serving indexes once on a generated Temp-like database,
+samples a seeded mixed-interval / mixed-``k`` workload, and measures
+every method two ways:
+
+* the scalar loop — one ``method.query(...)`` call per workload row
+  (the historical serving path), and
+* ``query_many`` — the whole workload through the batched pipeline,
+
+asserting on the way that both return identical answers (the
+equivalence contract), then reporting queries/sec and the speedup.
+The instant engine is measured the same way on an instant workload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_query.py [--m 1000] [--navg 60]
+        [--r 200] [--kmax 200] [--qk 50] [--batch 256] [--seed 0]
+        [--smoke] [--workers 4] [--backend process]
+        [--baseline BENCH_query.json] [--max-regression 2.0]
+
+``--smoke`` shrinks every dimension so CI can run in a few seconds.
+With ``--baseline`` the run is compared against the committed
+trajectory entry whose config matches; the script exits nonzero when
+a batched wall time or a batched/scalar speedup ratio regresses by
+more than ``--max-regression`` x (ratios are in-run relative, so they
+normalize away host speed).  Output is one JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+#: Per-method wall-clock keys gated by --baseline (batched path only;
+#: the scalar loop feeds the ratio gate).
+GATED_KEYS = ("batched_s",)
+
+#: Per-method in-run ratios gated by --baseline.
+GATED_RATIOS = ("speedup",)
+
+
+def _interleaved_best(run_scalar, run_batched, repeats: int):
+    """Best-of timings with scalar/batched rounds *interleaved*.
+
+    Back-to-back pairs see the same machine state, so host-load drift
+    between the two measurement blocks cannot skew the speedup ratio
+    (measured drift on shared runners exceeds the effect under test).
+    """
+    scalar_s = batched_s = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run_scalar()
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_batched()
+        batched_s = min(batched_s, time.perf_counter() - start)
+    return scalar_s, batched_s
+
+
+def _report_point(count: int, scalar_s: float, batched_s: float) -> dict:
+    return {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "scalar_qps": count / max(scalar_s, 1e-12),
+        "batched_qps": count / max(batched_s, 1e-12),
+        "speedup": scalar_s / max(batched_s, 1e-12),
+    }
+
+
+def measure_method(method, batch, repeats: int, executor=None) -> dict:
+    """Scalar-loop vs batched timings (+ answer equivalence check)."""
+    queries = batch.as_queries()
+
+    def run_scalar():
+        return [method.query(q) for q in queries]
+
+    def run_batched():
+        return method.query_many(batch, executor=executor)
+
+    expected = run_scalar()
+    got = run_batched()
+    if any(a != b for a, b in zip(expected, got)):
+        raise AssertionError(f"{method.name}: batched answers diverged")
+    scalar_s, batched_s = _interleaved_best(run_scalar, run_batched, repeats)
+    return _report_point(len(batch), scalar_s, batched_s)
+
+
+def measure_instant(engine, ts, ks, repeats: int) -> dict:
+    def run_scalar():
+        return [engine.query(float(t), int(k)) for t, k in zip(ts, ks)]
+
+    def run_batched():
+        return engine.query_many(ts, ks)
+
+    expected = run_scalar()
+    got = run_batched()
+    if any(a != b for a, b in zip(expected, got)):
+        raise AssertionError(f"{engine.name}: batched answers diverged")
+    scalar_s, batched_s = _interleaved_best(run_scalar, run_batched, repeats)
+    return _report_point(int(ts.size), scalar_s, batched_s)
+
+
+def check_baseline(report, path, max_regression) -> int:
+    """Compare against the matching committed entry; 0 when OK."""
+    from repro.bench.gating import compare_results, find_baseline_entry
+
+    with open(path) as handle:
+        history = json.load(handle)
+    baseline = find_baseline_entry(history, report["config"])
+    if baseline is None:
+        print(
+            f"baseline: no entry in {path} matches this config; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    failures = []
+    for name, point in report["results"].items():
+        base = baseline["results"].get(name)
+        if base is None:
+            continue
+        failures.extend(
+            compare_results(
+                base, point, GATED_KEYS, GATED_RATIOS, max_regression,
+                label=f"{name} ",
+            )
+        )
+    for line in failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=1000, help="objects")
+    parser.add_argument("--navg", type=int, default=60, help="avg readings")
+    parser.add_argument("--r", type=int, default=200, help="breakpoint budget")
+    parser.add_argument("--kmax", type=int, default=200, help="index kmax")
+    parser.add_argument(
+        "--qk",
+        type=int,
+        default=20,
+        help="max per-query k in the mixed workload (default 20: the "
+        "interactive top-k serving shape; pass 50 for the paper's "
+        "query-evaluation default)",
+    )
+    parser.add_argument("--batch", type=int, default=256, help="workload size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N for each timing"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="EXACT3 fan-out worker count (default: serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        type=str,
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="EXACT3 fan-out backend; defaults to process when --workers > 1",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="committed BENCH_query.json to compare this run against",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.m = min(args.m, 200)
+        args.navg = min(args.navg, 25)
+        args.r = min(args.r, 30)
+        args.kmax = min(args.kmax, 60)
+        args.qk = min(args.qk, 20)
+        args.batch = min(args.batch, 64)
+
+    from repro.approximate.breakpoints import (
+        build_breakpoints2,
+        epsilon_for_budget,
+    )
+    from repro.bench.gating import host_metadata
+    from repro.approximate.methods import Appx1, Appx2, Appx2Plus
+    from repro.datasets import (
+        generate_temp,
+        sample_instant_workload,
+        sample_workload,
+    )
+    from repro.exact import Exact2, Exact3
+    from repro.instant.engine import InstantIntervalTree
+    from repro.parallel import get_executor, resolve_backend
+
+    backend = args.backend
+    if backend is None and args.workers is not None and args.workers > 1:
+        backend = "process"
+    executor = get_executor(resolve_backend(backend), args.workers)
+
+    database = generate_temp(
+        num_objects=args.m, avg_readings=args.navg, seed=args.seed
+    )
+    batch = sample_workload(
+        database, count=args.batch, kmax=args.qk, seed=args.seed
+    )
+    # One shared BREAKPOINTS2 construction (the bench compares serving
+    # throughput, not construction).
+    epsilon = epsilon_for_budget(
+        database, args.r, tolerance=max(2, args.r // 20)
+    )
+    breakpoints = build_breakpoints2(database, epsilon)
+
+    results = {}
+    for cls in (Appx1, Appx2, Appx2Plus):
+        method = cls(breakpoints=breakpoints, kmax=args.kmax).build(database)
+        results[method.name] = measure_method(method, batch, args.repeats)
+    for cls in (Exact2, Exact3):
+        method = cls().build(database)
+        fan_out = (
+            executor
+            if cls is Exact3 and not executor.is_serial
+            else None
+        )
+        results[method.name] = measure_method(
+            method, batch, args.repeats, executor=fan_out
+        )
+    ts, ks = sample_instant_workload(
+        database, count=args.batch, kmax=args.qk, seed=args.seed
+    )
+    instant = InstantIntervalTree().build(database)
+    results[instant.name] = measure_instant(instant, ts, ks, args.repeats)
+
+    report = {
+        "bench": "query",
+        "config": {
+            "m": args.m,
+            "navg": args.navg,
+            "r": args.r,
+            "kmax": args.kmax,
+            "qk": args.qk,
+            "batch": args.batch,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "host": host_metadata(),
+        "executor": {
+            "backend": executor.backend,
+            "workers": executor.workers,
+        },
+        "breakpoints_r": int(breakpoints.r),
+        "results": results,
+    }
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    if args.baseline is not None:
+        return check_baseline(report, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

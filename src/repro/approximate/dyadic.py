@@ -26,6 +26,7 @@ from repro.core.database import TemporalDatabase
 from repro.core.errors import InvalidQueryError
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.storage.device import BlockDevice
+from repro.btree.batch import modeled_successor_many, supports_model
 from repro.btree.tree import BPlusTree
 from repro.parallel.executor import (
     OVERSUBSCRIPTION,
@@ -40,6 +41,7 @@ from repro.approximate.toplists import (
     TopListBatcher,
     cumulative_matrix,
     cumulative_matrix_T,
+    top_k_ragged,
     top_kmax_of_column,
 )
 
@@ -78,6 +80,11 @@ class DyadicIndex:
         self.root_id: Optional[int] = None
         self.num_nodes = 0
         self.snap_tree = BPlusTree(device, value_columns=1)
+        # Batched-query walk metadata (see _topology) and memoized
+        # decompositions (snapped pairs repeat across workloads; the
+        # cache is bounded by the O(r^2) distinct pairs).
+        self._topo_cache: Optional[Dict[int, tuple]] = None
+        self._decomp_cache: Dict[Tuple[int, int], Tuple[List[int], int]] = {}
 
     # ------------------------------------------------------------------
     def build(
@@ -106,6 +113,8 @@ class DyadicIndex:
         """
         times = self.breakpoints.times
         num_gaps = times.size - 1
+        self._topo_cache = None
+        self._decomp_cache = {}
         if batched:
             ids, p_t = cumulative_matrix_T(database, times)
             los, his = self._enumerate_nodes(0, num_gaps)
@@ -300,3 +309,270 @@ class DyadicIndex:
         ids = np.fromiter(pool.keys(), dtype=np.int64, count=len(pool))
         vals = np.fromiter(pool.values(), dtype=np.float64, count=len(pool))
         return top_k_from_arrays(ids, vals, k)
+
+    # ------------------------------------------------------------------
+    # batched query pipeline
+    # ------------------------------------------------------------------
+    def snap_indices_many(
+        self, t1s: np.ndarray, t2s: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`snap_indices` for a whole workload.
+
+        Returns ``(j1s, j2s, valid, reads)``: the snapped breakpoint
+        indices, whether each snap is non-degenerate (both successors
+        exist and ``j2 > j1``), and the block reads the scalar snap's
+        two B+-tree walks charge per query (always both walks, like
+        the scalar path).  Requires the snap tree's bulk layout
+        (:func:`repro.btree.batch.supports_model`).
+        """
+        times = self.breakpoints.times
+        cap = self.snap_tree.leaf_capacity
+        height = self.snap_tree.height
+        j1s, exists1, reads1 = modeled_successor_many(times, t1s, cap, height)
+        j2s, exists2, reads2 = modeled_successor_many(times, t2s, cap, height)
+        valid = exists1 & exists2 & (j2s > j1s)
+        return j1s, j2s, valid, reads1 + reads2
+
+    def _topology(self) -> Dict[int, tuple]:
+        """The whole segment tree as in-memory walk metadata (cached).
+
+        Maps each node block id to ``(lo, hi, left, right, ids, vals,
+        stored_count)`` where ``ids``/``vals`` are the node's *full*
+        top list materialized once (inline rows or the concatenation
+        of its packed list blocks) and ``stored_count`` is the stored
+        list length (``None`` for inline nodes, whose list costs no
+        extra IO).  Fetched with :meth:`BlockDevice.peek`: the batched
+        pipeline dedups physical payload access across the workload
+        and charges the scalar walk's IOs analytically instead.
+        """
+        cached = getattr(self, "_topo_cache", None)
+        if cached is not None:
+            return cached
+        topology: Dict[int, tuple] = {}
+        stack = [self.root_id]
+        while stack:
+            node_id = stack.pop()
+            node: _DyadicNode = self.device.peek(node_id)
+            if node.inline_rows is not None:
+                ids, vals = node.inline_rows
+                stored_count = None
+            else:
+                ids, vals = StoredTopList.decode_pieces(
+                    [self.device.peek(b) for b in node.top_list.block_ids]
+                )
+                stored_count = node.top_list.count
+            topology[node_id] = (
+                node.lo, node.hi, node.left, node.right,
+                ids, vals, stored_count,
+            )
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        self._topo_cache = topology
+        return topology
+
+    def _simulate_decompose(self, j1: int, j2: int) -> Tuple[List[int], int]:
+        """Replay :meth:`decompose`'s walk on the cached topology.
+
+        Returns the covered node ids in the exact order the walk
+        appends them, plus the number of nodes it reads (every popped
+        node, covered or not — the scalar walk charges each).
+        Memoized per snapped pair: serving workloads revisit pairs.
+        """
+        cache = getattr(self, "_decomp_cache", None)
+        if cache is None:
+            cache = {}
+            self._decomp_cache = cache
+        hit = cache.get((j1, j2))
+        if hit is not None:
+            return hit
+        topology = self._topology()
+        covered: List[int] = []
+        visited = 0
+        stack = [self.root_id]
+        while stack:
+            node_id = stack.pop()
+            visited += 1
+            lo, hi, left, right = topology[node_id][:4]
+            if hi <= j1 or lo >= j2:
+                continue
+            if j1 <= lo and hi <= j2:
+                covered.append(node_id)
+                continue
+            if left is not None:
+                stack.append(left)
+            if right is not None:
+                stack.append(right)
+        cache[(j1, j2)] = (covered, visited)
+        return covered, visited
+
+    def decompose_many(
+        self, j1s: np.ndarray, j2s: np.ndarray
+    ) -> Tuple[List[List[int]], np.ndarray]:
+        """Covered-node ids for many snapped pairs, without device IO.
+
+        Returns ``(covered_lists, walk_reads)``; the caller charges
+        ``walk_reads`` (the per-pair node reads :meth:`decompose`
+        performs) against the device when it commits the batch's
+        modeled cost.  Pairs are deduped internally.
+        """
+        j1s = np.asarray(j1s, dtype=np.int64)
+        j2s = np.asarray(j2s, dtype=np.int64)
+        span = int(self.breakpoints.times.size) + 1
+        keys = j1s * span + j2s
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        covered_unique: List[List[int]] = []
+        visited_unique = np.empty(unique_keys.size, dtype=np.int64)
+        for pos, key in enumerate(unique_keys):
+            covered, visited = self._simulate_decompose(
+                int(key) // span, int(key) % span
+            )
+            covered_unique.append(covered)
+            visited_unique[pos] = visited
+        return (
+            [covered_unique[i] for i in inverse],
+            visited_unique[inverse],
+        )
+
+    def candidates_many(
+        self, t1s: np.ndarray, t2s: np.ndarray, ks: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batched :meth:`candidates`: per-query candidate arrays.
+
+        Returns one ``(object_ids, summed_scores)`` pair per query, in
+        the scalar dict's first-appearance order with bit-identical
+        sums: every query's top-list entries join one global
+        ``(query, object, score)`` stream and a single ``np.add.at``
+        pass accumulates per-(query, object) totals in stream order —
+        float-associativity-identical to the per-query loop.  Node
+        payloads are fetched once per touched node; the IO charge per
+        query is exactly the scalar walk + list reads, committed in
+        bulk.  Falls back to the scalar loop when a buffer pool is
+        attached or the snap tree left bulk form.
+        """
+        if ks.size and int(ks.max()) > self.kmax:
+            raise InvalidQueryError(
+                f"k={int(ks.max())} exceeds kmax={self.kmax}"
+            )
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        if self.device.has_cache or not supports_model(self.snap_tree):
+            pools = []
+            for t1, t2, k in zip(t1s, t2s, ks):
+                pool = self.candidates(float(t1), float(t2), int(k))
+                if pool:
+                    pools.append((
+                        np.fromiter(pool.keys(), np.int64, len(pool)),
+                        np.fromiter(pool.values(), np.float64, len(pool)),
+                    ))
+                else:
+                    pools.append(empty)
+            return pools
+        j1s, j2s, valid, snap_reads = self.snap_indices_many(t1s, t2s)
+        total_reads = int(snap_reads.sum())
+        pools = [empty] * int(t1s.size)
+        valid_idx = np.flatnonzero(valid)
+        if valid_idx.size == 0:
+            self.device.stats.record_reads(total_reads)
+            return pools
+        covered_lists, walk_reads = self.decompose_many(
+            j1s[valid_idx], j2s[valid_idx]
+        )
+        total_reads += int(walk_reads.sum())
+        # Dedup identical (snapped pair, k) requests: their candidate
+        # pools are the same arrays.
+        span = int(self.breakpoints.times.size) + 1
+        triple_keys = (
+            j1s[valid_idx] * span + j2s[valid_idx]
+        ) * np.int64(self.kmax + 1) + ks[valid_idx]
+        unique_triples, first_of_triple, triple_inverse = np.unique(
+            triple_keys, return_index=True, return_inverse=True
+        )
+        topology = self._topology()
+        cap = StoredTopList.capacity(self.device)
+        segment_ids: List[np.ndarray] = []
+        segment_vals: List[np.ndarray] = []
+        segment_triple: List[int] = []
+        list_reads = np.zeros(unique_triples.size, dtype=np.int64)
+        for tpos in range(unique_triples.size):
+            rep = int(first_of_triple[tpos])
+            k = int(ks[valid_idx[rep]])
+            reads = 0
+            for node_id in covered_lists[rep]:
+                ids, vals, stored_count = topology[node_id][4:7]
+                segment_ids.append(ids[:k])
+                segment_vals.append(vals[:k])
+                segment_triple.append(tpos)
+                if stored_count is not None:
+                    reads += max(1, -(-min(k, stored_count) // cap))
+            list_reads[tpos] = reads
+        total_reads += int(list_reads[triple_inverse].sum())
+        self.device.stats.record_reads(total_reads)
+        triple_pools = self._accumulate_streams(
+            segment_ids, segment_vals, segment_triple, unique_triples.size
+        )
+        for pos, idx in enumerate(valid_idx):
+            pools[int(idx)] = triple_pools[triple_inverse[pos]]
+        return pools
+
+    @staticmethod
+    def _accumulate_streams(
+        segment_ids: List[np.ndarray],
+        segment_vals: List[np.ndarray],
+        segment_triple: List[int],
+        num_triples: int,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """One ``np.add.at`` pass over the whole batch's streams.
+
+        Composite keys ``triple * stride + object`` keep per-triple
+        entries contiguous after ``np.unique`` while the accumulation
+        still runs in global stream order — which, per key, is exactly
+        the per-query stream order the scalar ``candidates`` loop
+        sums in, so totals match bit for bit.
+        """
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        if not segment_ids:
+            return [empty] * num_triples
+        cat_ids = np.concatenate(segment_ids)
+        if cat_ids.size == 0:
+            return [empty] * num_triples
+        cat_vals = np.concatenate(segment_vals)
+        lengths = np.asarray([a.size for a in segment_ids], dtype=np.int64)
+        entry_triple = np.repeat(
+            np.asarray(segment_triple, dtype=np.int64), lengths
+        )
+        base = int(cat_ids.min())
+        stride = np.int64(int(cat_ids.max()) - base + 1)
+        keys = entry_triple * stride + (cat_ids - base)
+        unique_keys, first_seen, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        # bincount's C loop adds weights in stream order — the same
+        # per-key accumulation order as ``np.add.at`` (and the scalar
+        # per-query loop), just without the ufunc dispatch.
+        sums = np.bincount(
+            inverse, weights=cat_vals, minlength=unique_keys.size
+        )
+        triple_of_key = unique_keys // stride
+        bounds = np.searchsorted(
+            triple_of_key, np.arange(num_triples + 1, dtype=np.int64)
+        )
+        pools: List[Tuple[np.ndarray, np.ndarray]] = []
+        for tpos in range(num_triples):
+            lo, hi = int(bounds[tpos]), int(bounds[tpos + 1])
+            if lo == hi:
+                pools.append(empty)
+                continue
+            order = np.argsort(first_seen[lo:hi])
+            pools.append((
+                (unique_keys[lo:hi] % stride)[order] + base,
+                sums[lo:hi][order],
+            ))
+        return pools
+
+    def query_many(
+        self, t1s: np.ndarray, t2s: np.ndarray, ks: np.ndarray
+    ) -> List[TopKResult]:
+        """Batched :meth:`query` (the APPX2 answer per workload row)."""
+        pools = self.candidates_many(t1s, t2s, ks)
+        return top_k_ragged(pools, ks)

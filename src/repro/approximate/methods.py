@@ -43,6 +43,7 @@ from repro.approximate.breakpoints import (
 )
 from repro.approximate.dyadic import DyadicIndex
 from repro.approximate.query1 import NestedPairIndex
+from repro.approximate.toplists import top_k_ragged
 
 #: Default maximum supported query k (paper Section 5 default).
 DEFAULT_KMAX = 200
@@ -159,6 +160,9 @@ class Appx1(_ApproximateBase):
     def _query(self, query: TopKQuery) -> TopKResult:
         return self.index.query(query.t1, query.t2, query.k)
 
+    def _query_many(self, t1s, t2s, ks, executor=None):
+        return self.index.query_many(t1s, t2s, ks)
+
 
 class Appx1B(Appx1):
     """APPX1-B: BREAKPOINTS1 + QUERY1 (the basic variant)."""
@@ -180,6 +184,9 @@ class Appx2(_ApproximateBase):
 
     def _query(self, query: TopKQuery) -> TopKResult:
         return self.index.query(query.t1, query.t2, query.k)
+
+    def _query_many(self, t1s, t2s, ks, executor=None):
+        return self.index.query_many(t1s, t2s, ks)
 
     def candidate_set(self, query: TopKQuery) -> Dict[int, float]:
         """The candidate pool ``K`` (diagnostics and APPX2+)."""
@@ -221,6 +228,40 @@ class Appx2Plus(Appx2):
         # scores and IO charges to per-candidate ``rescorer.score``.
         exact = self.rescorer.score_many(ids, query.t1, query.t2)
         return top_k_from_arrays(ids, exact, query.k)
+
+    def _query_many(self, t1s, t2s, ks, executor=None):
+        """Batched APPX2+: one rescoring pass for the whole workload.
+
+        Candidate pools come from the dyadic structure's batch
+        pipeline; every query's ``(object, t1, t2)`` rescore triples
+        are then concatenated into a *single*
+        :meth:`Exact2.score_triples` call — two vectorized
+        Equation-(2) passes for the entire workload instead of two
+        per query — and split back per query for the final top-k.
+        Scores, tie-breaks, and IO charges match the scalar loop
+        exactly (the triples kernel is elementwise and the modeled
+        tree-walk charge is summed per row either way).
+        """
+        pools = self.index.candidates_many(t1s, t2s, ks)
+        counts = np.asarray([ids.size for ids, _ in pools], dtype=np.int64)
+        if int(counts.sum()) == 0:
+            return [TopKResult()] * int(t1s.size)
+        all_ids = np.concatenate([ids for ids, _ in pools])
+        exact = self.rescorer.score_triples(
+            all_ids,
+            np.repeat(t1s, counts),
+            np.repeat(t2s, counts),
+        )
+        bounds = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        return top_k_ragged(
+            [
+                (all_ids[bounds[row] : bounds[row + 1]],
+                 exact[bounds[row] : bounds[row + 1]])
+                for row in range(int(t1s.size))
+            ],
+            ks,
+        )
 
     @property
     def index_size_bytes(self) -> int:

@@ -14,7 +14,7 @@ packed top-``k_max`` list.  A query snaps ``[t1, t2]`` to
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from repro.core.database import TemporalDatabase
 from repro.core.errors import InvalidQueryError
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.storage.device import BlockDevice
+from repro.btree.batch import modeled_successor_many, supports_model
 from repro.btree.tree import BPlusTree
 from repro.parallel.executor import (
     OVERSUBSCRIPTION,
@@ -193,6 +194,109 @@ class NestedPairIndex:
         if j2 <= j1:
             return None
         return j1, j2
+
+    def query_many(
+        self, t1s: np.ndarray, t2s: np.ndarray, ks: np.ndarray
+    ) -> List[TopKResult]:
+        """Batched :meth:`query`: snap and read lists for a workload.
+
+        Both snap walks (the top tree over left endpoints, then the
+        matched subtree over right endpoints) are resolved with one
+        vectorized pass each (:func:`repro.btree.batch.
+        modeled_successor_many` arithmetic, inlined for the per-query
+        subtrees); every distinct snapped pair's stored list is
+        fetched once and answers are shared across queries that
+        snapped to the same ``(pair, k)``.  Per query, the IO charge
+        is exactly the scalar path's: both descents (the second only
+        when the scalar path takes it) plus ``ceil(min(k, count)/B)``
+        list-block reads.  Falls back to the scalar loop under a
+        buffer pool or insert-touched trees.
+        """
+        if ks.size and int(ks.max()) > self.kmax:
+            raise InvalidQueryError(
+                f"k={int(ks.max())} exceeds kmax={self.kmax}"
+            )
+        modelable = (
+            not self.device.has_cache
+            and supports_model(self.top_tree)
+            and all(supports_model(t) for t in self._subtrees.values())
+        )
+        if not modelable:
+            return [
+                self.query(float(t1), float(t2), int(k))
+                for t1, t2, k in zip(t1s, t2s, ks)
+            ]
+        times = self.breakpoints.times
+        r = times.size
+        cap = self.top_tree.leaf_capacity
+        j1s, exists1, reads1 = modeled_successor_many(
+            times[:-1], t1s, cap, self.top_tree.height
+        )
+        total_reads = int(reads1.sum())
+        # Scalar path stops before the subtree walk when B(t2) == B(t1).
+        j1_clamped = np.minimum(j1s, r - 2)
+        proceed = exists1 & (t2s > times[j1_clamped])
+        # Subtree successor for t2, inlined: subtree j1 holds keys
+        # times[j1+1:], so the global lower bound doubles as the local
+        # one (t2 > times[j1] pins it past j1).
+        s2 = np.searchsorted(times, t2s, side="left")
+        exists2 = s2 < r
+        tie2 = exists2 & (times[np.minimum(s2, r - 1)] == t2s)
+        local = s2 - (j1s + 1)
+        landed = np.maximum((local + tie2 - 1) // cap, 0)
+        hops = np.where(exists2, local // cap - landed, 0)
+        heights = self._subtree_heights()
+        reads2 = heights[j1_clamped] + hops
+        total_reads += int(reads2[proceed].sum())
+        valid = proceed & exists2
+        results: List[TopKResult] = [TopKResult()] * int(t1s.size)
+        valid_idx = np.flatnonzero(valid)
+        if valid_idx.size == 0:
+            self.device.stats.record_reads(total_reads)
+            return results
+        list_cap = StoredTopList.capacity(self.device)
+        answers: Dict[Tuple[int, int, int], TopKResult] = {}
+        lists: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        for idx in valid_idx:
+            pair = (int(j1s[idx]), int(s2[idx]))
+            k = int(ks[idx])
+            stored = self._lists[pair]
+            total_reads += max(1, -(-min(k, stored.count) // list_cap))
+            key = pair + (k,)
+            answer = answers.get(key)
+            if answer is None:
+                payload = lists.get(pair)
+                if payload is None:
+                    payload = self._peek_list(stored)
+                    lists[pair] = payload
+                ids, scores = payload
+                answer = top_k_from_arrays(ids[:k], scores[:k], k)
+                answers[key] = answer
+            results[int(idx)] = answer
+        self.device.stats.record_reads(total_reads)
+        return results
+
+    def _subtree_heights(self) -> np.ndarray:
+        """Per-left-endpoint subtree heights (cached for the batch)."""
+        cached = getattr(self, "_heights_cache", None)
+        if cached is None or cached.size != len(self._subtrees):
+            cached = np.asarray(
+                [
+                    self._subtrees[j].height
+                    for j in range(len(self._subtrees))
+                ],
+                dtype=np.int64,
+            )
+            self._heights_cache = cached
+        return cached
+
+    def _peek_list(
+        self, stored: StoredTopList
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize a stored list without IO charges (modeled cost)."""
+        return StoredTopList.decode_pieces(
+            [self.device.peek(b) for b in stored.block_ids]
+        )
 
     def approximate_score(self, object_id: int, t1: float, t2: float) -> float:
         """``sigma~_i``: the stored score if the object made the list, else 0.

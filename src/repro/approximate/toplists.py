@@ -31,11 +31,12 @@ byte-identical even on tie-heavy data.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.database import TemporalDatabase
+from repro.core.results import RankedItem, TopKResult
 from repro.storage.device import BlockDevice, entries_per_block
 
 #: One stored list entry: object id + score, two 8-byte words.
@@ -272,6 +273,76 @@ def top_kmax_of_columns(
     return np.asarray(ids)[positions].T, top_scores.T
 
 
+def top_k_rows(
+    ids: np.ndarray, scores: np.ndarray, ks: Sequence[int]
+) -> List[TopKResult]:
+    """One canonical :class:`TopKResult` per row of a score matrix.
+
+    The batched query pipelines' answer-construction kernel: row ``j``
+    of ``scores`` holds every object's score for query ``j`` (use
+    ``-inf`` for objects a query must not return), and the result is
+    exactly ``top_k_from_arrays(ids, scores[j], ks[j])`` — the same
+    ``(-score, id)`` total order, the same gathered original score
+    bits — but selected for all rows in one packed-key
+    :class:`TopListBatcher` pass instead of one sort per query.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    c, m = scores.shape
+    ks = np.asarray(ks, dtype=np.int64)
+    if c == 0:
+        return []
+    kcap = int(min(int(ks.max()), m))
+    if kcap <= 0:
+        return [TopKResult() for _ in range(c)]
+    neg = np.subtract(0.0, scores)
+    batcher = TopListBatcher(
+        np.asarray(ids), c, kcap, rows_nonpositive=bool(np.all(neg <= 0.0))
+    )
+    positions = batcher.top_ranks(neg)
+    top_ids = np.asarray(ids)[positions]
+    # Gather the *original* score bits (exact even for -0.0 inputs).
+    flat = positions + np.arange(c, dtype=np.int64)[:, None] * m
+    top_scores = scores.ravel()[flat]
+    results: List[TopKResult] = []
+    for row in range(c):
+        k = int(ks[row])
+        if k <= 0:
+            results.append(TopKResult())
+            continue
+        row_ids = top_ids[row, :k].tolist()
+        row_scores = top_scores[row, :k].tolist()
+        results.append(
+            TopKResult(tuple(map(RankedItem, row_ids, row_scores)))
+        )
+    return results
+
+
+def top_k_ragged(
+    pools: Sequence[Tuple[np.ndarray, np.ndarray]], ks: Sequence[int]
+) -> List[TopKResult]:
+    """Canonical top-k answers for ragged per-query candidate pools.
+
+    ``pools[j]`` is query ``j``'s ``(object_ids, scores)`` pair (ids
+    unique within a pool).  Pools are scattered into one dense
+    ``(q, distinct_ids)`` matrix — ``-inf`` marks objects absent from
+    a query's pool, and per-row ``k`` is clamped to the pool size so
+    a pad can never be selected — then answered with one
+    :func:`top_k_rows` pass.  Row ``j`` equals
+    ``top_k_from_arrays(*pools[j], ks[j])`` exactly.
+    """
+    counts = np.asarray([pool[0].size for pool in pools], dtype=np.int64)
+    if counts.size == 0 or int(counts.sum()) == 0:
+        return [TopKResult() for _ in pools]
+    all_ids = np.concatenate([pool[0] for pool in pools])
+    all_vals = np.concatenate([pool[1] for pool in pools])
+    columns, col_of = np.unique(all_ids, return_inverse=True)
+    dense = np.full((counts.size, columns.size), -np.inf)
+    row_of = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    dense[row_of, col_of] = all_vals
+    k_eff = np.minimum(np.asarray(ks, dtype=np.int64), counts)
+    return top_k_rows(columns, dense, k_eff)
+
+
 class StoredTopList:
     """A packed on-device top-``k_max`` list for one interval.
 
@@ -356,14 +427,27 @@ class StoredTopList:
             for j in range(c)
         ]
 
+    @staticmethod
+    def decode_pieces(pieces: List) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, scores)`` from fetched block payloads (both shapes).
+
+        The one decoder for the two equivalent payload layouts (see
+        the class docstring), shared by the charged :meth:`read_top`
+        path and the modeled-cost batched pipelines that fetch with
+        :meth:`BlockDevice.peek` — so both decode identically by
+        construction.
+        """
+        if isinstance(pieces[0], tuple):
+            ids = np.concatenate([p[0] for p in pieces])
+            scores = np.concatenate([p[1] for p in pieces])
+            return ids.astype(np.int64), scores
+        rows = np.concatenate(pieces, axis=0)
+        return rows[:, 0].astype(np.int64), rows[:, 1]
+
     def read_top(self, device: BlockDevice, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Read the first ``k`` entries (``ceil(k/B)`` block reads)."""
         cap = StoredTopList.capacity(device)
         needed_blocks = max(1, -(-min(k, self.count) // cap))
         pieces = device.read_many(self.block_ids[:needed_blocks])
-        if isinstance(pieces[0], tuple):
-            ids = np.concatenate([p[0] for p in pieces])[:k]
-            scores = np.concatenate([p[1] for p in pieces])[:k]
-            return ids.astype(np.int64), scores
-        rows = np.concatenate(pieces, axis=0)[:k]
-        return rows[:, 0].astype(np.int64), rows[:, 1]
+        ids, scores = StoredTopList.decode_pieces(pieces)
+        return ids[:k], scores[:k]

@@ -15,11 +15,28 @@ The comparison rules live here, once:
 
 from __future__ import annotations
 
+import os
+import platform
 from typing import Dict, List, Optional, Sequence
 
 #: Baseline timings below this are dominated by scheduler noise and
 #: are not gated by the wall-clock regression check.
 GATE_FLOOR_SECONDS = 0.05
+
+
+def host_metadata() -> dict:
+    """Host facts recorded beside every BENCH trajectory entry.
+
+    Kept out of ``config`` (baseline matching is on the
+    machine-independent workload shape) but always stored, so
+    pool-overhead-only points from low-core hosts — the PR 3 1-core
+    caveat — stay distinguishable in the trajectory.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def find_baseline_entry(

@@ -1,0 +1,85 @@
+"""Vectorized successor lookups with the exact IO charge of the walks.
+
+The batched query pipelines (``query_many`` on the approximate
+structures) snap whole workloads of query endpoints at once.  The
+scalar path resolves each endpoint with :meth:`BPlusTree.successor` —
+one root-to-leaf descent (``height`` block reads) plus, occasionally,
+one next-leaf hop when the landed leaf's entries all precede the key.
+Re-walking the tree per endpoint would keep the Python-per-query cost
+the batch is meant to remove, so this module computes, for every
+lookup key in one pass over the *bulk-loaded key array*:
+
+* the successor's entry index (the snapped breakpoint row), and
+* exactly how many block reads the scalar walk would have charged.
+
+The model is valid only for trees still in bulk-loaded form (leaves
+packed to capacity in key order; ``tree.bulk_layout``) — the same
+precondition as EXACT2's batched Equation-(2) IO model.  Callers fall
+back to real walks otherwise.
+
+Walk replication
+----------------
+``InternalNode.child_index_for`` routes with ``searchsorted(separators,
+key, side="right")`` and bulk-built separators are the child-min keys,
+so the descent lands in the *last* leaf whose minimum key is ``<=
+key`` (the first leaf when the key precedes everything).  With the
+global successor position ``s = searchsorted(keys, key, "left")``:
+
+* ``keys[s] == key``: the landed leaf is ``s``'s own leaf (its min is
+  ``<= key``), so the walk never hops;
+* ``keys[s] > key``: the landed leaf is the one holding ``s - 1``, and
+  the walk pays one extra read iff ``s`` starts the next leaf;
+* ``s == n`` (no successor): the descent lands in the rightmost leaf
+  and returns ``None`` without touching another block.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def modeled_successor_many(
+    keys: np.ndarray,
+    lookups: np.ndarray,
+    leaf_capacity: int,
+    height: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Successor indices and walk IO charges for many lookups at once.
+
+    Parameters
+    ----------
+    keys:
+        The tree's bulk-loaded key array, ascending (the same array
+        ``bulk_load`` received).
+    lookups:
+        Lookup keys, any shape ``(q,)``.
+    leaf_capacity, height:
+        The tree's packed-leaf capacity and height.
+
+    Returns ``(succ, exists, reads)``: per lookup the successor's
+    entry index (undefined where ``exists`` is False), whether a
+    successor exists, and the block reads the scalar
+    :meth:`BPlusTree.successor` walk charges for that lookup.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    lookups = np.asarray(lookups, dtype=np.float64)
+    n = keys.size
+    succ = np.searchsorted(keys, lookups, side="left")
+    exists = succ < n
+    clamped = np.minimum(succ, n - 1)
+    tie = exists & (keys[clamped] == lookups)
+    landed = np.maximum((succ + tie - 1) // leaf_capacity, 0)
+    hops = np.where(exists, succ // leaf_capacity - landed, 0)
+    reads = height + hops
+    return succ, exists, reads
+
+
+def supports_model(tree) -> bool:
+    """True when ``tree`` is in the packed form the model assumes.
+
+    Trees unpickled from files written before the flag existed report
+    False (conservative: the caller takes the real walks instead).
+    """
+    return bool(getattr(tree, "bulk_layout", False))

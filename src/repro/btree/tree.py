@@ -58,6 +58,11 @@ class BPlusTree:
         self.height = 0
         self.num_entries = 0
         self._first_leaf: Optional[int] = None
+        # True while the tree is exactly its bulk-loaded form (leaves
+        # packed to capacity in key order).  The batched successor IO
+        # model (repro.btree.batch) relies on that layout; any insert
+        # clears the flag and modeled consumers fall back to real walks.
+        self.bulk_layout = False
 
     # ------------------------------------------------------------------
     # construction
@@ -115,6 +120,7 @@ class BPlusTree:
         self.root_id = level_ids[0]
         self.height = height
         self.num_entries = int(keys.size)
+        self.bulk_layout = True
 
     # ------------------------------------------------------------------
     # lookups
@@ -214,6 +220,7 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def insert(self, key: float, value_row: np.ndarray) -> None:
         """Insert one entry, splitting overfull nodes up the path."""
+        self.bulk_layout = False
         value_row = np.asarray(value_row, dtype=np.float64).reshape(-1)
         if self.root_id is None:
             leaf = LeafNode(

@@ -21,7 +21,12 @@ from repro.approximate import APPROXIMATE_METHODS
 from repro.bench import evaluate_method, exact_reference, format_table
 from repro.core import TopKQuery
 from repro.core.database import TemporalDatabase
-from repro.datasets import generate_meme, generate_temp, random_queries
+from repro.datasets import (
+    generate_meme,
+    generate_temp,
+    random_queries,
+    sample_workload,
+)
 from repro.exact import Exact1, Exact2, Exact3
 from repro.parallel import BACKENDS, get_executor
 from repro.storage.persistence import load_index, save_index
@@ -123,6 +128,41 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_workload(args: argparse.Namespace) -> int:
+    """Serve a sampled batch through ``query_many`` (and verify it)."""
+    import time
+
+    method = load_index(args.index)
+    if not hasattr(method, "query_many"):
+        raise SystemExit(f"{args.index} does not contain a ranking index")
+    database = method.database
+    batch = sample_workload(
+        database, count=args.count, kmax=args.kmax, seed=args.seed
+    )
+    executor = _resolve_executor(args)
+    start = time.perf_counter()
+    results = method.query_many(batch, executor=executor)
+    batched_seconds = time.perf_counter() - start
+    print(
+        f"{method.name}: {len(batch)} queries in {batched_seconds * 1e3:.1f} ms "
+        f"({len(batch) / max(batched_seconds, 1e-12):,.0f} queries/s batched)"
+    )
+    if args.verify:
+        start = time.perf_counter()
+        expected = [method.query(query) for query in batch.as_queries()]
+        scalar_seconds = time.perf_counter() - start
+        agree = all(a == b for a, b in zip(expected, results))
+        print(
+            f"scalar loop: {scalar_seconds * 1e3:.1f} ms "
+            f"({len(batch) / max(scalar_seconds, 1e-12):,.0f} queries/s); "
+            f"speedup {scalar_seconds / max(batched_seconds, 1e-12):.1f}x; "
+            f"answers {'identical' if agree else 'DIVERGED'}"
+        )
+        if not agree:
+            return 1
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     payload = load_index(args.path)
     if isinstance(payload, TemporalDatabase):
@@ -195,6 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=0)
     _add_executor_options(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_load = sub.add_parser(
+        "workload", help="serve a sampled query batch via query_many"
+    )
+    p_load.add_argument("index")
+    p_load.add_argument("--count", type=int, default=256)
+    p_load.add_argument("--kmax", type=int, default=10)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the scalar loop and check answers are identical",
+    )
+    _add_executor_options(p_load)
+    p_load.set_defaults(func=cmd_workload)
 
     p_info = sub.add_parser("info", help="inspect a saved dataset or index")
     p_info.add_argument("path")

@@ -61,6 +61,20 @@ from repro.core.results import TopKResult, top_k_from_arrays
 _CHUNK_ELEMENTS = 4 << 20
 
 
+def isin_sorted(sorted_values: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Exact membership of each query in an ascending-sorted array.
+
+    The batched query pipelines use this to detect knot-coincident
+    query times (which the modeled stab arithmetic routes through the
+    scalar path); one ``searchsorted`` replaces ``np.isin``'s per-call
+    sort of the haystack.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    idx = np.searchsorted(sorted_values, queries)
+    clamped = np.minimum(idx, sorted_values.size - 1)
+    return (idx < sorted_values.size) & (sorted_values[clamped] == queries)
+
+
 class CSRView:
     """A picklable, shareable view of a store's CSR kernel arrays.
 
@@ -140,6 +154,36 @@ class CSRView:
             low[go_up] = mid[go_up]
             high[go_down] = mid[go_down] - 1
         return low
+
+    def locate_grid(self, tc: np.ndarray) -> np.ndarray:
+        """:meth:`_locate` for a clamped ``(q, m)`` grid of times.
+
+        Identical index selection (largest segment-left knot with time
+        <= ``tc``, clamped to the object's piece range) computed with
+        one ``searchsorted`` per object over its own knots instead of
+        the ``(q, m)`` broadcast bisection — much faster when ``q``
+        is small relative to the knot counts, exactly like
+        :meth:`PLFStore.cumulative_at_grid`.  The batched query
+        pipelines (EXACT3, instant) locate whole workloads with this.
+        """
+        q, m = tc.shape
+        located = np.empty((m, q), dtype=np.int64)
+        knot_times = self.knot_times
+        offsets = self.offsets.tolist()
+        # Transposed so every per-object searchsorted reads and writes
+        # one contiguous lane.
+        tc_t = np.ascontiguousarray(tc.T)
+        for i in range(m):
+            lo = offsets[i]
+            hi = offsets[i + 1]
+            row = located[i]
+            np.add(
+                knot_times[lo:hi].searchsorted(tc_t[i], "right"),
+                lo - 1,
+                out=row,
+            )
+            np.clip(row, lo, hi - 2, out=row)
+        return located.T
 
     def _cumulative_clamped(self, tc: np.ndarray, j: np.ndarray) -> np.ndarray:
         """``C_i(tc)`` given located pieces; scalar-identical arithmetic.
@@ -267,6 +311,7 @@ class PLFStore:
         "_slopes",
         "_absolute",
         "_csr",
+        "_knot_set",
     )
 
     def __init__(
@@ -303,6 +348,7 @@ class PLFStore:
         self._slopes: Optional[np.ndarray] = None
         self._absolute: Optional["PLFStore"] = None
         self._csr: Optional[CSRView] = None
+        self._knot_set: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # shape
@@ -446,6 +492,19 @@ class PLFStore:
             )
         return self._csr
 
+    def knot_time_set(self) -> np.ndarray:
+        """Ascending unique knot times over all objects (cached).
+
+        The batched query pipelines test query times against this with
+        :func:`isin_sorted`; stores are immutable, so the sort is paid
+        once per snapshot.
+        """
+        cached = getattr(self, "_knot_set", None)
+        if cached is None:
+            cached = np.unique(self.knot_times)
+            self._knot_set = cached
+        return cached
+
     def _locate(self, tc: np.ndarray) -> np.ndarray:
         """Flat knot index of the segment containing each clamped time
         (see :meth:`CSRView._locate`; full object range)."""
@@ -574,6 +633,34 @@ class PLFStore:
         )
         outside = (t < self.starts) | (t > self.ends)
         return np.where(outside, 0.0, values)
+
+    def values_at_many(self, ts: np.ndarray) -> np.ndarray:
+        """``g_i(t)`` for every object and every query time: ``(q, m)``.
+
+        Row ``j`` is bit-identical to ``values_at(ts[j])`` — the same
+        clamp, chord interpolation, final-knot exactness fix, and
+        outside-span zeroing, broadcast over query times and chunked
+        like :meth:`cumulative_at_many` to bound the transient
+        ``(q, m)`` footprint.
+        """
+        ts = np.atleast_1d(np.asarray(ts, dtype=np.float64))
+        q = ts.size
+        m = self.num_objects
+        out = np.empty((q, m), dtype=np.float64)
+        last_values = self.knot_values[self.offsets[1:] - 1]
+        step = max(1, _CHUNK_ELEMENTS // max(m, 1))
+        for lo_row in range(0, q, step):
+            chunk = ts[lo_row : lo_row + step, None]
+            tc = np.clip(chunk, self.starts, self.ends)
+            j = self._locate(tc)
+            t0 = self.knot_times[j]
+            v0 = self.knot_values[j]
+            w = (self.knot_values[j + 1] - v0) / (self.knot_times[j + 1] - t0)
+            values = v0 + w * (tc - t0)
+            values = np.where(chunk == self.ends, last_values, values)
+            outside = (chunk < self.starts) | (chunk > self.ends)
+            out[lo_row : lo_row + step] = np.where(outside, 0.0, values)
+        return out
 
     def inverse_cumulative_many(self, targets: np.ndarray) -> np.ndarray:
         """Per-object smallest ``t`` with ``C_i(t) >= targets[i]``.

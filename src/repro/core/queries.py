@@ -3,8 +3,49 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 from repro.core.errors import InvalidQueryError
+
+
+def workload_arrays(queries) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize a workload into ``(t1s, t2s, ks)`` arrays.
+
+    Accepts anything the batched entry points advertise: a ``(q, 3)``
+    array of ``(t1, t2, k)`` rows, a sequence of such tuples, a
+    sequence of :class:`TopKQuery`, or an object exposing
+    ``t1s``/``t2s``/``ks`` arrays (the workload sampler's batch).
+    Validation matches ``TopKQuery.__post_init__`` — reversed
+    intervals and ``k < 1`` raise :class:`InvalidQueryError` — so a
+    batch is rejected up front instead of failing mid-workload the way
+    a scalar loop would.
+    """
+    if hasattr(queries, "t1s") and hasattr(queries, "ks"):
+        t1s = np.asarray(queries.t1s, dtype=np.float64)
+        t2s = np.asarray(queries.t2s, dtype=np.float64)
+        ks = np.asarray(queries.ks, dtype=np.int64)
+    elif len(queries) and isinstance(queries[0], TopKQuery):
+        t1s = np.asarray([q.t1 for q in queries], dtype=np.float64)
+        t2s = np.asarray([q.t2 for q in queries], dtype=np.float64)
+        ks = np.asarray([q.k for q in queries], dtype=np.int64)
+    else:
+        table = np.asarray(queries, dtype=np.float64).reshape(-1, 3)
+        t1s = table[:, 0].copy()
+        t2s = table[:, 1].copy()
+        ks = table[:, 2].astype(np.int64)
+    if t1s.size != t2s.size or t1s.size != ks.size:
+        raise InvalidQueryError("workload arrays must align")
+    reversed_rows = np.flatnonzero(t2s < t1s)
+    if reversed_rows.size:
+        row = int(reversed_rows[0])
+        raise InvalidQueryError(
+            f"query interval reversed: [{t1s[row]}, {t2s[row]}] (row {row})"
+        )
+    if ks.size and int(ks.min()) < 1:
+        raise InvalidQueryError(f"k must be >= 1, got {int(ks.min())}")
+    return t1s, t2s, ks
 
 
 @dataclass(frozen=True)

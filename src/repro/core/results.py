@@ -10,20 +10,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, NamedTuple, Sequence
 
 
-@dataclass(frozen=True)
-class RankedItem:
-    """One entry of a top-k answer: an object id with its score."""
+class RankedItem(NamedTuple):
+    """One entry of a top-k answer: an object id with its score.
+
+    A named tuple (not a dataclass): the batched query pipelines
+    build tens of thousands of these per workload, and tuple
+    construction skips the frozen-dataclass ``object.__setattr__``
+    per field.  Field access, ``obj_id, score = item`` unpacking,
+    equality, and repr are unchanged.
+    """
 
     object_id: int
     score: float
-
-    def __iter__(self) -> Iterator:
-        """Allow ``obj_id, score = item`` unpacking."""
-        yield self.object_id
-        yield self.score
 
 
 @dataclass(frozen=True)
@@ -97,9 +98,28 @@ def top_k_from_arrays(object_ids: Sequence[int], scores: Sequence[float], k: int
     if ids.size == 0 or k <= 0:
         return TopKResult()
     k = min(k, ids.size)
-    # Full lexicographic order (descending score, ascending id) so that
-    # boundary ties resolve identically across every method.
-    order = np.lexsort((ids, -vals))[:k]
-    return TopKResult(
-        tuple(RankedItem(int(ids[i]), float(vals[i])) for i in order)
-    )
+    # The answer is the k-prefix of the full lexicographic order
+    # (descending score, ascending id) so boundary ties resolve
+    # identically across every method.  When k is a small fraction of
+    # the pool, an argpartition with canonical boundary-tie repair
+    # (the ``top_kmax_of_column`` selection, which provably picks the
+    # same k) avoids sorting the whole pool — the batched query
+    # pipelines build thousands of answers per workload.
+    if 4 * k <= ids.size:
+        neg = -vals
+        chosen = np.argpartition(neg, k - 1)[:k]
+        boundary = neg[chosen].max()
+        tied_inside = int(np.count_nonzero(neg[chosen] == boundary))
+        tied_total = int(np.count_nonzero(neg == boundary))
+        if tied_total != tied_inside:
+            below = np.flatnonzero(neg < boundary)
+            tied = np.flatnonzero(neg == boundary)
+            tied = tied[np.argsort(ids[tied], kind="stable")]
+            chosen = np.concatenate([below, tied[: k - below.size]])
+        order = chosen[np.lexsort((ids[chosen], neg[chosen]))]
+    else:
+        order = np.lexsort((ids, -vals))[:k]
+    # tolist() converts to native int/float in one C pass.
+    top_ids = ids[order].tolist()
+    top_vals = vals[order].tolist()
+    return TopKResult(tuple(map(RankedItem, top_ids, top_vals)))

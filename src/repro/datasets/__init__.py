@@ -7,7 +7,12 @@ depends on (see DESIGN.md, "Substitutions").
 
 from repro.datasets.meme import generate_meme, generate_meme_object
 from repro.datasets.mesowest import generate_station, generate_temp
-from repro.datasets.workload import random_queries
+from repro.datasets.workload import (
+    WorkloadBatch,
+    random_queries,
+    sample_instant_workload,
+    sample_workload,
+)
 
 __all__ = [
     "generate_temp",
@@ -15,4 +20,7 @@ __all__ = [
     "generate_meme",
     "generate_meme_object",
     "random_queries",
+    "WorkloadBatch",
+    "sample_workload",
+    "sample_instant_workload",
 ]

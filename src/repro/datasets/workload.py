@@ -2,17 +2,94 @@
 
 The paper evaluates every configuration with 100 random queries whose
 interval length is a fixed fraction of the domain (default 20% of T)
-and reports averages.  :func:`random_queries` reproduces that setup.
+and reports averages.  :func:`random_queries` reproduces that setup;
+:func:`sample_workload` generalizes it to the *mixed* batches the
+batched query pipeline serves — per-query interval fractions drawn
+from a palette and per-query ``k`` spread over ``[1, kmax]`` — with a
+fixed-seed PCG64 stream, so benchmark points and equivalence tests
+replay the identical workload on every host.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.database import TemporalDatabase
 from repro.core.queries import TopKQuery
+
+
+@dataclass(frozen=True)
+class WorkloadBatch:
+    """A reproducible batch of ``(t1, t2, k)`` query rows.
+
+    The array-triple form every ``query_many`` entry point accepts
+    directly (``repro.core.queries.workload_arrays`` recognizes it);
+    :meth:`as_queries` converts to scalar :class:`TopKQuery` objects
+    for reference loops.
+    """
+
+    t1s: np.ndarray
+    t2s: np.ndarray
+    ks: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.t1s.size)
+
+    def as_queries(self) -> List[TopKQuery]:
+        """The equivalent scalar query objects, in batch order."""
+        return [
+            TopKQuery(float(t1), float(t2), int(k))
+            for t1, t2, k in zip(self.t1s, self.t2s, self.ks)
+        ]
+
+    def as_array(self) -> np.ndarray:
+        """The batch as one ``(q, 3)`` float array."""
+        return np.stack(
+            [self.t1s, self.t2s, self.ks.astype(np.float64)], axis=1
+        )
+
+
+def sample_workload(
+    database: TemporalDatabase,
+    count: int = 256,
+    kmax: int = 50,
+    seed: int = 0,
+    interval_fractions: Sequence[float] = (0.05, 0.2, 0.5),
+) -> WorkloadBatch:
+    """A seeded mixed-interval / mixed-``k`` aggregate workload.
+
+    Each query draws its interval length fraction uniformly from
+    ``interval_fractions`` (the paper's 20% default sits in the
+    middle), places ``t1`` uniformly so the interval stays inside the
+    database span, and draws ``k`` uniformly from ``[1, kmax]``.
+    Identical ``(database span, count, kmax, seed, fractions)``
+    reproduce identical batches on any host.
+    """
+    rng = np.random.default_rng(seed)
+    t_min, t_max = database.span
+    span = t_max - t_min
+    fractions = np.asarray(interval_fractions, dtype=np.float64)
+    lengths = span * fractions[rng.integers(0, fractions.size, count)]
+    t1s = t_min + rng.uniform(0.0, 1.0, count) * (span - lengths)
+    ks = rng.integers(1, kmax + 1, count)
+    return WorkloadBatch(t1s=t1s, t2s=t1s + lengths, ks=ks)
+
+
+def sample_instant_workload(
+    database: TemporalDatabase,
+    count: int = 256,
+    kmax: int = 50,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A seeded instant-query workload: ``(ts, ks)`` arrays."""
+    rng = np.random.default_rng(seed)
+    t_min, t_max = database.span
+    ts = rng.uniform(t_min, t_max, count)
+    ks = rng.integers(1, kmax + 1, count)
+    return ts, ks
 
 
 def random_queries(

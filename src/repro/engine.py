@@ -16,12 +16,15 @@ and an instant engine lazily on the first instant query.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
+
+import numpy as np
 
 from repro.core.database import TemporalDatabase
 from repro.core.errors import InvalidQueryError
-from repro.core.queries import TopKQuery
+from repro.core.queries import TopKQuery, workload_arrays
 from repro.core.results import TopKResult
+from repro.datasets.workload import WorkloadBatch
 from repro.exact.exact3 import Exact3
 from repro.approximate.methods import Appx2Plus
 from repro.holistic.quantile import QuantileRanker
@@ -80,11 +83,54 @@ class TemporalRankingEngine:
             ).build(self.database)
         return self._approximate.query(query)
 
+    def top_k_many(
+        self,
+        queries,
+        approximate: bool = False,
+        executor=None,
+    ) -> List[TopKResult]:
+        """Batched :meth:`top_k`: answer a whole workload at once.
+
+        ``queries`` is anything :func:`repro.core.queries.
+        workload_arrays` accepts — a sampled
+        :class:`~repro.datasets.workload.WorkloadBatch`, a ``(q, 3)``
+        array of ``(t1, t2, k)`` rows, or a list of
+        :class:`TopKQuery`.  Answers (scores, tie-breaks, IO charges)
+        are identical to looping :meth:`top_k`, but the workload is
+        served through the vectorized ``query_many`` pipelines.
+
+        ``executor`` (a :class:`repro.parallel.ParallelExecutor`)
+        optionally fans exact-path query chunks across workers —
+        serial, thread, and process backends are answer-identical.
+        """
+        # Normalize once; the array-attribute batch is forwarded
+        # as-is (no float round-trip of ks, no (q, 3) copy).
+        batch = WorkloadBatch(*workload_arrays(queries))
+        if not approximate:
+            return self.exact.query_many(batch, executor=executor)
+        if len(batch) and int(batch.ks.max()) > self.kmax:
+            raise InvalidQueryError(
+                f"approximate queries support k <= kmax ({self.kmax})"
+            )
+        if self._approximate is None:
+            self._approximate = Appx2Plus(
+                epsilon=self.epsilon, kmax=self.kmax
+            ).build(self.database)
+        return self._approximate.query_many(batch, executor=executor)
+
     def instant_top_k(self, t: float, k: int) -> TopKResult:
         """Instant ``top-k(t)`` (scores at one time instance)."""
         if self._instant is None:
             self._instant = InstantIntervalTree().build(self.database)
         return self._instant.query(t, k)
+
+    def instant_top_k_many(self, ts, ks) -> List[TopKResult]:
+        """Batched :meth:`instant_top_k` over ``(ts, ks)`` arrays."""
+        if self._instant is None:
+            self._instant = InstantIntervalTree().build(self.database)
+        return self._instant.query_many(
+            np.asarray(ts, dtype=np.float64), np.asarray(ks, dtype=np.int64)
+        )
 
     def quantile_top_k(
         self, t1: float, t2: float, k: int, phi: float = 0.5

@@ -11,10 +11,12 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
+
+import numpy as np
 
 from repro.core.database import TemporalDatabase
-from repro.core.queries import TopKQuery
+from repro.core.queries import TopKQuery, workload_arrays
 from repro.core.results import TopKResult
 from repro.storage.stats import IOStats
 
@@ -76,6 +78,45 @@ class RankingMethod(ABC):
         seconds = time.perf_counter() - start
         delta = stats.snapshot() - before
         return QueryCost(ios=delta.reads + delta.writes, seconds=seconds, result=result)
+
+    def query_many(self, queries, executor=None) -> List[TopKResult]:
+        """Answer a whole workload of ``top-k(t1, t2, sum)`` queries.
+
+        ``queries`` is anything :func:`repro.core.queries.
+        workload_arrays` accepts — a ``(q, 3)`` array of ``(t1, t2,
+        k)`` rows, a list of :class:`TopKQuery`, or a sampled
+        workload batch.  Answers come back in query order and are
+        guaranteed identical — scores, tie-breaks, and total IO
+        charges — to looping :meth:`query` over the workload; methods
+        with a vectorized pipeline override :meth:`_query_many` and
+        fall back to the loop whenever a precondition for the modeled
+        IO accounting fails (buffer pools, pending appends).
+
+        ``executor`` is forwarded to pipelines that can fan query
+        chunks across workers (EXACT3); others ignore it.
+        """
+        self._check_built()
+        t1s, t2s, ks = workload_arrays(queries)
+        return self._query_many(t1s, t2s, ks, executor)
+
+    def _query_many(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+        executor=None,
+    ) -> List[TopKResult]:
+        """Default batched path: the scalar per-query loop."""
+        return self._scalar_loop(t1s, t2s, ks)
+
+    def _scalar_loop(
+        self, t1s: np.ndarray, t2s: np.ndarray, ks: np.ndarray
+    ) -> List[TopKResult]:
+        """The reference loop every batched pipeline must reproduce."""
+        return [
+            self._query(TopKQuery(float(t1), float(t2), int(k)))
+            for t1, t2, k in zip(t1s, t2s, ks)
+        ]
 
     def append(self, object_id: int, t_next: float, v_next: float) -> None:
         """Apply a Section 4 update (append one segment to one object).

@@ -79,9 +79,15 @@ def cumulative_from_prefix_tree(tree: BPlusTree, t: float, total: float) -> floa
 
 
 def _eq2_cumulative_batch(
-    store, rows: np.ndarray, t: float, totals: np.ndarray, leaf_cap: int
+    store, rows: np.ndarray, t, totals: np.ndarray, leaf_cap: int
 ):
     """Vectorized :func:`cumulative_from_prefix_tree` over store rows.
+
+    ``t`` is either one shared query time (a scalar: the per-query
+    candidate rescoring) or one time per row (an array: the whole-
+    workload triple rescoring of ``score_triples``) — every operation
+    below is elementwise, so both shapes produce, row for row, the
+    bits the scalar ``t`` path produces.
 
     Returns ``(cumulatives, extra_leaf_hops)``.  The arithmetic
     replicates the scalar path bit for bit: the successor segment is
@@ -94,7 +100,7 @@ def _eq2_cumulative_batch(
     lands in the last leaf whose min key is <= ``t`` and hops once
     when the successor entry lives in the following leaf.
     """
-    t = float(t)
+    t = np.asarray(t, dtype=np.float64)
     off_lo = store.offsets[rows]
     off_hi = store.offsets[rows + 1]
     ends = store.knot_times[off_hi - 1]
@@ -239,26 +245,93 @@ class Exact2(RankingMethod):
                 [self.score(int(i), t1, t2) for i in ids], dtype=np.float64
             )
         store = self.database.store()
-        row_of = self._row_lookup(store)
-        rows = np.asarray([row_of[int(i)] for i in ids], dtype=np.int64)
-        totals = np.asarray(
-            [self._totals[int(i)] for i in ids], dtype=np.float64
-        )
+        rows_lut, totals_lut, heights_lut = self._batch_lut(store)
+        rows = rows_lut[ids]
+        totals = totals_lut[ids]
         cap = leaf_capacity(_PREFIX_COLUMNS, self.block_bytes)
         high, hops_high = _eq2_cumulative_batch(store, rows, t2, totals, cap)
         low, hops_low = _eq2_cumulative_batch(store, rows, t1, totals, cap)
-        heights = sum(self.trees[int(i)].height for i in ids)
+        heights = int(heights_lut[ids].sum())
         self._stats.reads += int(2 * heights + hops_high.sum() + hops_low.sum())
         return high - low
 
-    def _row_lookup(self, store) -> Dict[int, int]:
-        """Object id -> store row, cached per store snapshot."""
-        if self._row_cache is None or self._row_cache[0] is not store:
-            self._row_cache = (
-                store,
-                {int(oid): r for r, oid in enumerate(store.object_ids)},
+    def score_triples(
+        self, object_ids: np.ndarray, t1s: np.ndarray, t2s: np.ndarray
+    ) -> np.ndarray:
+        """``sigma_i(t1, t2)`` for a whole workload's rescore triples.
+
+        The batched-query analogue of :meth:`score_many`: row ``j``
+        scores object ``object_ids[j]`` over ``[t1s[j], t2s[j]]``.
+        APPX2+'s ``query_many`` concatenates every query's candidate
+        set into one call, so the entire batch pays two vectorized
+        Equation-(2) passes instead of two per query.  Scores and the
+        modeled IO charge are bit-identical to calling
+        :meth:`score_many` once per query with that query's candidate
+        ids (the hop terms are computed per row either way).
+        """
+        ids = np.asarray(object_ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        t1s = np.asarray(t1s, dtype=np.float64)
+        t2s = np.asarray(t2s, dtype=np.float64)
+        usable = (
+            getattr(self, "_bulk_only", False)
+            and self.database is not None
+            and self.database.wants_store
+        )
+        if not usable:
+            if self.database is not None and not self.database.wants_store:
+                self.database.note_scalar_fallback()
+            return np.asarray(
+                [
+                    self.score(int(i), float(a), float(b))
+                    for i, a, b in zip(ids, t1s, t2s)
+                ],
+                dtype=np.float64,
             )
-        return self._row_cache[1]
+        store = self.database.store()
+        rows_lut, totals_lut, heights_lut = self._batch_lut(store)
+        rows = rows_lut[ids]
+        totals = totals_lut[ids]
+        cap = leaf_capacity(_PREFIX_COLUMNS, self.block_bytes)
+        # Both endpoints in one kernel call (elementwise arithmetic:
+        # splitting the halves afterwards is bit-identical to two
+        # separate passes, at half the fixed NumPy dispatch cost).
+        cum, hops = _eq2_cumulative_batch(
+            store,
+            np.concatenate([rows, rows]),
+            np.concatenate([t2s, t1s]),
+            np.concatenate([totals, totals]),
+            cap,
+        )
+        heights = int(heights_lut[ids].sum())
+        self._stats.reads += int(2 * heights + hops.sum())
+        return cum[: ids.size] - cum[ids.size :]
+
+    def _batch_lut(self, store):
+        """Dense id -> (store row, total, tree height) tables.
+
+        Cached per store snapshot so batched rescoring indexes with
+        one fancy-gather per array instead of a Python dict lookup per
+        candidate.  Totals and heights can only drift through appends,
+        which clear ``_bulk_only`` and route around this path.
+        """
+        cache = self._row_cache
+        if cache is None or cache[0] is not store:
+            oids = np.fromiter(
+                self.trees.keys(), dtype=np.int64, count=len(self.trees)
+            )
+            size = int(max(oids.max(), store.object_ids.max())) + 1
+            rows_lut = np.full(size, -1, dtype=np.int64)
+            rows_lut[store.object_ids] = np.arange(store.object_ids.size)
+            totals_lut = np.zeros(size, dtype=np.float64)
+            heights_lut = np.zeros(size, dtype=np.int64)
+            for oid in oids:
+                totals_lut[oid] = self._totals[int(oid)]
+                heights_lut[oid] = self.trees[int(oid)].height
+            cache = (store, rows_lut, totals_lut, heights_lut)
+            self._row_cache = cache
+        return cache[1], cache[2], cache[3]
 
     def _query(self, query: TopKQuery) -> TopKResult:
         """Batched Equation (2): score all ``m`` objects in one kernel pass.
@@ -294,6 +367,32 @@ class Exact2(RankingMethod):
             self._stats.reads = before + FILE_OPEN_IOS + 2 * tree.height
             scores[pos] = self.aggregate.finalize(raw, query.t1, query.t2)
         return top_k_from_arrays(ids, scores, query.k)
+
+    def _query_many(self, t1s, t2s, ks, executor=None):
+        """Batched EXACT2: one ``integrals_many`` pass over the workload.
+
+        The scalar ``_query`` already answers from the store kernel
+        with a cached modeled IO charge per query; the batch keeps
+        both (``integrals_many`` rows are bit-identical to per-query
+        ``integrals``) and only removes the per-query Python
+        round-trips.  Falls back to the loop while the store is stale.
+        """
+        if not self.database.wants_store:
+            return self._scalar_loop(t1s, t2s, ks)
+        ids = np.fromiter(
+            self.trees.keys(), dtype=np.int64, count=len(self.trees)
+        )
+        self._stats.reads += self._modeled_query_ios * int(t1s.size)
+        raw = self.database.store().integrals_many(
+            np.stack([t1s, t2s], axis=1)
+        )
+        results = []
+        for row in range(t1s.size):
+            scores = self.aggregate.finalize_many(
+                raw[row], float(t1s[row]), float(t2s[row])
+            )
+            results.append(top_k_from_arrays(ids, scores, int(ks[row])))
+        return results
 
     def _append(self, object_id: int, t_next: float, v_next: float) -> None:
         """Extend ``T_i`` with one entry: ``O(log_B n_i)`` IOs."""

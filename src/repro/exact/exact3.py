@@ -15,15 +15,20 @@ priority queue — the best exact method in the paper's evaluation.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
 from repro.core.aggregates import SUM, Aggregate
 from repro.core.database import TemporalDatabase
+from repro.core.plfstore import _CHUNK_ELEMENTS, isin_sorted
 from repro.core.queries import TopKQuery
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.exact.base import RankingMethod
+from repro.parallel.executor import (
+    OVERSUBSCRIPTION,
+    chunk_ranges,
+)
 from repro.storage.cache import LRUCache
 from repro.storage.device import BlockDevice
 from repro.storage.stats import IOStats
@@ -32,6 +37,83 @@ from repro.intervaltree.tree import ExternalIntervalTree
 #: Value-row layout (after the implicit lo/hi columns): obj_id,
 #: v_at_lo, v_at_hi, prefix mass at hi.
 _VALUE_COLUMNS = 4
+
+
+def stab_cumulatives_many(view, ts: np.ndarray) -> np.ndarray:
+    """``C_i(t)`` for every object and query time: the batched stab.
+
+    Replicates :meth:`Exact3._cumulatives_at`'s arithmetic bit for bit
+    for query times that are not knot times of any object (the caller
+    routes knot-coincident times through real stabs): the containing
+    elementary segment is located on the CSR arrays, and the
+    cumulative is the stab entry's ``prefix_hi`` minus the same
+    clamped-trapezoid tail, in the same operation order.  Objects the
+    stab would miss (``t`` outside their span) take the scalar path's
+    fallback values — 0 before the span, the total mass after it.
+
+    ``view`` is a :class:`~repro.core.plfstore.CSRView`, so process
+    workers can run this without the full store.
+    """
+    ts = np.atleast_1d(np.asarray(ts, dtype=np.float64))
+    q = ts.size
+    m = view.num_objects
+    starts, ends, totals = view.starts, view.ends, view.totals
+    out = np.empty((q, m), dtype=np.float64)
+    step = max(1, _CHUNK_ELEMENTS // max(m, 1))
+    for lo_row in range(0, q, step):
+        col = ts[lo_row : lo_row + step, None]
+        tc = np.clip(col, starts, ends)
+        j = view.locate_grid(tc)
+        lo = view.knot_times[j]
+        hi = view.knot_times[j + 1]
+        v_lo = view.knot_values[j]
+        v_hi = view.knot_values[j + 1]
+        prefix_hi = view.prefix_masses[j + 1]
+        width = hi - lo
+        slope = np.where(
+            width > 0, (v_hi - v_lo) / np.where(width > 0, width, 1.0), 0.0
+        )
+        t_clamped = np.clip(col, lo, hi)
+        v_at_t = v_lo + slope * (t_clamped - lo)
+        tail = 0.5 * (hi - t_clamped) * (v_at_t + v_hi)
+        cum = prefix_hi - tail
+        # The scalar path fills stab-missed objects from the store
+        # kernel, whose clamp yields exactly 0 / total outside the
+        # span (non-knot t is never equal to a span endpoint).
+        out[lo_row : lo_row + step] = np.where(
+            col < starts, 0.0, np.where(col > ends, totals, cum)
+        )
+    return out
+
+
+def exact3_batch_answers(
+    view,
+    object_ids: np.ndarray,
+    aggregate: Aggregate,
+    t1s: np.ndarray,
+    t2s: np.ndarray,
+    ks: np.ndarray,
+) -> List[TopKResult]:
+    """Batched EXACT3 answers for non-knot query times.
+
+    Pure function of the CSR view — no devices, no IO counters — so
+    the engine facade can fan contiguous query chunks across pool
+    workers and merge answers in submission order (every backend
+    computes the same elementwise arithmetic, hence identical bits).
+    """
+    from repro.approximate.toplists import top_k_rows
+
+    # One kernel pass over both endpoints (elementwise arithmetic, so
+    # splitting afterwards is bit-identical to two separate passes).
+    cums = stab_cumulatives_many(view, np.concatenate([t1s, t2s]))
+    low_cum = cums[: t1s.size]
+    high_cum = cums[t1s.size :]
+    raw = high_cum - low_cum
+    for row in range(t1s.size):
+        raw[row] = aggregate.finalize_many(
+            raw[row], float(t1s[row]), float(t2s[row])
+        )
+    return top_k_rows(object_ids, raw, ks)
 
 
 class Exact3(RankingMethod):
@@ -120,6 +202,74 @@ class Exact3(RankingMethod):
         raw = high_cum - low_cum
         raw = self.aggregate.finalize_many(raw, query.t1, query.t2)
         return top_k_from_arrays(self._object_ids, raw, query.k)
+
+    def _query_many(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+        executor=None,
+    ) -> List[TopKResult]:
+        """Batched EXACT3: one vectorized stab-arithmetic pass.
+
+        Scores come from :func:`stab_cumulatives_many` (bit-identical
+        to the per-query stabs), and the IO model charges, per query,
+        exactly the block reads its two stabbing walks would perform
+        (:meth:`ExternalIntervalTree.modeled_stab_reads_many`).  Query
+        times that coincide with a knot — where a stab returns two
+        agreeing entries and the replicated arithmetic could pick the
+        other one — take the real scalar path, as does the whole batch
+        while preconditions for the model fail: a pending overflow
+        buffer (appends), an attached buffer pool, or a stale store.
+
+        ``executor`` fans contiguous query chunks across workers; the
+        chunk task is a pure function of the picklable
+        :class:`~repro.core.plfstore.CSRView`, so serial, thread, and
+        process backends return identical answers in query order.
+        """
+        usable = (
+            not self.tree.has_overflow
+            and not self.device.has_cache
+            and self.database.wants_store
+        )
+        if not usable:
+            if not self.database.wants_store:
+                self.database.note_scalar_fallback()
+            return self._scalar_loop(t1s, t2s, ks)
+        store = self.database.store()
+        knots = store.knot_time_set()
+        boundary = isin_sorted(knots, t1s) | isin_sorted(knots, t2s)
+        results: List[TopKResult] = [None] * t1s.size
+        for idx in np.flatnonzero(boundary):
+            results[idx] = self._query(
+                TopKQuery(float(t1s[idx]), float(t2s[idx]), int(ks[idx]))
+            )
+        regular = np.flatnonzero(~boundary)
+        if regular.size == 0:
+            return results
+        reads = self.tree.modeled_stab_reads_many(
+            t1s[regular]
+        ) + self.tree.modeled_stab_reads_many(t2s[regular])
+        self.device.stats.record_reads(int(reads.sum()))
+        view = store.csr_view()
+        rt1, rt2, rk = t1s[regular], t2s[regular], ks[regular]
+        if executor is None or executor.is_serial or regular.size < 2:
+            answers = exact3_batch_answers(
+                view, self._object_ids, self.aggregate, rt1, rt2, rk
+            )
+        else:
+            from repro.parallel.workers import exact3_topk_chunk
+
+            chunks = chunk_ranges(
+                int(regular.size), executor.workers * OVERSUBSCRIPTION
+            )
+            state = (view, self._object_ids, self.aggregate, rt1, rt2, rk)
+            with executor.session(state) as session:
+                parts = session.map(exact3_topk_chunk, chunks)
+            answers = [result for part in parts for result in part]
+        for pos, idx in enumerate(regular):
+            results[idx] = answers[pos]
+        return results
 
     def _append(self, object_id: int, t_next: float, v_next: float) -> None:
         """Insert the new elementary interval: amortized ``O(log N)``."""

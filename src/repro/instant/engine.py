@@ -20,10 +20,13 @@ Two engines are provided:
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from repro.core.database import TemporalDatabase
 from repro.core.errors import IndexStateError, InvalidQueryError
+from repro.core.plfstore import _CHUNK_ELEMENTS, isin_sorted
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.storage.device import BlockDevice
 from repro.storage.stats import IOStats
@@ -31,6 +34,13 @@ from repro.intervaltree.tree import ExternalIntervalTree
 
 #: Row layout behind lo/hi: obj_id, v_lo, v_hi.
 _VALUE_COLUMNS = 3
+
+
+def _validate_instant_batch(ts: np.ndarray, ks: np.ndarray) -> None:
+    if ts.size != ks.size:
+        raise InvalidQueryError("instant workload arrays must align")
+    if ks.size and int(ks.min()) < 1:
+        raise InvalidQueryError("k must be >= 1")
 
 
 class InstantBruteForce:
@@ -67,6 +77,27 @@ class InstantBruteForce:
         )
         return top_k_from_arrays(ids, values, k)
 
+    def query_many(self, ts: np.ndarray, ks: np.ndarray) -> List[TopKResult]:
+        """Batched ``top-k(t)``: one ``values_at_many`` kernel pass.
+
+        Answers are identical to the per-query loop (the batched
+        kernel replicates ``values_at`` bit for bit); the scalar loop
+        itself answers while the store is append-stale.
+        """
+        if self.database is None:
+            raise IndexStateError("engine not built")
+        ts = np.asarray(ts, dtype=np.float64)
+        ks = np.asarray(ks, dtype=np.int64)
+        _validate_instant_batch(ts, ks)
+        if not self.database.wants_store:
+            return [self.query(float(t), int(k)) for t, k in zip(ts, ks)]
+        store = self.database.store()
+        values = store.values_at_many(ts)
+        return [
+            top_k_from_arrays(store.object_ids, values[row], int(ks[row]))
+            for row in range(ts.size)
+        ]
+
 
 class InstantIntervalTree:
     """Interval-tree instant top-k: one stabbing query per ``top-k(t)``."""
@@ -77,11 +108,15 @@ class InstantIntervalTree:
         self.device = BlockDevice(block_bytes=block_bytes, name="instant")
         self.tree = ExternalIntervalTree(self.device, value_columns=_VALUE_COLUMNS)
         self._object_ids = np.empty(0, dtype=np.int64)
+        self._store = None
         self._built = False
 
     def build(self, database: TemporalDatabase) -> "InstantIntervalTree":
         store = database.store()
         self._object_ids = store.object_ids
+        # The build-time snapshot backs the batched query pipeline (the
+        # tree is static, so it can never drift from this snapshot).
+        self._store = store
         self.tree.build(*store.segment_table())
         self._built = True
         return self
@@ -104,6 +139,72 @@ class InstantIntervalTree:
         # Shared-endpoint duplicates agree on the value; keep the first.
         first = np.unique(obj, return_index=True)[1]
         return top_k_from_arrays(obj[first], values[first], k)
+
+    def query_many(self, ts: np.ndarray, ks: np.ndarray) -> List[TopKResult]:
+        """Batched ``top-k(t)`` with the stab arithmetic vectorized.
+
+        Non-knot query times locate each object's containing segment
+        on the build-time store snapshot and interpolate with exactly
+        the scalar stab's formula (bit-identical values), charging the
+        modeled stab walk per query; knot-coincident times — where
+        the stab returns two agreeing segment entries — go through
+        the real scalar path, as does the whole batch when the
+        snapshot or cost model is unavailable (old pickles, buffer
+        pools).
+        """
+        if not self._built:
+            raise IndexStateError("engine not built")
+        ts = np.asarray(ts, dtype=np.float64)
+        ks = np.asarray(ks, dtype=np.int64)
+        _validate_instant_batch(ts, ks)
+        store = getattr(self, "_store", None)
+        if store is None or self.device.has_cache or self.tree.has_overflow:
+            return [self.query(float(t), int(k)) for t, k in zip(ts, ks)]
+        boundary = isin_sorted(store.knot_time_set(), ts)
+        results: List[TopKResult] = [None] * int(ts.size)
+        for idx in np.flatnonzero(boundary):
+            results[idx] = self.query(float(ts[idx]), int(ks[idx]))
+        regular = np.flatnonzero(~boundary)
+        if regular.size == 0:
+            return results
+        self.device.stats.record_reads(
+            int(self.tree.modeled_stab_reads_many(ts[regular]).sum())
+        )
+        from repro.approximate.toplists import top_k_rows
+
+        view = store.csr_view()
+        m = store.num_objects
+        rts = ts[regular]
+        k_eff = np.empty(rts.size, dtype=np.int64)
+        value_chunks: List[np.ndarray] = []
+        step = max(1, _CHUNK_ELEMENTS // max(m, 1))
+        for lo_row in range(0, rts.size, step):
+            col = rts[lo_row : lo_row + step, None]
+            tc = np.clip(col, view.starts, view.ends)
+            j = view.locate_grid(tc)
+            lo = view.knot_times[j]
+            hi = view.knot_times[j + 1]
+            v_lo = view.knot_values[j]
+            v_hi = view.knot_values[j + 1]
+            width = hi - lo
+            frac = np.where(
+                width > 0, (col - lo) / np.where(width > 0, width, 1.0), 0.0
+            )
+            values = v_lo + frac * (v_hi - v_lo)
+            # Objects the stab would miss (t outside their span) may
+            # not appear in the answer: -inf marks them, and k is
+            # clamped to the hit count so a pad is never selected.
+            hit = (view.starts <= col) & (col <= view.ends)
+            np.copyto(values, -np.inf, where=~hit)
+            k_eff[lo_row : lo_row + step] = np.minimum(
+                ks[regular[lo_row : lo_row + step]], hit.sum(axis=1)
+            )
+            value_chunks.append(values)
+        matrix = value_chunks[0] if len(value_chunks) == 1 else np.vstack(value_chunks)
+        answers = top_k_rows(self._object_ids, matrix, k_eff)
+        for pos, idx in enumerate(regular):
+            results[int(idx)] = answers[pos]
+        return results
 
     @property
     def io_stats(self) -> IOStats:

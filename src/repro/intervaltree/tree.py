@@ -96,6 +96,9 @@ class ExternalIntervalTree:
         self.num_intervals = 0
         self._overflow: List[np.ndarray] = []
         self._overflow_blocks: List[int] = []
+        # Lazy stab cost model (see modeled_stab_reads_many); rebuilt
+        # after any structural change.
+        self._cost_model = None
 
     # ------------------------------------------------------------------
     # construction
@@ -121,6 +124,7 @@ class ExternalIntervalTree:
         self.root_id = self._build_node(rows)
         self._overflow = []
         self._overflow_blocks = []
+        self._cost_model = None
 
     def _build_node(self, rows: np.ndarray) -> Optional[int]:
         if rows.shape[0] == 0:
@@ -234,6 +238,100 @@ class ExternalIntervalTree:
             if np.any(mask):
                 hits.append(block[mask])
         return hits
+
+    # ------------------------------------------------------------------
+    # modeled stab cost (batched query pipelines)
+    # ------------------------------------------------------------------
+    @property
+    def has_overflow(self) -> bool:
+        """True when appended intervals await the next rebuild.
+
+        Batched query paths fall back to real stabs then: overflow
+        rows carry data the modeled-cost pipeline does not replay.
+        """
+        return bool(self._overflow_blocks)
+
+    def _build_cost_model(self) -> dict:
+        """Per-node walk metadata, fetched once without IO charges.
+
+        For every internal node: the center, child ids, and each run's
+        per-block *last* endpoint (ascending ``lo`` for the lo run,
+        negated-descending ``hi`` for the hi run, both as plain lists
+        so the per-query walk bisects without NumPy call overhead) —
+        enough to count exactly how many run blocks
+        :meth:`_collect_lo`/:meth:`_collect_hi` read for any ``t``.
+        For leaves: the run length.
+        """
+        model: dict = {}
+        stack = [self.root_id] if self.root_id is not None else []
+        while stack:
+            node_id = stack.pop()
+            node = self.device.peek(node_id)
+            if isinstance(node, _IntervalLeaf):
+                model[node_id] = (None, len(node.run))
+                continue
+            lo_last = [float(self.device.peek(b)[-1, 0]) for b in node.lo_run]
+            hi_last_neg = [
+                -float(self.device.peek(b)[-1, 1]) for b in node.hi_run
+            ]
+            model[node_id] = (
+                float(node.center),
+                len(node.lo_run),
+                lo_last,
+                hi_last_neg,
+                node.left,
+                node.right,
+            )
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return model
+
+    def modeled_stab_reads_many(self, ts: np.ndarray) -> np.ndarray:
+        """Block reads :meth:`stab` would charge for each query time.
+
+        Pure simulation on cached walk metadata — no device IOs, no
+        payload handling.  Exact for the static tree; callers must
+        take real stabs while :attr:`has_overflow` (the model does not
+        price overflow scans).
+        """
+        from bisect import bisect_right
+
+        if self.root_id is None:
+            raise IndexStateError("interval tree has not been built")
+        # getattr: trees unpickled from pre-model index files have no
+        # cache slot yet.
+        model = getattr(self, "_cost_model", None)
+        if model is None:
+            model = self._build_cost_model()
+            self._cost_model = model
+        out = np.zeros(len(ts), dtype=np.int64)
+        for pos, t in enumerate(np.asarray(ts, dtype=np.float64).tolist()):
+            reads = 0
+            node_id: Optional[int] = self.root_id
+            while node_id is not None:
+                record = model[node_id]
+                reads += 1
+                if record[0] is None:
+                    reads += record[1]
+                    break
+                center, n_lo, lo_last, hi_last_neg, left, right = record
+                if t < center:
+                    # _collect_lo: full blocks (last lo <= t) plus the
+                    # first partial one, if any block remains.
+                    full = bisect_right(lo_last, t)
+                    reads += min(full + 1, len(lo_last))
+                    node_id = left
+                elif t > center:
+                    full = bisect_right(hi_last_neg, -t)
+                    reads += min(full + 1, len(hi_last_neg))
+                    node_id = right
+                else:
+                    reads += n_lo
+                    break
+            out[pos] = reads
+        return out
 
     # ------------------------------------------------------------------
     # updates

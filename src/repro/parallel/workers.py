@@ -72,6 +72,23 @@ def dyadic_toplists_chunk(
     return top_ids, top_scores
 
 
+def exact3_topk_chunk(bounds: Tuple[int, int]) -> list:
+    """Batched EXACT3 answers for the query rows ``[lo, hi)``.
+
+    Session state: ``(view, object_ids, aggregate, t1s, t2s, ks)`` —
+    the picklable CSR view plus the whole (non-boundary) workload.
+    The chunk task is a pure elementwise computation, so every
+    backend returns identical answer bits for its rows.
+    """
+    from repro.exact.exact3 import exact3_batch_answers
+
+    lo, hi = bounds
+    view, object_ids, aggregate, t1s, t2s, ks = worker_state()
+    return exact3_batch_answers(
+        view, object_ids, aggregate, t1s[lo:hi], t2s[lo:hi], ks[lo:hi]
+    )
+
+
 def bp2_cumulative_chunk(task: Tuple[float, int, int]) -> np.ndarray:
     """``C_i(t)`` for the object range ``[lo, hi)`` (CSR view kernel)."""
     t, lo, hi = task

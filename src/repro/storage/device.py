@@ -192,6 +192,18 @@ class BlockDevice:
             self.stats.record_reads(misses)
         return payloads
 
+    def peek(self, block_id: int) -> Any:
+        """Read a block *without* charging IOs or touching the cache.
+
+        This is the escape hatch of the modeled-cost batched query
+        pipelines: they dedup physical payload fetches across a whole
+        workload while charging, analytically, exactly the IOs the
+        per-query scalar loop would have paid.  Never use it on a path
+        whose IO cost is measured by the device itself.
+        """
+        self._require(block_id)
+        return self._blocks[block_id]
+
     def write(self, block_id: int, payload: Any) -> None:
         """Overwrite a block in place, charging one write IO."""
         self._require_coordinator()
@@ -204,6 +216,16 @@ class BlockDevice:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def has_cache(self) -> bool:
+        """True when a buffer pool is attached.
+
+        Batched query paths model per-query IO charges analytically;
+        the model assumes uncached reads, so they fall back to the
+        scalar loop when a cache could absorb some of those reads.
+        """
+        return self._cache is not None
+
     @property
     def num_blocks(self) -> int:
         """Number of live (allocated, unfreed) blocks."""

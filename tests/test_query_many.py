@@ -1,0 +1,304 @@
+"""Equivalence suite for the batched query pipeline (`query_many`).
+
+Every batched serving path must reproduce, for a mixed workload, the
+scalar per-query loop *exactly*:
+
+* answers — object ids, scores (bitwise), and tie-break order,
+* total IO charges over the workload (the modeled-cost contract),
+* across serial / thread / process executors for the fan-out paths,
+
+for APPX1, APPX2, APPX2+, EXACT2, EXACT3, and both instant engines —
+including degenerate snaps, knot-coincident endpoints, out-of-domain
+intervals, tie-heavy data, duplicate queries, and append-staleness
+fallbacks.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.approximate.methods import Appx1, Appx2, Appx2Plus
+from repro.btree.batch import modeled_successor_many
+from repro.btree.tree import BPlusTree
+from repro.core.errors import InvalidQueryError
+from repro.core.queries import TopKQuery, workload_arrays
+from repro.datasets import sample_instant_workload, sample_workload
+from repro.exact import Exact2, Exact3
+from repro.instant.engine import InstantBruteForce, InstantIntervalTree
+from repro.parallel import get_executor
+from repro.storage import BlockDevice
+
+from _support import make_random_database
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+EXECUTOR_MATRIX = [
+    pytest.param("serial", 1, id="serial"),
+    pytest.param("thread", 2, id="thread2"),
+    pytest.param(
+        "process",
+        2,
+        id="process2",
+        marks=pytest.mark.skipif(not _HAS_FORK, reason="needs fork"),
+    ),
+]
+
+KMAX = 24
+
+
+def tricky_workload(database, method=None, count=64, seed=17):
+    """A mixed workload spiked with every edge case the pipeline models.
+
+    Returns ``(t1s, t2s, ks)`` including: knot-coincident endpoints,
+    zero-length intervals, intervals fully outside the domain,
+    breakpoint-exact snaps (when ``method`` has breakpoints), and an
+    exact duplicate pair.
+    """
+    batch = sample_workload(database, count=count, kmax=KMAX, seed=seed)
+    t1s, t2s, ks = batch.t1s.copy(), batch.t2s.copy(), batch.ks.copy()
+    t_min, t_max = database.span
+    knots = database.store().knot_times
+    t1s[0], t2s[0] = float(knots[3]), float(knots[3]) + 7.0
+    t1s[1], t2s[1] = float(knots[40]) - 5.0, float(knots[40])
+    t2s[2] = t1s[2]  # zero-length interval
+    t1s[3], t2s[3] = t_max + 1.0, t_max + 2.0  # fully past the end
+    t1s[4], t2s[4] = t_min - 3.0, t_min - 1.0  # fully before the start
+    t1s[5], t2s[5], ks[5] = t1s[6], t2s[6], ks[6]  # duplicate query
+    if method is not None and getattr(method, "breakpoints", None) is not None:
+        times = method.breakpoints.times
+        t1s[7], t2s[7] = float(times[1]), float(times[-2])
+        t1s[8], t2s[8] = float(times[2]), float(times[2])  # empty snap
+    return t1s, t2s, ks
+
+
+def assert_batch_equals_scalar(method, t1s, t2s, ks, executor=None):
+    """Scalar-loop answers and IO totals == query_many's, bit for bit."""
+    before = method.io_stats.snapshot()
+    expected = [
+        method.query(TopKQuery(float(a), float(b), int(k)))
+        for a, b, k in zip(t1s, t2s, ks)
+    ]
+    scalar = method.io_stats.snapshot() - before
+    before = method.io_stats.snapshot()
+    got = method.query_many(
+        np.stack([t1s, t2s, ks], axis=1), executor=executor
+    )
+    batched = method.io_stats.snapshot() - before
+    assert len(got) == len(expected)
+    for row, (want, have) in enumerate(zip(expected, got)):
+        assert want == have, f"answer diverged at row {row}"
+    assert scalar.reads == batched.reads
+    assert scalar.writes == batched.writes
+    return expected
+
+
+# ----------------------------------------------------------------------
+# per-method equivalence
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def db():
+    return make_random_database(num_objects=60, avg_segments=24, seed=21)
+
+
+@pytest.fixture(scope="module")
+def tie_db():
+    """Many equal scores: constant-value objects in two groups."""
+    from repro.core import PiecewiseLinearFunction, TemporalObject
+    from repro.core.database import TemporalDatabase
+
+    objects = []
+    for i in range(40):
+        level = 2.0 if i % 2 else 5.0
+        objects.append(
+            TemporalObject(
+                i,
+                PiecewiseLinearFunction([0.0, 50.0, 100.0], [level] * 3),
+            )
+        )
+    return TemporalDatabase(objects, span=(0.0, 100.0), pad=True)
+
+
+@pytest.mark.parametrize("cls", [Appx1, Appx2, Appx2Plus])
+def test_approximate_query_many_matches_scalar(db, cls):
+    method = cls(r=18, kmax=KMAX).build(db)
+    t1s, t2s, ks = tricky_workload(db, method)
+    assert_batch_equals_scalar(method, t1s, t2s, ks)
+
+
+@pytest.mark.parametrize("cls", [Exact2, Exact3])
+def test_exact_query_many_matches_scalar(db, cls):
+    method = cls().build(db)
+    t1s, t2s, ks = tricky_workload(db, method)
+    assert_batch_equals_scalar(method, t1s, t2s, ks)
+
+
+@pytest.mark.parametrize("cls", [Appx2Plus, Exact3])
+def test_query_many_tie_heavy(tie_db, cls):
+    method = (
+        cls(r=8, kmax=KMAX) if cls is Appx2Plus else cls()
+    ).build(tie_db)
+    t1s, t2s, ks = tricky_workload(tie_db, method, count=40, seed=3)
+    assert_batch_equals_scalar(method, t1s, t2s, ks)
+
+
+@pytest.mark.parametrize("backend,workers", EXECUTOR_MATRIX)
+def test_exact3_executor_matrix(db, backend, workers):
+    method = Exact3().build(db)
+    t1s, t2s, ks = tricky_workload(db, method)
+    assert_batch_equals_scalar(
+        method, t1s, t2s, ks, executor=get_executor(backend, workers)
+    )
+
+
+def test_negative_scores_query_many():
+    negative = make_random_database(seed=13, negative=True)
+    method = Exact3().build(negative)
+    t1s, t2s, ks = tricky_workload(negative, method)
+    assert_batch_equals_scalar(method, t1s, t2s, ks)
+
+
+# ----------------------------------------------------------------------
+# instant engines
+# ----------------------------------------------------------------------
+def test_instant_engines_query_many(db):
+    ts, ks = sample_instant_workload(db, count=50, kmax=KMAX, seed=5)
+    knots = db.store().knot_times
+    ts = np.concatenate([ts, knots[[4, 90]], [db.span[1] + 5.0]])
+    ks = np.concatenate([ks, [3, 5, 2]])
+    for engine in (InstantIntervalTree().build(db), InstantBruteForce().build(db)):
+        expected = [engine.query(float(t), int(k)) for t, k in zip(ts, ks)]
+        got = engine.query_many(ts, ks)
+        assert all(a == b for a, b in zip(expected, got))
+
+
+def test_instant_tree_io_counts_match(db):
+    ts, ks = sample_instant_workload(db, count=50, kmax=KMAX, seed=6)
+    engine = InstantIntervalTree().build(db)
+    before = engine.io_stats.snapshot()
+    expected = [engine.query(float(t), int(k)) for t, k in zip(ts, ks)]
+    scalar = engine.io_stats.snapshot() - before
+    before = engine.io_stats.snapshot()
+    got = engine.query_many(ts, ks)
+    batched = engine.io_stats.snapshot() - before
+    assert all(a == b for a, b in zip(expected, got))
+    assert scalar.reads == batched.reads
+
+
+# ----------------------------------------------------------------------
+# fallbacks stay equivalent
+# ----------------------------------------------------------------------
+def test_query_many_after_append_falls_back_and_matches():
+    database = make_random_database(num_objects=25, avg_segments=12, seed=2)
+    method = Exact3().build(database)
+    t_max = database.span[1]
+    database.append_segment(3, t_max + 5.0, 4.0)
+    method.append(3, t_max + 5.0, 4.0)
+    assert method.tree.has_overflow
+    t1s, t2s, ks = tricky_workload(database, method, count=20, seed=9)
+    assert_batch_equals_scalar(method, t1s, t2s, ks)
+
+
+def test_appx2plus_query_many_after_append_matches():
+    database = make_random_database(num_objects=25, avg_segments=12, seed=4)
+    method = Appx2Plus(r=10, kmax=KMAX).build(database)
+    t_max = database.span[1]
+    database.append_segment(1, t_max + 2.0, 1.0)
+    method.append(1, t_max + 2.0, 1.0)
+    t1s, t2s, ks = tricky_workload(database, method, count=20, seed=10)
+    assert_batch_equals_scalar(method, t1s, t2s, ks)
+
+
+def test_query_many_with_cache_matches_answers(db):
+    """Buffer pools disable the IO model; answers must still agree."""
+    method = Appx2(r=14, kmax=KMAX, cache_blocks=16).build(db)
+    t1s, t2s, ks = tricky_workload(db, method, count=24, seed=12)
+    method.drop_caches()
+    expected = [
+        method.query(TopKQuery(float(a), float(b), int(k)))
+        for a, b, k in zip(t1s, t2s, ks)
+    ]
+    method.drop_caches()
+    got = method.query_many(np.stack([t1s, t2s, ks], axis=1))
+    assert all(a == b for a, b in zip(expected, got))
+
+
+# ----------------------------------------------------------------------
+# workload plumbing and the successor model
+# ----------------------------------------------------------------------
+def test_workload_arrays_forms(db):
+    batch = sample_workload(db, count=5, kmax=4, seed=0)
+    a = workload_arrays(batch)
+    b = workload_arrays(batch.as_queries())
+    c = workload_arrays(batch.as_array())
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+    for x, y in zip(a, c):
+        assert np.array_equal(x, y)
+
+
+def test_workload_arrays_validation():
+    with pytest.raises(InvalidQueryError):
+        workload_arrays(np.asarray([[2.0, 1.0, 3.0]]))
+    with pytest.raises(InvalidQueryError):
+        workload_arrays(np.asarray([[1.0, 2.0, 0.0]]))
+
+
+def test_query_many_rejects_k_above_kmax(db):
+    method = Appx2(r=12, kmax=4).build(db)
+    with pytest.raises(InvalidQueryError):
+        method.query_many(np.asarray([[1.0, 9.0, 5.0]]))
+
+
+def test_sample_workload_is_reproducible(db):
+    a = sample_workload(db, count=32, kmax=9, seed=123)
+    b = sample_workload(db, count=32, kmax=9, seed=123)
+    assert np.array_equal(a.t1s, b.t1s)
+    assert np.array_equal(a.t2s, b.t2s)
+    assert np.array_equal(a.ks, b.ks)
+    c = sample_workload(db, count=32, kmax=9, seed=124)
+    assert not np.array_equal(a.t1s, c.t1s)
+    assert a.ks.min() >= 1 and a.ks.max() <= 9
+    assert np.all(a.t2s >= a.t1s)
+
+
+def test_modeled_successor_matches_real_walks():
+    rng = np.random.default_rng(0)
+    device = BlockDevice()
+    tree = BPlusTree(device, value_columns=1)
+    keys = np.unique(rng.uniform(0.0, 100.0, 900))
+    tree.bulk_load(keys, np.arange(keys.size, dtype=np.float64).reshape(-1, 1))
+    lookups = np.concatenate(
+        [rng.uniform(-5.0, 105.0, 200), keys[:7], keys[-2:]]
+    )
+    succ, exists, reads = modeled_successor_many(
+        keys, lookups, tree.leaf_capacity, tree.height
+    )
+    for pos, key in enumerate(lookups):
+        before = device.stats.reads
+        hit = tree.successor(float(key))
+        assert device.stats.reads - before == reads[pos]
+        if hit is None:
+            assert not exists[pos]
+        else:
+            assert exists[pos]
+            assert int(hit[1][0]) == succ[pos]
+
+
+def test_dyadic_decompose_many_matches_walks(db):
+    method = Appx2(r=18, kmax=KMAX).build(db)
+    index = method.index
+    batch = sample_workload(db, count=30, kmax=KMAX, seed=8)
+    j1s, j2s, valid, _ = index.snap_indices_many(batch.t1s, batch.t2s)
+    idx = np.flatnonzero(valid)
+    covered_lists, walk_reads = index.decompose_many(j1s[idx], j2s[idx])
+    for pos, row in enumerate(idx):
+        snapped = index.snap_indices(float(batch.t1s[row]), float(batch.t2s[row]))
+        assert snapped == (int(j1s[row]), int(j2s[row]))
+        before = index.device.stats.reads
+        nodes = index.decompose(*snapped)
+        assert index.device.stats.reads - before == walk_reads[pos]
+        assert [(n.lo, n.hi) for n in nodes] == [
+            (index._topology()[nid][0], index._topology()[nid][1])
+            for nid in covered_lists[pos]
+        ]
