@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Scalar-vs-batched distributed cluster serving as JSON, for the
+BENCH trajectory.
+
+Builds partitioned clusters over a generated Temp-like database for a
+sweep of node counts and measures each cluster two ways:
+
+* the scalar protocol — one coordinator round-trip per workload row
+  (``query`` / ``query_scatter_gather``, the preserved reference
+  paths), and
+* ``query_many`` — the whole workload sliced per node, answered with
+  each node's vectorized pipeline, and merged columnar,
+
+asserting on the way that both return identical answers *and*
+identical :class:`~repro.distributed.comm.CommStats` totals (the
+equivalence contract), then reporting queries/sec, the speedup, and
+the modeled communication bill per workload.
+
+Clusters measured per node count: object-partitioned with EXACT3
+nodes, object-partitioned with APPX2+ nodes (breakpoint budget ``r``
+resolved once on the full database), and time-partitioned with the
+scatter-gather protocol.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_distributed.py [--m 1000]
+        [--navg 60] [--r 200] [--kmax 200] [--qk 20] [--batch 256]
+        [--nodes 2,4,8] [--seed 0] [--repeats 3] [--smoke]
+        [--baseline BENCH_distributed.json] [--max-regression 2.0]
+
+``--smoke`` shrinks every dimension so CI can run in a few seconds.
+With ``--baseline`` the run is compared against the committed
+trajectory entry whose config matches; the script exits nonzero when
+a batched wall time or a batched/scalar speedup ratio regresses by
+more than ``--max-regression`` x (ratios are in-run relative, so they
+normalize away host speed).  Output is one JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from functools import partial
+
+#: Per-cluster wall-clock keys gated by --baseline (batched path only;
+#: the scalar loop feeds the ratio gate).
+GATED_KEYS = ("batched_s",)
+
+#: Per-cluster in-run ratios gated by --baseline.
+GATED_RATIOS = ("speedup",)
+
+
+def _interleaved_best(run_scalar, run_batched, repeats: int):
+    """Best-of timings with scalar/batched rounds *interleaved*.
+
+    Back-to-back pairs see the same machine state, so host-load drift
+    between the two measurement blocks cannot skew the speedup ratio.
+    """
+    scalar_s = batched_s = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run_scalar()
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_batched()
+        batched_s = min(batched_s, time.perf_counter() - start)
+    return scalar_s, batched_s
+
+
+def measure_cluster(cluster, scalar_query, batch, repeats: int) -> dict:
+    """Scalar-protocol vs batched timings + answer/comm equivalence."""
+    rows = list(zip(batch.t1s, batch.t2s, batch.ks))
+
+    def run_scalar():
+        return [
+            scalar_query(float(t1), float(t2), int(k)) for t1, t2, k in rows
+        ]
+
+    def run_batched():
+        return cluster.query_many(batch)
+
+    cluster.comm.reset()
+    expected = run_scalar()
+    scalar_comm = cluster.comm.snapshot()
+    cluster.comm.reset()
+    got = run_batched()
+    batched_comm = cluster.comm.snapshot()
+    if any(a != b for a, b in zip(expected, got)):
+        raise AssertionError("batched cluster answers diverged")
+    if scalar_comm != batched_comm:
+        raise AssertionError(
+            f"comm diverged: scalar {scalar_comm} vs batched {batched_comm}"
+        )
+    scalar_s, batched_s = _interleaved_best(run_scalar, run_batched, repeats)
+    count = len(batch)
+    return {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "scalar_qps": count / max(scalar_s, 1e-12),
+        "batched_qps": count / max(batched_s, 1e-12),
+        "speedup": scalar_s / max(batched_s, 1e-12),
+        "comm_messages": batched_comm.messages,
+        "comm_pairs": batched_comm.pairs,
+        "comm_bytes": batched_comm.bytes,
+    }
+
+
+def check_baseline(report, path, max_regression) -> int:
+    """Compare against the matching committed entry; 0 when OK."""
+    from repro.bench.gating import compare_results, find_baseline_entry
+
+    with open(path) as handle:
+        history = json.load(handle)
+    baseline = find_baseline_entry(history, report["config"])
+    if baseline is None:
+        print(
+            f"baseline: no entry in {path} matches this config; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    failures = []
+    for name, point in report["results"].items():
+        base = baseline["results"].get(name)
+        if base is None:
+            continue
+        failures.extend(
+            compare_results(
+                base, point, GATED_KEYS, GATED_RATIOS, max_regression,
+                label=f"{name} ",
+            )
+        )
+    for line in failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=1000, help="objects")
+    parser.add_argument("--navg", type=int, default=60, help="avg readings")
+    parser.add_argument(
+        "--r", type=int, default=200, help="APPX2+ breakpoint budget"
+    )
+    parser.add_argument("--kmax", type=int, default=200, help="index kmax")
+    parser.add_argument(
+        "--qk", type=int, default=20, help="max per-query k in the workload"
+    )
+    parser.add_argument("--batch", type=int, default=256, help="workload size")
+    parser.add_argument(
+        "--nodes",
+        type=str,
+        default="2,4,8",
+        help="comma-separated cluster sizes",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N for each timing"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="committed BENCH_distributed.json to compare this run against",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.m = min(args.m, 200)
+        args.navg = min(args.navg, 25)
+        args.r = min(args.r, 30)
+        args.kmax = min(args.kmax, 60)
+        args.qk = min(args.qk, 10)
+        args.batch = min(args.batch, 64)
+        args.nodes = "2,4"
+    node_counts = [int(part) for part in args.nodes.split(",") if part]
+
+    from repro.approximate.breakpoints import epsilon_for_budget
+    from repro.approximate.methods import Appx2Plus
+    from repro.bench.gating import host_metadata
+    from repro.datasets import generate_temp, sample_workload
+    from repro.distributed import (
+        ObjectPartitionedCluster,
+        TimePartitionedCluster,
+    )
+
+    database = generate_temp(
+        num_objects=args.m, avg_readings=args.navg, seed=args.seed
+    )
+    batch = sample_workload(
+        database, count=args.batch, kmax=args.qk, seed=args.seed
+    )
+    # One full-database budget resolution; every APPX2+ shard builds
+    # with the same epsilon (per-shard budgets would drift with the
+    # partition layout).
+    epsilon = epsilon_for_budget(
+        database, args.r, tolerance=max(2, args.r // 20)
+    )
+    appx_factory = partial(Appx2Plus, epsilon=epsilon, kmax=args.kmax)
+
+    results = {}
+    for num_nodes in node_counts:
+        exact_cluster = ObjectPartitionedCluster(database, num_nodes)
+        results[f"object-exact3/nodes={num_nodes}"] = measure_cluster(
+            exact_cluster, exact_cluster.query, batch, args.repeats
+        )
+        appx_cluster = ObjectPartitionedCluster(
+            database, num_nodes, method_factory=appx_factory
+        )
+        results[f"object-appx2plus/nodes={num_nodes}"] = measure_cluster(
+            appx_cluster, appx_cluster.query, batch, args.repeats
+        )
+        time_cluster = TimePartitionedCluster(database, num_nodes)
+        results[f"time-scatter/nodes={num_nodes}"] = measure_cluster(
+            time_cluster, time_cluster.query_scatter_gather, batch,
+            args.repeats,
+        )
+
+    report = {
+        "bench": "distributed",
+        "config": {
+            "m": args.m,
+            "navg": args.navg,
+            "r": args.r,
+            "kmax": args.kmax,
+            "qk": args.qk,
+            "batch": args.batch,
+            "nodes": node_counts,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "host": host_metadata(),
+        "epsilon": epsilon,
+        "results": results,
+    }
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    if args.baseline is not None:
+        return check_baseline(report, args.baseline, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.database import TemporalDatabase
-from repro.core.results import RankedItem, TopKResult
+from repro.core.results import TopKResult
 from repro.storage.device import BlockDevice, entries_per_block
 
 #: One stored list entry: object id + score, two 8-byte words.
@@ -309,10 +309,10 @@ def top_k_rows(
         if k <= 0:
             results.append(TopKResult())
             continue
-        row_ids = top_ids[row, :k].tolist()
-        row_scores = top_scores[row, :k].tolist()
         results.append(
-            TopKResult(tuple(map(RankedItem, row_ids, row_scores)))
+            TopKResult.from_columns(
+                top_ids[row, :k].tolist(), top_scores[row, :k].tolist()
+            )
         )
     return results
 

@@ -4,13 +4,25 @@
 their aggregate scores.  :class:`TopKResult` is that answer; ties are
 broken by object id so exact methods agree bit-for-bit with the brute
 force and with each other (needed for the exactness test suite).
+
+Columnar representation
+-----------------------
+A result stores its answer as two parallel native lists — ``(ids,
+scores)`` in rank order — and materializes the :class:`RankedItem`
+tuples only when :attr:`TopKResult.items` (or iteration/indexing) is
+actually touched.  The batched query pipelines construct thousands of
+answers per workload and most are only ever *compared* (equivalence
+suites) or reduced again (distributed merges), so skipping the tuple
+construction removes the shared answer-construction floor both the
+scalar and batched serving paths used to pay (the k<=50 ratio caveat
+of the PR 4 bench).  Equality, ordering of fields, repr, and pickling
+are unchanged observable behavior.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, NamedTuple, Sequence
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence
 
 
 class RankedItem(NamedTuple):
@@ -27,14 +39,38 @@ class RankedItem(NamedTuple):
     score: float
 
 
-@dataclass(frozen=True)
 class TopKResult:
     """An ordered top-k answer ``A(k, t1, t2)`` (or its approximation).
 
     Items are sorted by descending score, object id ascending on ties.
+    Value-like and immutable by convention: nothing mutates a result
+    after construction, and equality compares the ranked ``(id,
+    score)`` columns (bitwise on scores), never object identity.
     """
 
-    items: tuple = field(default_factory=tuple)
+    __slots__ = ("_ids", "_scores", "_items")
+
+    def __init__(self, items: Iterable = ()) -> None:
+        items = tuple(items)
+        self._items: Optional[tuple] = items
+        self._ids: Optional[list] = None
+        self._scores: Optional[list] = None
+
+    @classmethod
+    def from_columns(cls, ids: list, scores: list) -> "TopKResult":
+        """Adopt already-ranked parallel ``(ids, scores)`` lists.
+
+        The columnar constructor of the batch kernels: ``ids`` and
+        ``scores`` must be native-typed lists in canonical rank order
+        (descending score, ascending id on ties) — typically straight
+        from ``ndarray.tolist()``.  The lists are adopted, not copied;
+        callers hand over ownership.
+        """
+        result = cls.__new__(cls)
+        result._items = None
+        result._ids = ids
+        result._scores = scores
+        return result
 
     @staticmethod
     def from_pairs(pairs: Iterable) -> "TopKResult":
@@ -43,31 +79,86 @@ class TopKResult:
             (RankedItem(int(o), float(s)) for o, s in pairs),
             key=lambda it: (-it.score, it.object_id),
         )
-        return TopKResult(tuple(ranked))
+        return TopKResult(ranked)
+
+    # ------------------------------------------------------------------
+    # columns (primary storage) and items (materialized on demand)
+    # ------------------------------------------------------------------
+    def _columns(self) -> tuple:
+        """The internal ``(ids, scores)`` lists (derived once if needed)."""
+        if self._ids is None:
+            self._ids = [it[0] for it in self._items]
+            self._scores = [it[1] for it in self._items]
+        return self._ids, self._scores
+
+    @property
+    def items(self) -> tuple:
+        """The ranked :class:`RankedItem` tuples (materialized lazily)."""
+        if self._items is None:
+            self._items = tuple(map(RankedItem, self._ids, self._scores))
+        return self._items
 
     @property
     def object_ids(self) -> list:
-        """Answer object ids in rank order."""
-        return [it.object_id for it in self.items]
+        """Answer object ids in rank order (a fresh list)."""
+        return list(self._columns()[0])
 
     @property
     def scores(self) -> list:
-        """Answer scores in rank order."""
-        return [it.score for it in self.items]
+        """Answer scores in rank order (a fresh list)."""
+        return list(self._columns()[1])
 
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.items)
+        if self._ids is not None:
+            return len(self._ids)
+        return len(self._items)
 
     def __iter__(self) -> Iterator[RankedItem]:
         return iter(self.items)
 
-    def __getitem__(self, rank: int) -> RankedItem:
+    def __getitem__(self, rank):
         """``A(j)``: the item at (0-based) rank ``rank``."""
-        return self.items[rank]
+        if isinstance(rank, slice):
+            return self.items[rank]
+        if self._ids is not None:
+            return RankedItem(self._ids[rank], self._scores[rank])
+        return self._items[rank]
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TopKResult):
+            return NotImplemented
+        mine = self._columns()
+        theirs = other._columns()
+        return mine[0] == theirs[0] and mine[1] == theirs[1]
+
+    def __hash__(self) -> int:
+        return hash(self.items)
+
+    def __repr__(self) -> str:
+        return f"TopKResult(items={self.items!r})"
+
+    # ------------------------------------------------------------------
+    # derived answers
+    # ------------------------------------------------------------------
     def truncated(self, k: int) -> "TopKResult":
         """The top-``k`` prefix of this answer."""
-        return TopKResult(self.items[:k])
+        if self._ids is not None:
+            return TopKResult.from_columns(self._ids[:k], self._scores[:k])
+        return TopKResult(self._items[:k])
+
+    # ------------------------------------------------------------------
+    # pickling (__slots__ classes need explicit state plumbing)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        ids, scores = self._columns()
+        return (ids, scores)
+
+    def __setstate__(self, state: tuple) -> None:
+        self._items = None
+        self._ids, self._scores = state
 
 
 def select_top_k(pairs: Iterable, k: int) -> TopKResult:
@@ -86,7 +177,9 @@ def select_top_k(pairs: Iterable, k: int) -> TopKResult:
         elif entry > heap[0]:
             heapq.heapreplace(heap, entry)
     ordered = sorted(heap, key=lambda e: (-e[0], -e[1]))
-    return TopKResult(tuple(RankedItem(-neg_id, score) for score, neg_id in ordered))
+    return TopKResult.from_columns(
+        [-neg_id for _, neg_id in ordered], [score for score, _ in ordered]
+    )
 
 
 def top_k_from_arrays(object_ids: Sequence[int], scores: Sequence[float], k: int) -> TopKResult:
@@ -119,7 +212,69 @@ def top_k_from_arrays(object_ids: Sequence[int], scores: Sequence[float], k: int
         order = chosen[np.lexsort((ids[chosen], neg[chosen]))]
     else:
         order = np.lexsort((ids, -vals))[:k]
-    # tolist() converts to native int/float in one C pass.
-    top_ids = ids[order].tolist()
-    top_vals = vals[order].tolist()
-    return TopKResult(tuple(map(RankedItem, top_ids, top_vals)))
+    # tolist() converts to native int/float in one C pass; the lists
+    # are adopted by the columnar result as-is.
+    return TopKResult.from_columns(ids[order].tolist(), vals[order].tolist())
+
+
+# ----------------------------------------------------------------------
+# distributed merges (scatter-gather coordinators)
+# ----------------------------------------------------------------------
+def merge_top_k(shards: Sequence[TopKResult], k: int) -> TopKResult:
+    """Columnar k-way merge of per-shard canonical answers.
+
+    Each shard result is already in canonical rank order; the merged
+    answer is the canonical top-``k`` of the union — exactly what
+    :func:`select_top_k` over the concatenated ``(id, score)`` pairs
+    returns, but computed on the answer *columns* without ever
+    materializing :class:`RankedItem` tuples.  Object ids must be
+    unique across shards (object-partitioned clusters).
+    """
+    import numpy as np
+
+    ids: List[int] = []
+    scores: List[float] = []
+    for shard in shards:
+        shard_ids, shard_scores = shard._columns()
+        ids.extend(shard_ids)
+        scores.extend(shard_scores)
+    return top_k_from_arrays(
+        np.asarray(ids, dtype=np.int64),
+        np.asarray(scores, dtype=np.float64),
+        k,
+    )
+
+
+def merge_top_k_many(
+    per_shard_results: Sequence[Sequence[TopKResult]], ks: Sequence[int]
+) -> List[TopKResult]:
+    """Batched :func:`merge_top_k`: merge a whole workload's shard answers.
+
+    ``per_shard_results[s][j]`` is shard ``s``'s local answer to query
+    ``j``; the return value holds, per query, the canonical top
+    ``ks[j]`` of the union of its shard answers — row ``j`` is
+    identical to ``merge_top_k([r[j] for r in shards], ks[j])``.  All
+    queries are merged in one ragged batch pass
+    (:func:`repro.approximate.toplists.top_k_ragged`, imported at call
+    time: ``toplists`` imports this module), so the coordinator's
+    merge is as batched as the node answers it combines.
+    """
+    import numpy as np
+
+    from repro.approximate.toplists import top_k_ragged
+
+    pools = []
+    for j in range(len(ks)):
+        ids: List[int] = []
+        scores: List[float] = []
+        for results in per_shard_results:
+            shard_ids, shard_scores = results[j]._columns()
+            ids.extend(shard_ids)
+            scores.extend(shard_scores)
+        pools.append(
+            (
+                np.asarray(ids, dtype=np.int64),
+                np.asarray(scores, dtype=np.float64),
+            )
+        )
+    return top_k_ragged(pools, ks)

@@ -1,14 +1,32 @@
 """Distributed aggregate top-k (the paper's open direction)."""
 
-from repro.distributed.comm import PAIR_BYTES, CommStats
-from repro.distributed.nodes import StorageNode
+from repro.distributed.comm import (
+    PAIR_BYTES,
+    CommSnapshot,
+    CommStats,
+    RoundRecord,
+)
+from repro.distributed.nodes import StorageNode, build_node_methods
 from repro.distributed.object_partition import ObjectPartitionedCluster
+from repro.distributed.partitioner import (
+    Partition,
+    hash_partition,
+    time_boundaries,
+    time_range_partition,
+)
 from repro.distributed.time_partition import TimePartitionedCluster
 
 __all__ = [
+    "CommSnapshot",
     "CommStats",
     "PAIR_BYTES",
+    "Partition",
+    "RoundRecord",
     "StorageNode",
     "ObjectPartitionedCluster",
     "TimePartitionedCluster",
+    "build_node_methods",
+    "hash_partition",
+    "time_boundaries",
+    "time_range_partition",
 ]

@@ -1,27 +1,76 @@
 """Storage nodes for the distributed aggregate top-k setting.
 
-A :class:`StorageNode` owns a shard of the data (a sub-database) and a
-local index (EXACT3 by default).  Coordinators (see
+A :class:`StorageNode` owns a shard of the data — a per-partition
+:class:`~repro.core.database.TemporalDatabase` together with its
+columnar :class:`~repro.core.plfstore.CSRView` slice — and a local
+ranking index (EXACT3 by default).  Coordinators (see
 ``object_partition`` / ``time_partition``) talk to nodes only through
 the narrow message-like API here, so communication can be accounted
 faithfully.
+
+Both the scalar handlers and their vectorized ``*_many`` counterparts
+are provided: the batched coordinators slice whole
+:class:`~repro.datasets.workload.WorkloadBatch`\\ es per node and call
+the vectorized handlers, whose answers, tie-breaks, and modeled IO
+charges are bit-identical to looping the scalar ones (the kernel
+contract of ``PLFStore``/``query_many``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.database import TemporalDatabase
+from repro.core.plfstore import CSRView
 from repro.core.queries import TopKQuery
 from repro.core.results import TopKResult
+from repro.datasets.workload import WorkloadBatch
 from repro.exact.base import RankingMethod
 from repro.exact.exact3 import Exact3
+from repro.parallel.executor import ParallelExecutor
+
+
+def build_node_methods(
+    databases: Sequence[TemporalDatabase],
+    method_factory=None,
+    executor: Optional[ParallelExecutor] = None,
+) -> List[RankingMethod]:
+    """Build one ranking index per shard, fanned through one session.
+
+    ``method_factory`` must be picklable for the process backend (a
+    method class like :class:`~repro.exact.exact3.Exact3`, or a
+    ``functools.partial`` binding parameters); ``None`` builds EXACT3.
+    With a serial (or absent) executor the builds run inline — the
+    reference behavior.  Construction is deterministic per shard and
+    each method owns a private device, so the built indexes (layout,
+    IO counters) are byte-identical on every backend; methods built in
+    pool workers are re-bound to the coordinator's shard database
+    objects on receipt.
+    """
+    factory = method_factory if method_factory is not None else Exact3
+    count = len(databases)
+    if executor is None or executor.is_serial or count < 2:
+        return [factory().build(database) for database in databases]
+    from repro.parallel.executor import chunk_ranges
+    from repro.parallel.workers import node_build_chunk
+
+    chunks = chunk_ranges(count, executor.workers)
+    state = (tuple(databases), factory)
+    with executor.session(state) as session:
+        parts = session.map(node_build_chunk, chunks)
+    methods = [method for part in parts for method in part]
+    for database, method in zip(databases, methods):
+        method.database = database
+        rescorer = getattr(method, "rescorer", None)
+        if rescorer is not None:
+            rescorer.database = database
+    return methods
 
 
 class StorageNode:
-    """One shard: a sub-database plus a local ranking index."""
+    """One shard: a sub-database, its CSR kernel slice, a local index."""
 
     def __init__(
         self,
@@ -32,14 +81,35 @@ class StorageNode:
         self.node_id = node_id
         self.database = database
         self.method = method if method is not None else Exact3()
-        self.method.build(database)
+        # Adopt a prebuilt method only when it was built on this very
+        # shard database (the build_node_methods fast path); anything
+        # else is (re)built here, preserving the constructor's
+        # invariant that the node answers from its own shard.
+        if (
+            not getattr(self.method, "_built", False)
+            or self.method.database is not database
+        ):
+            self.method.build(database)
+        # Warm the shard's columnar store eagerly so serving never
+        # pays a first-query snapshot build.
+        database.store()
+
+    @property
+    def view(self) -> CSRView:
+        """The shard's picklable CSR kernel slice (cached on the store)."""
+        return self.database.store().csr_view()
 
     @property
     def num_objects(self) -> int:
         return self.database.num_objects
 
+    @property
+    def object_ids(self) -> np.ndarray:
+        """The shard's object ids, in storage order."""
+        return self.database.store().object_ids
+
     # ------------------------------------------------------------------
-    # message handlers
+    # message handlers (scalar: the preserved reference protocol)
     # ------------------------------------------------------------------
     def local_top_k(self, t1: float, t2: float, k: int) -> TopKResult:
         """Answer a local aggregate top-k over this shard."""
@@ -72,3 +142,48 @@ class StorageNode:
         return self.method.query(
             TopKQuery(t1, t2, self.database.num_objects)
         )
+
+    # ------------------------------------------------------------------
+    # message handlers (batched: whole workload slices per message)
+    # ------------------------------------------------------------------
+    def local_top_k_many(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> List[TopKResult]:
+        """Batched :meth:`local_top_k`: one vectorized pass per shard.
+
+        Answers (scores, tie-breaks) and the shard index's modeled IO
+        charges are identical to looping :meth:`local_top_k` — the
+        ``query_many`` equivalence contract, applied per node.
+        """
+        local_ks = np.minimum(
+            np.asarray(ks, dtype=np.int64), self.database.num_objects
+        )
+        batch = WorkloadBatch(
+            np.asarray(t1s, dtype=np.float64),
+            np.asarray(t2s, dtype=np.float64),
+            local_ks,
+        )
+        return self.method.query_many(batch, executor=executor)
+
+    def partial_scores_many(
+        self, t1s: np.ndarray, t2s: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`partial_scores`: a ``(q, num_objects)`` matrix.
+
+        Row ``j`` holds, in shard storage order, exactly the values the
+        scalar handler's dict would (``C_i(t2) - C_i(t1)`` through the
+        CSR kernel is bit-identical to ``obj.score``), so coordinators
+        can accumulate per-node partials with identical float bits.
+        """
+        queries = np.stack(
+            [
+                np.asarray(t1s, dtype=np.float64),
+                np.asarray(t2s, dtype=np.float64),
+            ],
+            axis=1,
+        )
+        return self.database.store().integrals_many(queries)

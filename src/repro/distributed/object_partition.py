@@ -1,11 +1,23 @@
 """Object-partitioned distributed ranking.
 
-Each object lives on exactly one node (hash partitioning), so every
-node holds *complete* score functions for its shard.  The coordinator
-then needs only each node's local top-k: the global answer is the
-k best of the union, exactly — communication is ``p * k`` pairs, one
-round.  This is the easy half of the paper's distributed open problem
-and the baseline any cleverer protocol must beat.
+Each object lives on exactly one node (hash partitioning via
+:func:`~repro.distributed.partitioner.hash_partition`), so every node
+holds *complete* score functions for its shard.  The coordinator then
+needs only each node's local top-k: the global answer is the k best of
+the union, exactly — communication is ``p * k`` pairs, one round.
+This is the easy half of the paper's distributed open problem and the
+baseline any cleverer protocol must beat.
+
+Serving tier
+------------
+:meth:`ObjectPartitionedCluster.query` is the preserved scalar
+protocol; :meth:`ObjectPartitionedCluster.query_many` serves a whole
+:class:`~repro.datasets.workload.WorkloadBatch` by handing each node
+its full query slice (answered through the node's vectorized
+``query_many``) and merging with the columnar k-way merge in
+:mod:`repro.core.results`.  Answers, tie-breaks, per-node modeled IO
+charges, and :class:`~repro.distributed.comm.CommStats` totals are
+bit-identical to looping the scalar protocol.
 """
 
 from __future__ import annotations
@@ -13,39 +25,41 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.database import TemporalDatabase
-from repro.core.errors import ReproError
-from repro.core.results import TopKResult, select_top_k
+from repro.core.queries import workload_arrays
+from repro.core.results import TopKResult, merge_top_k_many, select_top_k
 from repro.exact.base import RankingMethod
 from repro.distributed.comm import CommStats
-from repro.distributed.nodes import StorageNode
+from repro.distributed.nodes import StorageNode, build_node_methods
+from repro.distributed.partitioner import hash_partition
+from repro.parallel.executor import ParallelExecutor
 
 
 class ObjectPartitionedCluster:
-    """A cluster whose shards partition the *objects*."""
+    """A cluster whose shards partition the *objects*.
+
+    ``executor`` fans the per-node index builds through one
+    :class:`~repro.parallel.executor.Session` (the PR 3 build
+    executor); the built shards are byte-identical on every backend.
+    """
 
     def __init__(
         self,
         database: TemporalDatabase,
         num_nodes: int,
         method_factory: Optional[Callable[[], RankingMethod]] = None,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
-        if num_nodes < 1:
-            raise ReproError("need at least one node")
-        if num_nodes > database.num_objects:
-            raise ReproError("more nodes than objects")
         self.comm = CommStats()
-        shards: List[List] = [[] for _ in range(num_nodes)]
-        for obj in database:
-            shards[obj.object_id % num_nodes].append(obj)
-        self.nodes = []
-        for node_id, objects in enumerate(shards):
-            if not objects:
-                continue
-            shard_db = TemporalDatabase(
-                objects, span=database.span, pad=database.padded
-            )
-            method = method_factory() if method_factory else None
-            self.nodes.append(StorageNode(node_id, shard_db, method))
+        partitions = hash_partition(database, num_nodes)
+        methods = build_node_methods(
+            [partition.database for partition in partitions],
+            method_factory,
+            executor,
+        )
+        self.nodes = [
+            StorageNode(partition.node_id, partition.database, method)
+            for partition, method in zip(partitions, methods)
+        ]
 
     @property
     def num_nodes(self) -> int:
@@ -59,3 +73,34 @@ class ObjectPartitionedCluster:
             self.comm.record(len(local))
             candidates.extend((item.object_id, item.score) for item in local)
         return select_top_k(candidates, k)
+
+    def query_many(
+        self,
+        queries,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> List[TopKResult]:
+        """Batched :meth:`query`: answer a whole workload at once.
+
+        Each node receives the full batch (one logical request message
+        per query, as in the scalar protocol) and answers it through
+        its vectorized ``query_many``; per-query local answers are
+        merged columnar (:func:`~repro.core.results.merge_top_k_many`)
+        into the canonical global top-k.  Equivalence contract:
+        answers, tie-breaks, per-node IO charges, and comm totals are
+        bit-identical to looping :meth:`query` over the workload.
+
+        ``executor`` is forwarded to each node's ``query_many``
+        (EXACT3 fans query chunks; serial, thread, and process
+        backends are answer-identical).
+        """
+        t1s, t2s, ks = workload_arrays(queries)
+        if t1s.size == 0:
+            return []
+        per_node: List[List[TopKResult]] = []
+        for node in self.nodes:
+            local = node.local_top_k_many(t1s, t2s, ks, executor=executor)
+            self.comm.record_messages(
+                len(local), sum(len(result) for result in local)
+            )
+            per_node.append(local)
+        return merge_top_k_many(per_node, ks)

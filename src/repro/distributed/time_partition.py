@@ -1,8 +1,9 @@
 """Time-partitioned distributed ranking, with a threshold algorithm.
 
 The harder distributed layout: the time domain is cut into ``p``
-slices and node ``i`` stores *every* object restricted to slice ``i``.
-A query interval now spans several nodes, each holding only a partial
+slices (:func:`~repro.distributed.partitioner.time_range_partition`) and
+node ``i`` stores *every* object restricted to slice ``i``.  A query
+interval now spans several nodes, each holding only a partial
 aggregate per object, so the coordinator must combine per-node
 partials.
 
@@ -17,7 +18,17 @@ Two protocols:
   other nodes for every newly seen object and stops as soon as the
   running k-th best total reaches the threshold (the sum of the
   current batch frontiers).  Exact, and on skewed data it ships a
-  small fraction of the pairs.
+  small fraction of the pairs.  Every sorted-access-plus-probe round
+  is recorded in :attr:`CommStats.rounds`, so convergence is
+  observable per round, not just in final totals.
+
+:meth:`TimePartitionedCluster.query_many` serves whole workloads: the
+scatter-gather protocol is replayed *batched* — per-node partial-score
+matrices through each shard's CSR kernel, accumulated in node order
+(bit-identical float sequence to the scalar coordinator) and reduced
+with one columnar top-k pass.  The adaptive threshold protocol has no
+batched form (each round depends on the previous one's frontier), so
+``protocol="threshold"`` replays the scalar rounds per query.
 
 This realizes, at simulation level, the "distributed setting" the
 paper's conclusion leaves open.
@@ -26,46 +37,57 @@ paper's conclusion leaves open.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.database import TemporalDatabase
-from repro.core.errors import ReproError
-from repro.core.objects import TemporalObject
+from repro.core.queries import workload_arrays
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.distributed.comm import CommStats
-from repro.distributed.nodes import StorageNode
+from repro.distributed.nodes import StorageNode, build_node_methods
+from repro.distributed.partitioner import time_boundaries, time_range_partition
+from repro.parallel.executor import ParallelExecutor
 
 
 class TimePartitionedCluster:
-    """A cluster whose shards partition the *time domain*."""
+    """A cluster whose shards partition the *time domain*.
+
+    ``executor`` fans the per-node index builds through one
+    :class:`~repro.parallel.executor.Session`; built shards are
+    byte-identical on every backend.
+    """
 
     def __init__(
         self,
         database: TemporalDatabase,
         num_nodes: int,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
-        if num_nodes < 1:
-            raise ReproError("need at least one node")
         self.comm = CommStats()
         self.database = database
-        t_min, t_max = database.span
-        self.boundaries = np.linspace(t_min, t_max, num_nodes + 1)
-        self.nodes: List[StorageNode] = []
-        for node_id in range(num_nodes):
-            lo = float(self.boundaries[node_id])
-            hi = float(self.boundaries[node_id + 1])
-            objects = []
-            for obj in database:
-                sliced = obj.function.restricted(lo, hi)
-                if sliced is not None:
-                    objects.append(
-                        TemporalObject(obj.object_id, sliced, obj.label)
-                    )
-            if objects:
-                shard = TemporalDatabase(objects, span=(lo, hi), pad=True)
-                self.nodes.append(StorageNode(node_id, shard))
+        self.boundaries = time_boundaries(database, num_nodes)
+        partitions = time_range_partition(database, num_nodes, self.boundaries)
+        methods = build_node_methods(
+            [partition.database for partition in partitions],
+            None,
+            executor,
+        )
+        self.nodes: List[StorageNode] = [
+            StorageNode(partition.node_id, partition.database, method)
+            for partition, method in zip(partitions, methods)
+        ]
+        # The node layout is immutable after construction, so the
+        # batched coordinator's global answer columns (union of shard
+        # object sets, ascending) and each node's scatter positions
+        # are computed once, not per batch.
+        self._columns = np.unique(
+            np.concatenate([node.object_ids for node in self.nodes])
+        )
+        self._node_cols = [
+            np.searchsorted(self._columns, node.object_ids)
+            for node in self.nodes
+        ]
 
     @property
     def num_nodes(self) -> int:
@@ -95,6 +117,110 @@ class TimePartitionedCluster:
         vals = np.fromiter(totals.values(), dtype=np.float64, count=len(totals))
         return top_k_from_arrays(ids, vals, k)
 
+    # ------------------------------------------------------------------
+    # batched serving
+    # ------------------------------------------------------------------
+    def query_many(
+        self,
+        queries,
+        protocol: str = "scatter",
+        batch_size: int = 8,
+    ) -> List[TopKResult]:
+        """Answer a whole workload through the partitioned layout.
+
+        ``protocol="scatter"`` (default) replays
+        :meth:`query_scatter_gather` batched: each touched node
+        computes the partial scores of its query slice in one CSR
+        kernel pass, the coordinator accumulates per-node partials in
+        ascending node order (the scalar coordinator's float-addition
+        sequence, so totals are bit-identical), and one columnar top-k
+        pass produces every answer.  Answers, tie-breaks, and comm
+        totals equal the scalar loop exactly.
+
+        ``protocol="threshold"`` replays :meth:`query_threshold` per
+        query (the TA's rounds are adaptive — each depends on the
+        previous frontier — so there is no cross-query batching), with
+        ``batch_size`` forwarded.
+        """
+        t1s, t2s, ks = workload_arrays(queries)
+        if t1s.size == 0:
+            return []
+        if protocol == "threshold":
+            return [
+                self.query_threshold(
+                    float(t1), float(t2), int(k), batch_size=batch_size
+                )
+                for t1, t2, k in zip(t1s, t2s, ks)
+            ]
+        if protocol != "scatter":
+            from repro.core.errors import ReproError
+
+            raise ReproError(
+                f"unknown protocol {protocol!r}; choose scatter or threshold"
+            )
+        return self._scatter_gather_many(t1s, t2s, ks)
+
+    def _scatter_gather_many(
+        self, t1s: np.ndarray, t2s: np.ndarray, ks: np.ndarray
+    ) -> List[TopKResult]:
+        from repro.approximate.toplists import top_k_rows
+        from repro.core.plfstore import _CHUNK_ELEMENTS
+
+        # Global answer columns (precomputed): the canonical top-k
+        # order makes the column order irrelevant to answers;
+        # ascending ids keep the per-node scatter an exact position
+        # array.
+        columns = self._columns
+        ks = np.asarray(ks, dtype=np.int64)
+        # Queries are processed in fixed-size blocks so the dense
+        # (block, m) coordinator matrices stay within a bounded
+        # footprint (the scalar protocol peaks at O(m)); per-query
+        # accumulation order and comm totals are block-invariant.
+        step = max(1, _CHUNK_ELEMENTS // max(int(columns.size), 1))
+        results: List[TopKResult] = []
+        for block_lo in range(0, int(t1s.size), step):
+            block = slice(block_lo, block_lo + step)
+            results.extend(
+                self._scatter_gather_block(
+                    t1s[block], t2s[block], ks[block], columns, top_k_rows
+                )
+            )
+        return results
+
+    def _scatter_gather_block(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+        columns: np.ndarray,
+        top_k_rows,
+    ) -> List[TopKResult]:
+        q = int(t1s.size)
+        totals = np.zeros((q, columns.size), dtype=np.float64)
+        present = np.zeros((q, columns.size), dtype=bool)
+        for node, cols in zip(self.nodes, self._node_cols):
+            lo = float(self.boundaries[node.node_id])
+            hi = float(self.boundaries[node.node_id + 1])
+            rows = np.flatnonzero((hi > t1s) & (lo < t2s))
+            if rows.size == 0:
+                continue
+            partials = node.partial_scores_many(t1s[rows], t2s[rows])
+            # Ascending-node accumulation: object totals see the same
+            # float-addition sequence as the scalar coordinator's
+            # ``totals[id] = totals.get(id, 0.0) + score`` dict walk.
+            totals[np.ix_(rows, cols)] += partials
+            present[np.ix_(rows, cols)] = True
+            self.comm.record_messages(
+                int(rows.size), int(rows.size) * node.num_objects
+            )
+        # Objects absent from every touched node are not candidates
+        # (the scalar coordinator never sees them): -inf marks them
+        # and per-query k is clamped so a pad can never be selected.
+        scores = np.where(present, totals, -np.inf)
+        k_eff = np.minimum(ks, present.sum(axis=1))
+        return top_k_rows(columns, scores, k_eff)
+
+    # ------------------------------------------------------------------
     def query_threshold(
         self, t1: float, t2: float, k: int, batch_size: int = 8
     ) -> TopKResult:
@@ -131,6 +257,10 @@ class TimePartitionedCluster:
         while kth_best() < threshold() and any(
             cursors[i] < len(streams[i]) for i in range(len(nodes))
         ):
+            # One TA round: a sorted-access batch from every stream
+            # plus the random-access probes it triggers, recorded as
+            # one CommStats round.
+            self.comm.start_round()
             new_ids = []
             for i, stream in enumerate(streams):
                 lo = cursors[i]
@@ -162,6 +292,7 @@ class TimePartitionedCluster:
                         heapq.heappush(best_k, value)
                     elif value > best_k[0]:
                         heapq.heapreplace(best_k, value)
+            self.comm.end_round()
         if not totals:
             return TopKResult()
         ids = np.fromiter(totals.keys(), dtype=np.int64, count=len(totals))

@@ -139,6 +139,49 @@ class TemporalRankingEngine:
         return QuantileRanker(self.database, phi=phi).query(t1, t2, k)
 
     # ------------------------------------------------------------------
+    # scale-out
+    # ------------------------------------------------------------------
+    def cluster(
+        self,
+        num_nodes: int,
+        partition: str = "object",
+        method_factory=None,
+        executor=None,
+    ):
+        """A partitioned serving cluster over this engine's database.
+
+        ``partition="object"`` hash-splits the objects (each node
+        holds complete score functions; exact merges ship ``p * k``
+        pairs); ``partition="time"`` slices the time domain (each
+        node holds every object's restriction; scatter-gather or
+        threshold protocols combine partials).  Both clusters answer
+        whole workloads through ``query_many`` with answers, IO
+        charges, and comm bytes bit-identical to their scalar
+        protocols.  ``method_factory`` (object partitions) picks the
+        per-node index — default EXACT3; ``executor`` fans the
+        per-node index builds through one parallel session.
+        """
+        from repro.distributed import (
+            ObjectPartitionedCluster,
+            TimePartitionedCluster,
+        )
+
+        if partition == "object":
+            return ObjectPartitionedCluster(
+                self.database,
+                num_nodes,
+                method_factory=method_factory,
+                executor=executor,
+            )
+        if partition == "time":
+            return TimePartitionedCluster(
+                self.database, num_nodes, executor=executor
+            )
+        raise InvalidQueryError(
+            f"unknown partition {partition!r}; choose object or time"
+        )
+
+    # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def append(self, object_id: int, t_next: float, v_next: float) -> None:

@@ -220,18 +220,22 @@ class Exact3(RankingMethod):
         agreeing entries and the replicated arithmetic could pick the
         other one — take the real scalar path, as does the whole batch
         while preconditions for the model fail: a pending overflow
-        buffer (appends), an attached buffer pool, or a stale store.
+        buffer (appends) or a stale store.
+
+        With an attached buffer pool (``cache_blocks > 0``) the batch
+        stays on the kernel: the scalar loop's block access stream is
+        *replayed*, in query order, through
+        :meth:`~repro.storage.device.BlockDevice.replay_reads` using
+        the modeled per-stab block sequences, so cache hits, read
+        charges, and the final LRU contents are identical to the
+        scalar loop's.
 
         ``executor`` fans contiguous query chunks across workers; the
         chunk task is a pure function of the picklable
         :class:`~repro.core.plfstore.CSRView`, so serial, thread, and
         process backends return identical answers in query order.
         """
-        usable = (
-            not self.tree.has_overflow
-            and not self.device.has_cache
-            and self.database.wants_store
-        )
+        usable = not self.tree.has_overflow and self.database.wants_store
         if not usable:
             if not self.database.wants_store:
                 self.database.note_scalar_fallback()
@@ -240,17 +244,39 @@ class Exact3(RankingMethod):
         knots = store.knot_time_set()
         boundary = isin_sorted(knots, t1s) | isin_sorted(knots, t2s)
         results: List[TopKResult] = [None] * t1s.size
-        for idx in np.flatnonzero(boundary):
-            results[idx] = self._query(
-                TopKQuery(float(t1s[idx]), float(t2s[idx]), int(ks[idx]))
-            )
+        if self.device.has_cache:
+            # LRU replay: charge (and update the pool with) the exact
+            # scalar access stream — per query, the t1 stab's block
+            # sequence then the t2 stab's; knot-coincident queries run
+            # the real scalar path in sequence, touching the pool the
+            # same way.
+            for idx in range(t1s.size):
+                if boundary[idx]:
+                    results[idx] = self._query(
+                        TopKQuery(
+                            float(t1s[idx]), float(t2s[idx]), int(ks[idx])
+                        )
+                    )
+                else:
+                    self.device.replay_reads(
+                        self.tree.modeled_stab_blocks(t1s[idx])
+                    )
+                    self.device.replay_reads(
+                        self.tree.modeled_stab_blocks(t2s[idx])
+                    )
+        else:
+            for idx in np.flatnonzero(boundary):
+                results[idx] = self._query(
+                    TopKQuery(float(t1s[idx]), float(t2s[idx]), int(ks[idx]))
+                )
         regular = np.flatnonzero(~boundary)
         if regular.size == 0:
             return results
-        reads = self.tree.modeled_stab_reads_many(
-            t1s[regular]
-        ) + self.tree.modeled_stab_reads_many(t2s[regular])
-        self.device.stats.record_reads(int(reads.sum()))
+        if not self.device.has_cache:
+            reads = self.tree.modeled_stab_reads_many(
+                t1s[regular]
+            ) + self.tree.modeled_stab_reads_many(t2s[regular])
+            self.device.stats.record_reads(int(reads.sum()))
         view = store.csr_view()
         rt1, rt2, rk = t1s[regular], t2s[regular], ks[regular]
         if executor is None or executor.is_serial or regular.size < 2:

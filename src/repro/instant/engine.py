@@ -149,8 +149,10 @@ class InstantIntervalTree:
         modeled stab walk per query; knot-coincident times — where
         the stab returns two agreeing segment entries — go through
         the real scalar path, as does the whole batch when the
-        snapshot or cost model is unavailable (old pickles, buffer
-        pools).
+        snapshot or cost model is unavailable (old pickles).  With an
+        attached buffer pool the modeled block sequences are replayed
+        through the LRU in query order, so hits, charges, and final
+        pool contents match the scalar loop's.
         """
         if not self._built:
             raise IndexStateError("engine not built")
@@ -158,18 +160,30 @@ class InstantIntervalTree:
         ks = np.asarray(ks, dtype=np.int64)
         _validate_instant_batch(ts, ks)
         store = getattr(self, "_store", None)
-        if store is None or self.device.has_cache or self.tree.has_overflow:
+        if store is None or self.tree.has_overflow:
             return [self.query(float(t), int(k)) for t, k in zip(ts, ks)]
         boundary = isin_sorted(store.knot_time_set(), ts)
         results: List[TopKResult] = [None] * int(ts.size)
-        for idx in np.flatnonzero(boundary):
-            results[idx] = self.query(float(ts[idx]), int(ks[idx]))
+        if self.device.has_cache:
+            # LRU replay (see Exact3._query_many): the scalar loop's
+            # per-query stab block sequence, in order.
+            for idx in range(int(ts.size)):
+                if boundary[idx]:
+                    results[idx] = self.query(float(ts[idx]), int(ks[idx]))
+                else:
+                    self.device.replay_reads(
+                        self.tree.modeled_stab_blocks(ts[idx])
+                    )
+        else:
+            for idx in np.flatnonzero(boundary):
+                results[idx] = self.query(float(ts[idx]), int(ks[idx]))
         regular = np.flatnonzero(~boundary)
         if regular.size == 0:
             return results
-        self.device.stats.record_reads(
-            int(self.tree.modeled_stab_reads_many(ts[regular]).sum())
-        )
+        if not self.device.has_cache:
+            self.device.stats.record_reads(
+                int(self.tree.modeled_stab_reads_many(ts[regular]).sum())
+            )
         from repro.approximate.toplists import top_k_rows
 
         view = store.csr_view()

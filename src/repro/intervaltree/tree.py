@@ -98,7 +98,7 @@ class ExternalIntervalTree:
         self._overflow_blocks: List[int] = []
         # Lazy stab cost model (see modeled_stab_reads_many); rebuilt
         # after any structural change.
-        self._cost_model = None
+        self._stab_model = None
 
     # ------------------------------------------------------------------
     # construction
@@ -124,7 +124,7 @@ class ExternalIntervalTree:
         self.root_id = self._build_node(rows)
         self._overflow = []
         self._overflow_blocks = []
-        self._cost_model = None
+        self._stab_model = None
 
     def _build_node(self, rows: np.ndarray) -> Optional[int]:
         if rows.shape[0] == 0:
@@ -251,16 +251,16 @@ class ExternalIntervalTree:
         """
         return bool(self._overflow_blocks)
 
-    def _build_cost_model(self) -> dict:
+    def _build_stab_model(self) -> dict:
         """Per-node walk metadata, fetched once without IO charges.
 
-        For every internal node: the center, child ids, and each run's
-        per-block *last* endpoint (ascending ``lo`` for the lo run,
-        negated-descending ``hi`` for the hi run, both as plain lists
-        so the per-query walk bisects without NumPy call overhead) —
-        enough to count exactly how many run blocks
-        :meth:`_collect_lo`/:meth:`_collect_hi` read for any ``t``.
-        For leaves: the run length.
+        For every internal node: the center, child ids, each run's
+        block ids, and each run's per-block *last* endpoint (ascending
+        ``lo`` for the lo run, negated-descending ``hi`` for the hi
+        run, both as plain lists so the per-query walk bisects without
+        NumPy call overhead) — enough to reproduce exactly which run
+        blocks :meth:`_collect_lo`/:meth:`_collect_hi` read, and in
+        what order, for any ``t``.  For leaves: the run's block ids.
         """
         model: dict = {}
         stack = [self.root_id] if self.root_id is not None else []
@@ -268,7 +268,7 @@ class ExternalIntervalTree:
             node_id = stack.pop()
             node = self.device.peek(node_id)
             if isinstance(node, _IntervalLeaf):
-                model[node_id] = (None, len(node.run))
+                model[node_id] = (None, list(node.run))
                 continue
             lo_last = [float(self.device.peek(b)[-1, 0]) for b in node.lo_run]
             hi_last_neg = [
@@ -276,9 +276,10 @@ class ExternalIntervalTree:
             ]
             model[node_id] = (
                 float(node.center),
-                len(node.lo_run),
                 lo_last,
                 hi_last_neg,
+                list(node.lo_run),
+                list(node.hi_run),
                 node.left,
                 node.right,
             )
@@ -286,6 +287,17 @@ class ExternalIntervalTree:
                 stack.append(node.left)
             if node.right is not None:
                 stack.append(node.right)
+        return model
+
+    def _stab_model_dict(self) -> dict:
+        if self.root_id is None:
+            raise IndexStateError("interval tree has not been built")
+        # getattr: trees unpickled from pre-model index files have no
+        # cache slot yet.
+        model = getattr(self, "_stab_model", None)
+        if model is None:
+            model = self._build_stab_model()
+            self._stab_model = model
         return model
 
     def modeled_stab_reads_many(self, ts: np.ndarray) -> np.ndarray:
@@ -298,14 +310,7 @@ class ExternalIntervalTree:
         """
         from bisect import bisect_right
 
-        if self.root_id is None:
-            raise IndexStateError("interval tree has not been built")
-        # getattr: trees unpickled from pre-model index files have no
-        # cache slot yet.
-        model = getattr(self, "_cost_model", None)
-        if model is None:
-            model = self._build_cost_model()
-            self._cost_model = model
+        model = self._stab_model_dict()
         out = np.zeros(len(ts), dtype=np.int64)
         for pos, t in enumerate(np.asarray(ts, dtype=np.float64).tolist()):
             reads = 0
@@ -314,9 +319,9 @@ class ExternalIntervalTree:
                 record = model[node_id]
                 reads += 1
                 if record[0] is None:
-                    reads += record[1]
+                    reads += len(record[1])
                     break
-                center, n_lo, lo_last, hi_last_neg, left, right = record
+                center, lo_last, hi_last_neg, _, _, left, right = record
                 if t < center:
                     # _collect_lo: full blocks (last lo <= t) plus the
                     # first partial one, if any block remains.
@@ -328,10 +333,48 @@ class ExternalIntervalTree:
                     reads += min(full + 1, len(hi_last_neg))
                     node_id = right
                 else:
-                    reads += n_lo
+                    reads += len(lo_last)
                     break
             out[pos] = reads
         return out
+
+    def modeled_stab_blocks(self, t: float) -> List[int]:
+        """The ordered block-id sequence :meth:`stab` would read at ``t``.
+
+        The same walk simulation as :meth:`modeled_stab_reads_many`,
+        but returning *which* blocks are touched (node block first,
+        then the run prefix, exactly the scalar read order) instead of
+        only how many.  The cache-aware batched query pipelines replay
+        this sequence through :meth:`~repro.storage.device.
+        BlockDevice.replay_reads`, so an attached LRU pool sees the
+        identical access stream — hence identical hits, charges, and
+        final contents — as the scalar per-query loop.
+        """
+        from bisect import bisect_right
+
+        model = self._stab_model_dict()
+        t = float(t)
+        blocks: List[int] = []
+        node_id: Optional[int] = self.root_id
+        while node_id is not None:
+            record = model[node_id]
+            blocks.append(node_id)
+            if record[0] is None:
+                blocks.extend(record[1])
+                break
+            center, lo_last, hi_last_neg, lo_run, hi_run, left, right = record
+            if t < center:
+                full = bisect_right(lo_last, t)
+                blocks.extend(lo_run[: min(full + 1, len(lo_run))])
+                node_id = left
+            elif t > center:
+                full = bisect_right(hi_last_neg, -t)
+                blocks.extend(hi_run[: min(full + 1, len(hi_run))])
+                node_id = right
+            else:
+                blocks.extend(lo_run)
+                break
+        return blocks
 
     # ------------------------------------------------------------------
     # updates

@@ -89,6 +89,35 @@ def exact3_topk_chunk(bounds: Tuple[int, int]) -> list:
     )
 
 
+def node_build_chunk(bounds: Tuple[int, int]) -> list:
+    """Built ranking methods for the shard databases ``[lo, hi)``.
+
+    Session state: ``(databases, factory)`` — the per-node shard
+    databases (forked copy-on-write on Linux) and a picklable method
+    factory (a method class, or a ``functools.partial`` binding its
+    parameters).  Index construction is deterministic per shard and
+    writes only to the method's own private device, so every backend
+    produces byte-identical structures; the coordinator re-binds each
+    returned method to its own shard database object.
+
+    Nested build fan-out is forced serial inside pool workers (a
+    worker opening its own pool under ``REPRO_EXECUTOR=process``
+    would stack pools without adding cores); PR 3's backend
+    equivalence keeps the built artifacts byte-identical either way.
+    """
+    from repro.parallel.executor import ParallelExecutor
+
+    lo, hi = bounds
+    databases, factory = worker_state()
+    methods = []
+    for index in range(lo, hi):
+        method = factory()
+        if hasattr(method, "executor"):
+            method.executor = ParallelExecutor("serial", 1)
+        methods.append(method.build(databases[index]))
+    return methods
+
+
 def bp2_cumulative_chunk(task: Tuple[float, int, int]) -> np.ndarray:
     """``C_i(t)`` for the object range ``[lo, hi)`` (CSR view kernel)."""
     t, lo, hi = task

@@ -192,6 +192,33 @@ class BlockDevice:
             self.stats.record_reads(misses)
         return payloads
 
+    def replay_reads(self, block_ids: Sequence[int]) -> None:
+        """Charge the IO and buffer-pool effects of reading each block.
+
+        Exactly what a loop of :meth:`read` would do to the counters
+        and the LRU state — one cache-hit count per cached block, one
+        read IO plus a pool insertion per uncached block — without
+        returning payloads.  This is the cache-aware companion of the
+        modeled-cost batched query pipelines: they compute answers
+        from the columnar kernel but *replay* the scalar path's block
+        access sequence here, so ``cache_blocks > 0`` configurations
+        keep identical hit/miss accounting and identical final pool
+        contents (asserted by the equivalence suites).
+        """
+        if self._cache is None:
+            for block_id in block_ids:
+                self._require(block_id)
+            self.stats.record_reads(len(block_ids))
+            return
+        for block_id in block_ids:
+            self._require(block_id)
+            hit = self._cache.get(block_id)
+            if hit is not _MISS:
+                self.stats.record_cache_hit()
+                continue
+            self.stats.record_read()
+            self._cache.put(block_id, self._blocks[block_id])
+
     def peek(self, block_id: int) -> Any:
         """Read a block *without* charging IOs or touching the cache.
 

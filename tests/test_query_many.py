@@ -223,6 +223,56 @@ def test_query_many_with_cache_matches_answers(db):
     assert all(a == b for a, b in zip(expected, got))
 
 
+@pytest.mark.parametrize("cache_blocks", [4, 32, 4096])
+def test_exact3_query_many_replays_lru_cache(db, cache_blocks):
+    """cache_blocks > 0 keeps batching: the scalar block access stream
+    is replayed through the pool, so hits, charges, and the final LRU
+    contents are identical to the scalar loop's."""
+    scalar = Exact3(cache_blocks=cache_blocks).build(db)
+    batched = Exact3(cache_blocks=cache_blocks).build(db)
+    t1s, t2s, ks = tricky_workload(db, count=40, seed=14)
+    expected = [
+        scalar.query(TopKQuery(float(a), float(b), int(k)))
+        for a, b, k in zip(t1s, t2s, ks)
+    ]
+    got = batched.query_many(np.stack([t1s, t2s, ks], axis=1))
+    assert all(a == b for a, b in zip(expected, got))
+    assert scalar.io_stats.reads == batched.io_stats.reads
+    assert scalar.io_stats.cache_hits == batched.io_stats.cache_hits
+    # Same blocks cached, in the same LRU recency order.
+    assert list(scalar._cache._entries.keys()) == list(
+        batched._cache._entries.keys()
+    )
+    # A follow-up scalar query therefore sees the same pool state.
+    probe = TopKQuery(float(t1s[9]) + 0.613, float(t2s[9]) + 1.741, 5)
+    before_a, before_b = scalar.io_stats.reads, batched.io_stats.reads
+    assert scalar.query(probe) == batched.query(probe)
+    assert (
+        scalar.io_stats.reads - before_a == batched.io_stats.reads - before_b
+    )
+
+
+def test_instant_tree_query_many_replays_lru_cache(db):
+    from repro.storage.cache import LRUCache
+
+    ts, ks = sample_instant_workload(db, count=40, kmax=KMAX, seed=15)
+    knots = db.store().knot_times
+    ts = np.concatenate([ts, knots[[7, 33]]])
+    ks = np.concatenate([ks, [4, 4]])
+    scalar = InstantIntervalTree().build(db)
+    scalar.device.set_cache(LRUCache(16))
+    batched = InstantIntervalTree().build(db)
+    batched.device.set_cache(LRUCache(16))
+    expected = [scalar.query(float(t), int(k)) for t, k in zip(ts, ks)]
+    got = batched.query_many(ts, ks)
+    assert all(a == b for a, b in zip(expected, got))
+    assert scalar.io_stats.reads == batched.io_stats.reads
+    assert scalar.io_stats.cache_hits == batched.io_stats.cache_hits
+    assert list(scalar.device._cache._entries.keys()) == list(
+        batched.device._cache._entries.keys()
+    )
+
+
 # ----------------------------------------------------------------------
 # workload plumbing and the successor model
 # ----------------------------------------------------------------------

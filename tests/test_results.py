@@ -40,6 +40,53 @@ class TestTopKResult:
         assert TopKResult().object_ids == []
 
 
+class TestLazyColumnarResult:
+    def test_from_columns_materializes_items_on_demand(self):
+        res = TopKResult.from_columns([4, 1], [9.0, 3.5])
+        # Columns answer length/ids/scores without building items.
+        assert len(res) == 2
+        assert res.object_ids == [4, 1]
+        assert res.scores == [9.0, 3.5]
+        assert res._items is None
+        assert res[0] == RankedItem(4, 9.0)
+        assert res._items is None  # single-rank access stays columnar
+        assert list(res) == [RankedItem(4, 9.0), RankedItem(1, 3.5)]
+        assert res._items is not None
+
+    def test_columnar_and_item_forms_compare_equal(self):
+        columnar = TopKResult.from_columns([2, 7], [5.0, 1.0])
+        itemized = TopKResult((RankedItem(2, 5.0), RankedItem(7, 1.0)))
+        assert columnar == itemized
+        assert itemized == columnar
+        assert not columnar != itemized
+        assert hash(columnar) == hash(itemized)
+        assert columnar != TopKResult.from_columns([2, 7], [5.0, 2.0])
+        assert columnar != TopKResult.from_columns([2], [5.0])
+
+    def test_truncated_and_slices(self):
+        res = TopKResult.from_columns([3, 1, 8], [7.0, 6.0, 5.0])
+        assert res.truncated(2) == TopKResult.from_columns([3, 1], [7.0, 6.0])
+        assert res[1:] == (RankedItem(1, 6.0), RankedItem(8, 5.0))
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        for res in (
+            TopKResult.from_columns([5, 2], [4.0, 3.0]),
+            TopKResult((RankedItem(5, 4.0), RankedItem(2, 3.0))),
+            TopKResult(),
+        ):
+            clone = pickle.loads(pickle.dumps(res))
+            assert clone == res
+            assert clone.items == res.items
+
+    def test_mutating_returned_lists_does_not_corrupt(self):
+        res = TopKResult.from_columns([1, 2], [2.0, 1.0])
+        ids = res.object_ids
+        ids.append(99)
+        assert res.object_ids == [1, 2]
+
+
 class TestSelectTopK:
     def test_basic(self):
         res = select_top_k([(1, 1.0), (2, 3.0), (3, 2.0)], 2)
