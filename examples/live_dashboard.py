@@ -1,56 +1,104 @@
-"""Live dashboard: continuous top-k over a sliding window.
+"""Live dashboard, served: concurrent widgets over the serving tier.
 
-Builds on the Section 4 update machinery: readings stream in, the
-monitor keeps the trailing-window aggregate top-k current and emits
-entered/left events — the kind of "top stations in the last 24h"
-widget the paper's weather scenario implies.
+The PR-6 demo client for ``repro.serving``: a dashboard page holds
+many widgets ("top stations over the last hour / day / week"), each
+an independent client polling ``top_k`` at its own cadence.  All of
+them talk to one :class:`~repro.serving.ServingCoordinator`, which
+queues the single-query requests and flushes adaptive micro-batches
+through the engine's batched pipeline — identical widgets hit the
+epoch-guarded result cache, near-simultaneous distinct widgets share
+a batch.  Meanwhile a feed task appends fresh readings; every append
+bumps the engine epoch, so cached widget answers silently expire and
+the next poll recomputes (never a stale frame).
 
-Run:  python examples/live_dashboard.py
+Headless and offline by default (prints a transcript, seconds-scale,
+no network, no display) so CI can smoke it.
+
+Run:  PYTHONPATH=src python examples/live_dashboard.py
 """
 
 from __future__ import annotations
 
+import asyncio
+
 import numpy as np
 
 from repro import generate_temp
-from repro.streaming import SlidingWindowMonitor
+from repro.engine import TemporalRankingEngine
+from repro.serving import EngineBackend, ServingCoordinator
+
+#: (label, trailing-window fraction of the domain) per dashboard widget.
+WIDGETS = [
+    ("last-hour", 0.02),
+    ("last-day", 0.10),
+    ("last-week", 0.45),
+    ("last-day-dup", 0.10),  # a second copy of the day widget: cache food
+]
+
+POLLS_PER_WIDGET = 12
+K = 5
 
 
-def main() -> None:
-    db = generate_temp(num_objects=120, avg_readings=40, seed=23)
-    span = db.t_max - db.t_min
-    window = span * 0.05
-    monitor = SlidingWindowMonitor(db, window=window, k=5)
-    print(f"database: {db}")
-    print(f"window: trailing {window:.0f} time units, k = 5\n")
+async def widget_client(coordinator, db, label, fraction, log):
+    """One dashboard widget: poll its trailing window top-k."""
+    rng = np.random.default_rng(abs(hash(label)) % (2**32))
+    window = (db.t_max - db.t_min) * fraction
+    for _ in range(POLLS_PER_WIDGET):
+        result = await coordinator.top_k(db.t_max - window, db.t_max, K)
+        log[label] = list(result.object_ids)
+        # Poisson-ish think time between polls (open UI, human pace).
+        await asyncio.sleep(float(rng.exponential(0.004)))
 
-    rng = np.random.default_rng(3)
+
+async def feed_task(engine, db):
+    """The live feed: appends keep arriving while widgets poll."""
+    rng = np.random.default_rng(7)
     now = db.t_max
-    step = span / 400
-    changes = 0
-    for round_no in range(60):
+    step = (db.t_max - db.t_min) / 400
+    for _ in range(8):
+        await asyncio.sleep(0.006)
         now += step
-        # A heat wave: stations 0-9 report every round, far above the
-        # climate norm; others tick at their usual levels.
-        if round_no % 2 == 0:
-            station = int(rng.integers(0, 10))
-            reading = float(rng.uniform(380, 420))
-        else:
-            station = int(rng.integers(10, 120))
-            reading = float(rng.uniform(280, 310))
-        change = monitor.tick(station, now, reading)
-        if change.changed and round_no > 0:
-            changes += 1
-            if change.entered:
-                print(f"t={change.time:12.0f}  entered top-5: {change.entered}")
-            if change.left:
-                print(f"t={change.time:12.0f}  left    top-5: {change.left}")
-    final = monitor.current()
-    print(f"\n{changes} composition changes over 60 ticks")
-    print(f"final top-5: {final.object_ids}")
-    hot = [i for i in final.object_ids if i < 10]
-    print(f"({len(hot)}/5 are the artificially warmed stations 0-9)")
+        station = int(rng.integers(0, 10))
+        reading = float(rng.uniform(380, 420))  # a heat wave
+        engine.append(station, now, reading)
+
+
+async def main() -> None:
+    db = generate_temp(num_objects=120, avg_readings=40, seed=23)
+    engine = TemporalRankingEngine(db, kmax=50)
+    coordinator = ServingCoordinator(
+        EngineBackend(engine), max_batch=32, max_delay=0.002
+    )
+    print(f"database: {db}")
+    print(f"widgets: {[label for label, _ in WIDGETS]}, k = {K}\n")
+
+    log: dict = {}
+    async with coordinator:
+        await asyncio.gather(
+            feed_task(engine, db),
+            *[
+                widget_client(coordinator, db, label, fraction, log)
+                for label, fraction in WIDGETS
+            ],
+        )
+
+    for label, _ in WIDGETS:
+        print(f"{label:>14}: top-{K} = {log[label]}")
+    stats = coordinator.stats
+    cache = coordinator.cache.stats
+    print(
+        f"\nserved {stats.requests} widget polls in {stats.batches} "
+        f"micro-batches (mean {stats.mean_batch:.1f}/batch)"
+    )
+    print(
+        f"result cache: {cache.hits} hits, {cache.stale} expired by "
+        f"appends (epoch bumps), {stats.deduped} deduped in-batch"
+    )
+    assert stats.requests == POLLS_PER_WIDGET * len(WIDGETS)
+    # The feed appended mid-run, so at least one cached frame expired.
+    assert cache.stale > 0, "expected append epochs to expire cached frames"
+    print("every answer recomputed-or-cached at the current epoch: OK")
 
 
 if __name__ == "__main__":
-    main()
+    asyncio.run(main())

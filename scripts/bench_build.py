@@ -30,9 +30,10 @@ from different machines/backends stay distinguishable before
 normalization.  With ``--baseline`` the run is compared against the
 committed trajectory entry whose config matches; the script exits
 nonzero when any batched build time regresses by more than
-``--max-regression`` x (parallel timings are recorded but not gated —
-they depend on the host's core count).  Output is a single JSON
-object on stdout.
+``--max-regression`` x.  Parallel fan-out timings are gated only when
+both the baseline's host and the current host are multi-core; on a
+1-core host they measure pool overhead, so the gate skips them with
+an explicit flag.  Output is a single JSON object on stdout.
 """
 
 from __future__ import annotations
@@ -72,6 +73,23 @@ GATED_KEYS = (
 GATED_RATIOS = (
     "query1_speedup",
     "bp2_speedup",
+)
+
+#: Multi-core fan-out keys: gated only when BOTH the baseline's host
+#: and the current host have more than one core.  On a 1-core host
+#: these timings measure executor pool overhead, not fan-out, so the
+#: gate skips them with an explicit flag instead of silently holding
+#: future runs to an overhead measurement.
+PARALLEL_GATED_KEYS = (
+    "query1_parallel_s",
+    "query2_parallel_s",
+    "bp2_parallel_s",
+)
+
+PARALLEL_GATED_RATIOS = (
+    "query1_parallel_speedup",
+    "query2_parallel_speedup",
+    "bp2_parallel_speedup",
 )
 
 
@@ -172,7 +190,11 @@ def run_point(
 
 def check_baseline(report, path, max_regression) -> int:
     """Compare against the matching committed entry; 0 when OK."""
-    from repro.bench.gating import compare_results, find_baseline_entry
+    from repro.bench.gating import (
+        compare_results,
+        find_baseline_entry,
+        single_core_host,
+    )
 
     with open(path) as handle:
         history = json.load(handle)
@@ -183,6 +205,26 @@ def check_baseline(report, path, max_regression) -> int:
             file=sys.stderr,
         )
         return 0
+    gate_parallel = not (
+        single_core_host(report.get("host"))
+        or single_core_host(baseline.get("host", {}))
+    )
+    gated_keys = GATED_KEYS + (PARALLEL_GATED_KEYS if gate_parallel else ())
+    gated_ratios = GATED_RATIOS + (
+        PARALLEL_GATED_RATIOS if gate_parallel else ()
+    )
+    has_parallel = any(
+        key in point
+        for points in (baseline["results"], report["results"])
+        for point in points
+        for key in PARALLEL_GATED_KEYS
+    )
+    if has_parallel and not gate_parallel:
+        print(
+            "parallel points: gating SKIPPED (1-core host on one side — "
+            "the timings measure executor pool overhead, not fan-out)",
+            file=sys.stderr,
+        )
     failures = []
     base_points = {p["r"]: p for p in baseline["results"]}
     for point in report["results"]:
@@ -191,7 +233,7 @@ def check_baseline(report, path, max_regression) -> int:
             continue
         failures.extend(
             compare_results(
-                base, point, GATED_KEYS, GATED_RATIOS, max_regression,
+                base, point, gated_keys, gated_ratios, max_regression,
                 label=f"r={point['r']} ",
             )
         )

@@ -108,7 +108,11 @@ def measure_instant(engine, ts, ks, repeats: int) -> dict:
 
 def check_baseline(report, path, max_regression) -> int:
     """Compare against the matching committed entry; 0 when OK."""
-    from repro.bench.gating import compare_results, find_baseline_entry
+    from repro.bench.gating import (
+        compare_results,
+        find_baseline_entry,
+        single_core_host,
+    )
 
     with open(path) as handle:
         history = json.load(handle)
@@ -116,6 +120,17 @@ def check_baseline(report, path, max_regression) -> int:
     if baseline is None:
         print(
             f"baseline: no entry in {path} matches this config; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    base_workers = baseline.get("executor", {}).get("workers", 1)
+    if base_workers > 1 and single_core_host(report.get("host")):
+        # The baseline's EXACT3 fan-out point came from a multi-core
+        # host; on this 1-core host the same config measures pool
+        # overhead, so gating against it would be apples-to-oranges.
+        print(
+            "baseline: recorded with a multi-worker executor but this "
+            "host is 1-core; gating SKIPPED (pool overhead, not fan-out)",
             file=sys.stderr,
         )
         return 0

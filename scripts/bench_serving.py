@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Serving-tier SLO bench: throughput and latency vs offered load.
+
+Drives the asyncio serving coordinator with a seeded open-loop
+Poisson arrival stream (``repro.serving.loadgen``) at several offered
+rates and records, per rate, both serving disciplines:
+
+* direct — batch=1 per-request execution (one backend call per
+  arrival through a single worker thread), the pre-serving baseline;
+* micro — the :class:`~repro.serving.ServingCoordinator`'s adaptive
+  micro-batching with in-flight pipelining (result cache disabled, so
+  the comparison isolates exactly what batching buys).
+
+Each point reports achieved throughput and p50/p99 latency (measured
+against the *scheduled* arrival, so queueing under overload counts),
+plus the in-run ``speedup`` ratio (micro/direct throughput, which
+normalizes away host speed).  Answers from both disciplines are
+asserted bit-identical to one direct ``serve_many`` pass over the
+workload — the serving tier must never change an answer.
+
+The backend is the single-node APPX2+ engine (the paper's recommended
+approximate method); at offered rates beyond the direct discipline's
+saturation point, micro-batching sustains several times the
+throughput (``--require-speedup`` enforces a floor when recording).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serving.py [--m 1000]
+        [--navg 60] [--r 200] [--kmax 50] [--qk 20] [--count 600]
+        [--rates 1000,4000,16000] [--seed 0] [--smoke]
+        [--max-batch 128] [--max-delay 0.002]
+        [--require-speedup 0] [--baseline BENCH_serving.json]
+        [--max-regression 2.0]
+
+``--smoke`` shrinks every dimension so CI can run in a few seconds.
+With ``--baseline`` the run is compared against the committed
+trajectory entry whose config matches; the script exits nonzero when
+an in-run speedup ratio regresses by more than ``--max-regression`` x.
+Output is one JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+#: No absolute wall clocks are gated: open-loop run durations are set
+#: by the offered schedule, and latencies on shared runners are noise.
+GATED_KEYS = ()
+
+#: In-run micro/direct throughput ratio per offered-load point.
+GATED_RATIOS = ("speedup",)
+
+
+def run_point(backend, plan, max_batch, max_delay, direct_reference):
+    """One offered-load point: direct and micro runs plus equivalence."""
+    from repro.serving import (
+        DirectClient,
+        ServingCoordinator,
+        run_open_loop,
+    )
+
+    async def drive():
+        coordinator = ServingCoordinator(
+            backend,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            cache_size=0,
+        )
+        async with coordinator:
+            micro = await run_open_loop(coordinator, plan)
+        async with DirectClient(backend) as client:
+            direct = await run_open_loop(client, plan)
+        return micro, direct, coordinator.stats
+
+    micro, direct, stats = asyncio.run(drive())
+    for name, result in (("micro", micro), ("direct", direct)):
+        if any(a != b for a, b in zip(result.answers, direct_reference)):
+            raise AssertionError(
+                f"{name} serving answers diverged from direct query_many"
+            )
+    return {
+        "offered_rate": float(plan.rate),
+        "requests": len(plan),
+        "direct_qps": direct.throughput,
+        "direct_p50_ms": direct.p50 * 1e3,
+        "direct_p99_ms": direct.p99 * 1e3,
+        "direct_duration_s": direct.duration,
+        "micro_qps": micro.throughput,
+        "micro_p50_ms": micro.p50 * 1e3,
+        "micro_p99_ms": micro.p99 * 1e3,
+        "micro_duration_s": micro.duration,
+        "micro_batches": stats.batches,
+        "micro_mean_batch": stats.mean_batch,
+        "micro_max_batch": stats.max_batch,
+        "speedup": micro.throughput / max(direct.throughput, 1e-12),
+    }
+
+
+def check_baseline(report, path, max_regression) -> int:
+    """Compare against the matching committed entry; 0 when OK."""
+    from repro.bench.gating import compare_results, find_baseline_entry
+
+    with open(path) as handle:
+        history = json.load(handle)
+    baseline = find_baseline_entry(history, report["config"])
+    if baseline is None:
+        print(
+            f"baseline: no entry in {path} matches this config; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    failures = []
+    for name, point in report["results"].items():
+        base = baseline["results"].get(name)
+        if base is None:
+            continue
+        failures.extend(
+            compare_results(
+                base, point, GATED_KEYS, GATED_RATIOS, max_regression,
+                label=f"{name} ",
+            )
+        )
+    for line in failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=1000, help="objects")
+    parser.add_argument("--navg", type=int, default=60, help="avg readings")
+    parser.add_argument("--r", type=int, default=200, help="breakpoint budget")
+    parser.add_argument("--kmax", type=int, default=50, help="engine kmax")
+    parser.add_argument(
+        "--qk", type=int, default=20, help="max per-query k in the workload"
+    )
+    parser.add_argument(
+        "--count", type=int, default=600, help="requests per offered rate"
+    )
+    parser.add_argument(
+        "--rates",
+        type=str,
+        default="1000,4000,16000",
+        help="comma-separated offered loads (requests/second), ascending",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=128)
+    parser.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.002,
+        help="micro-batch accumulation deadline, seconds",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the saturating-load micro/direct throughput "
+        "ratio reaches this (e.g. 3.0 when recording trajectory entries)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="committed BENCH_serving.json to compare this run against",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.m = min(args.m, 200)
+        args.navg = min(args.navg, 25)
+        args.r = min(args.r, 30)
+        args.kmax = min(args.kmax, 30)
+        args.qk = min(args.qk, 10)
+        args.count = min(args.count, 200)
+    rates = sorted(float(rate) for rate in args.rates.split(","))
+
+    from repro.approximate.methods import Appx2Plus
+    from repro.bench.gating import host_metadata
+    from repro.datasets import generate_temp
+    from repro.engine import TemporalRankingEngine
+    from repro.serving import EngineBackend
+    from repro.serving.loadgen import plan_poisson_load
+
+    database = generate_temp(
+        num_objects=args.m, avg_readings=args.navg, seed=args.seed
+    )
+    engine = TemporalRankingEngine(database, kmax=args.kmax)
+    # Bind the approximate index to the r budget (matches bench_query's
+    # shape) and build it now so no load point pays the lazy build.
+    engine._approximate = Appx2Plus(r=args.r, kmax=args.kmax).build(database)
+    backend = EngineBackend(engine, approximate=True)
+
+    results = {}
+    for rate in rates:
+        plan = plan_poisson_load(
+            database,
+            count=args.count,
+            rate=rate,
+            kmax=args.qk,
+            seed=args.seed,
+        )
+        reference = backend.serve_many(
+            plan.batch.t1s, plan.batch.t2s, plan.batch.ks
+        )
+        results[f"rate_{int(rate)}"] = run_point(
+            backend, plan, args.max_batch, args.max_delay, reference
+        )
+
+    saturated = results[f"rate_{int(rates[-1])}"]
+    report = {
+        "bench": "serving",
+        "config": {
+            "m": args.m,
+            "navg": args.navg,
+            "r": args.r,
+            "kmax": args.kmax,
+            "qk": args.qk,
+            "count": args.count,
+            "rates": rates,
+            "max_batch": args.max_batch,
+            "max_delay": args.max_delay,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "host": host_metadata(),
+        "backend": backend.name,
+        "saturated_speedup": saturated["speedup"],
+        "results": results,
+    }
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    status = 0
+    if args.require_speedup and saturated["speedup"] < args.require_speedup:
+        print(
+            f"SPEEDUP FLOOR: saturating-load micro/direct ratio "
+            f"{saturated['speedup']:.2f}x < required "
+            f"{args.require_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.baseline is not None:
+        status = max(status, check_baseline(
+            report, args.baseline, args.max_regression
+        ))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -337,13 +337,15 @@ class DyadicIndex:
         """The whole segment tree as in-memory walk metadata (cached).
 
         Maps each node block id to ``(lo, hi, left, right, ids, vals,
-        stored_count)`` where ``ids``/``vals`` are the node's *full*
-        top list materialized once (inline rows or the concatenation
-        of its packed list blocks) and ``stored_count`` is the stored
-        list length (``None`` for inline nodes, whose list costs no
-        extra IO).  Fetched with :meth:`BlockDevice.peek`: the batched
-        pipeline dedups physical payload access across the workload
-        and charges the scalar walk's IOs analytically instead.
+        stored_count, stored_blocks)`` where ``ids``/``vals`` are the
+        node's *full* top list materialized once (inline rows or the
+        concatenation of its packed list blocks) and ``stored_count``/
+        ``stored_blocks`` are the stored list's length and block ids
+        (``None`` for inline nodes, whose list costs no extra IO).
+        Fetched with :meth:`BlockDevice.peek`: the batched pipeline
+        dedups physical payload access across the workload and charges
+        the scalar walk's IOs analytically (or replays them through
+        the buffer pool) instead.
         """
         cached = getattr(self, "_topo_cache", None)
         if cached is not None:
@@ -356,14 +358,16 @@ class DyadicIndex:
             if node.inline_rows is not None:
                 ids, vals = node.inline_rows
                 stored_count = None
+                stored_blocks = None
             else:
                 ids, vals = StoredTopList.decode_pieces(
                     [self.device.peek(b) for b in node.top_list.block_ids]
                 )
                 stored_count = node.top_list.count
+                stored_blocks = node.top_list.block_ids
             topology[node_id] = (
                 node.lo, node.hi, node.left, node.right,
-                ids, vals, stored_count,
+                ids, vals, stored_count, stored_blocks,
             )
             if node.left is not None:
                 stack.append(node.left)
@@ -372,12 +376,15 @@ class DyadicIndex:
         self._topo_cache = topology
         return topology
 
-    def _simulate_decompose(self, j1: int, j2: int) -> Tuple[List[int], int]:
+    def _simulate_decompose(
+        self, j1: int, j2: int
+    ) -> Tuple[List[int], List[int]]:
         """Replay :meth:`decompose`'s walk on the cached topology.
 
         Returns the covered node ids in the exact order the walk
-        appends them, plus the number of nodes it reads (every popped
-        node, covered or not — the scalar walk charges each).
+        appends them, plus every node id it reads in pop order
+        (covered or not — the scalar walk charges each; the LRU
+        replay path streams them through the pool in this order).
         Memoized per snapped pair: serving workloads revisit pairs.
         """
         cache = getattr(self, "_decomp_cache", None)
@@ -389,11 +396,11 @@ class DyadicIndex:
             return hit
         topology = self._topology()
         covered: List[int] = []
-        visited = 0
+        visited: List[int] = []
         stack = [self.root_id]
         while stack:
             node_id = stack.pop()
-            visited += 1
+            visited.append(node_id)
             lo, hi, left, right = topology[node_id][:4]
             if hi <= j1 or lo >= j2:
                 continue
@@ -429,7 +436,7 @@ class DyadicIndex:
                 int(key) // span, int(key) % span
             )
             covered_unique.append(covered)
-            visited_unique[pos] = visited
+            visited_unique[pos] = len(visited)
         return (
             [covered_unique[i] for i in inverse],
             visited_unique[inverse],
@@ -448,15 +455,17 @@ class DyadicIndex:
         float-associativity-identical to the per-query loop.  Node
         payloads are fetched once per touched node; the IO charge per
         query is exactly the scalar walk + list reads, committed in
-        bulk.  Falls back to the scalar loop when a buffer pool is
-        attached or the snap tree left bulk form.
+        bulk — or, when a buffer pool is attached, replayed through
+        the pool in scalar per-query order so hit counts and LRU
+        state match the scalar loop exactly.  Falls back to the
+        scalar loop when the snap tree left bulk form.
         """
         if ks.size and int(ks.max()) > self.kmax:
             raise InvalidQueryError(
                 f"k={int(ks.max())} exceeds kmax={self.kmax}"
             )
         empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
-        if self.device.has_cache or not supports_model(self.snap_tree):
+        if not supports_model(self.snap_tree):
             pools = []
             for t1, t2, k in zip(t1s, t2s, ks):
                 pool = self.candidates(float(t1), float(t2), int(k))
@@ -468,12 +477,16 @@ class DyadicIndex:
                 else:
                     pools.append(empty)
             return pools
+        replay = self.device.has_cache
         j1s, j2s, valid, snap_reads = self.snap_indices_many(t1s, t2s)
         total_reads = int(snap_reads.sum())
         pools = [empty] * int(t1s.size)
         valid_idx = np.flatnonzero(valid)
         if valid_idx.size == 0:
-            self.device.stats.record_reads(total_reads)
+            if replay:
+                self._replay_scalar_reads(t1s, t2s, j1s, j2s, valid, ks)
+            else:
+                self.device.stats.record_reads(total_reads)
             return pools
         covered_lists, walk_reads = self.decompose_many(
             j1s[valid_idx], j2s[valid_idx]
@@ -507,13 +520,58 @@ class DyadicIndex:
                     reads += max(1, -(-min(k, stored_count) // cap))
             list_reads[tpos] = reads
         total_reads += int(list_reads[triple_inverse].sum())
-        self.device.stats.record_reads(total_reads)
+        if replay:
+            self._replay_scalar_reads(t1s, t2s, j1s, j2s, valid, ks)
+        else:
+            self.device.stats.record_reads(total_reads)
         triple_pools = self._accumulate_streams(
             segment_ids, segment_vals, segment_triple, unique_triples.size
         )
         for pos, idx in enumerate(valid_idx):
             pools[int(idx)] = triple_pools[triple_inverse[pos]]
         return pools
+
+    def _replay_scalar_reads(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        j1s: np.ndarray,
+        j2s: np.ndarray,
+        valid: np.ndarray,
+        ks: np.ndarray,
+    ) -> None:
+        """Stream the scalar per-query block reads through the pool.
+
+        Replays, for each query in workload order, exactly the block
+        sequence the scalar :meth:`candidates` touches: both snap-tree
+        successor walks (always), then — for non-degenerate snaps —
+        every segment-tree node :meth:`decompose` pops (pop order) and
+        the top-``k`` prefix blocks of each covered node's stored
+        list.  :meth:`BlockDevice.replay_reads` charges misses and
+        records hits exactly like :meth:`BlockDevice.read`, so IO
+        totals, hit counts, and LRU pool state land identical to the
+        scalar loop while answers still come from the peeked payloads.
+        """
+        topology = self._topology()
+        cap = StoredTopList.capacity(self.device)
+        for idx in range(int(t1s.size)):
+            blocks1, _ = self.snap_tree.successor_with_blocks(float(t1s[idx]))
+            self.device.replay_reads(blocks1)
+            blocks2, _ = self.snap_tree.successor_with_blocks(float(t2s[idx]))
+            self.device.replay_reads(blocks2)
+            if not valid[idx]:
+                continue
+            covered, visited = self._simulate_decompose(
+                int(j1s[idx]), int(j2s[idx])
+            )
+            self.device.replay_reads(visited)
+            k = int(ks[idx])
+            for node_id in covered:
+                stored_count, stored_blocks = topology[node_id][6:8]
+                if stored_count is None:
+                    continue
+                needed = max(1, -(-min(k, stored_count) // cap))
+                self.device.replay_reads(stored_blocks[:needed])
 
     @staticmethod
     def _accumulate_streams(

@@ -209,17 +209,20 @@ class NestedPairIndex:
         snapped to the same ``(pair, k)``.  Per query, the IO charge
         is exactly the scalar path's: both descents (the second only
         when the scalar path takes it) plus ``ceil(min(k, count)/B)``
-        list-block reads.  Falls back to the scalar loop under a
-        buffer pool or insert-touched trees.
+        list-block reads.  With a buffer pool attached the batch keeps
+        its deduped answer construction and *replays* the scalar
+        loop's block access stream per query (see
+        :meth:`_query_many_replay`); insert-touched trees fall back to
+        the scalar loop.
         """
         if ks.size and int(ks.max()) > self.kmax:
             raise InvalidQueryError(
                 f"k={int(ks.max())} exceeds kmax={self.kmax}"
             )
-        modelable = (
-            not self.device.has_cache
-            and supports_model(self.top_tree)
-            and all(supports_model(t) for t in self._subtrees.values())
+        if self.device.has_cache:
+            return self._query_many_replay(t1s, t2s, ks)
+        modelable = supports_model(self.top_tree) and all(
+            supports_model(t) for t in self._subtrees.values()
         )
         if not modelable:
             return [
@@ -274,6 +277,62 @@ class NestedPairIndex:
                 answers[key] = answer
             results[int(idx)] = answer
         self.device.stats.record_reads(total_reads)
+        return results
+
+    def _query_many_replay(
+        self, t1s: np.ndarray, t2s: np.ndarray, ks: np.ndarray
+    ) -> List[TopKResult]:
+        """Cache-aware batch: shared answers, scalar block stream.
+
+        Answers are still built once per distinct ``(pair, k)`` from
+        payloads peeked off the device, but the IO and buffer-pool
+        effects of every query are *replayed* in scalar order — both
+        successor walks (simulated on the real nodes, so insert-grown
+        trees are handled too) and the list-block reads — through
+        :meth:`~repro.storage.device.BlockDevice.replay_reads`.  Hits,
+        read charges, and the final LRU contents are identical to
+        looping :meth:`query`.
+        """
+        times = self.breakpoints.times
+        list_cap = StoredTopList.capacity(self.device)
+        results: List[TopKResult] = []
+        answers: Dict[Tuple[int, int, int], TopKResult] = {}
+        lists: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        for t1, t2, k in zip(t1s, t2s, ks):
+            t1, t2, k = float(t1), float(t2), int(k)
+            blocks, hit = self.top_tree.successor_with_blocks(t1)
+            self.device.replay_reads(blocks)
+            if hit is None:
+                results.append(TopKResult())
+                continue
+            j1 = int(hit[1][0])
+            if t2 <= times[j1]:
+                results.append(TopKResult())
+                continue
+            blocks2, hit2 = self._subtrees[j1].successor_with_blocks(t2)
+            self.device.replay_reads(blocks2)
+            if hit2 is None:
+                results.append(TopKResult())
+                continue
+            j2 = int(hit2[1][0])
+            if j2 <= j1:
+                results.append(TopKResult())
+                continue
+            pair = (j1, j2)
+            stored = self._lists[pair]
+            needed = max(1, -(-min(k, stored.count) // list_cap))
+            self.device.replay_reads(stored.block_ids[:needed])
+            key = (j1, j2, k)
+            answer = answers.get(key)
+            if answer is None:
+                payload = lists.get(pair)
+                if payload is None:
+                    payload = self._peek_list(stored)
+                    lists[pair] = payload
+                ids, scores = payload
+                answer = top_k_from_arrays(ids[:k], scores[:k], k)
+                answers[key] = answer
+            results.append(answer)
         return results
 
     def _subtree_heights(self) -> np.ndarray:

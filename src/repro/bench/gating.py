@@ -39,6 +39,20 @@ def host_metadata() -> dict:
     }
 
 
+def single_core_host(host: Optional[dict] = None) -> bool:
+    """True when the host (recorded or current) has a single core.
+
+    Parallel bench points on such hosts measure executor pool
+    overhead, not fan-out speedup, so gates must skip (and flag) them
+    rather than silently hold future runs to an overhead measurement
+    — the PR 3 caveat made explicit.  Pass a recorded ``host`` block
+    from a trajectory entry to test the baseline's machine; default is
+    the current host.
+    """
+    meta = host if host is not None else host_metadata()
+    return int(meta.get("cpu_count") or 1) < 2
+
+
 def find_baseline_entry(
     history, config: dict
 ) -> Optional[dict]:

@@ -157,6 +157,37 @@ class BPlusTree:
             pos = 0
         return float(leaf.keys[pos]), leaf.values[pos]
 
+    def successor_with_blocks(
+        self, key: float
+    ) -> Tuple[list, Optional[Tuple[float, np.ndarray]]]:
+        """The :meth:`successor` walk simulated with uncharged peeks.
+
+        Returns ``(blocks, hit)``: the ordered block-id sequence the
+        scalar walk reads (root-to-leaf descent plus any next-leaf
+        hops) and the successor entry (``None`` past the end).  The
+        cache-aware batched query pipelines replay ``blocks`` through
+        :meth:`~repro.storage.device.BlockDevice.replay_reads`, so an
+        attached LRU pool sees the identical access stream — hence
+        identical hits, charges, and final contents — as the scalar
+        per-query loop.  Valid for any tree shape (the walk is
+        simulated on the real nodes, not modeled).
+        """
+        self._require_built()
+        blocks = [self.root_id]
+        node = self.device.peek(self.root_id)
+        while isinstance(node, InternalNode):
+            child_id = node.children[node.child_index_for(key)]
+            blocks.append(child_id)
+            node = self.device.peek(child_id)
+        pos = int(np.searchsorted(node.keys, key, side="left"))
+        while pos >= node.num_entries:
+            if node.next_leaf is None:
+                return blocks, None
+            blocks.append(node.next_leaf)
+            node = self.device.peek(node.next_leaf)
+            pos = 0
+        return blocks, (float(node.keys[pos]), node.values[pos])
+
     def predecessor_or_equal(self, key: float) -> Optional[Tuple[float, np.ndarray]]:
         """Last entry ``(k, value_row)`` with ``k <= key``; None if before start."""
         leaf_id, leaf, _ = self._descend_to_leaf(key)

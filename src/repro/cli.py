@@ -239,6 +239,124 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve top-k requests through the micro-batching coordinator.
+
+    Requests come from ``--demo N`` (a seeded sampled workload) or
+    from stdin, one ``t1 t2 k`` triple per line.  Answers are printed
+    per request; micro-batching statistics follow.
+    """
+    import asyncio
+
+    from repro.engine import TemporalRankingEngine
+    from repro.serving import EngineBackend, ServingCoordinator
+
+    db = load_index(args.database)
+    if not isinstance(db, TemporalDatabase):
+        raise SystemExit(f"{args.database} does not contain a database")
+    engine = TemporalRankingEngine(db, kmax=args.kmax)
+    backend = EngineBackend(engine, approximate=args.approximate)
+    if args.demo:
+        batch = sample_workload(
+            db, count=args.demo, kmax=min(args.kmax, 10), seed=args.seed
+        )
+        requests = [
+            (float(t1), float(t2), int(k))
+            for t1, t2, k in zip(batch.t1s, batch.t2s, batch.ks)
+        ]
+    else:
+        requests = []
+        for line in sys.stdin:
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 3:
+                raise SystemExit(f"expected 't1 t2 k', got {line.rstrip()!r}")
+            requests.append((float(parts[0]), float(parts[1]), int(parts[2])))
+    if not requests:
+        print("no requests")
+        return 0
+
+    async def run():
+        coordinator = ServingCoordinator(
+            backend, max_batch=args.max_batch, max_delay=args.max_delay
+        )
+        async with coordinator:
+            answers = await asyncio.gather(*[
+                coordinator.top_k(t1, t2, k) for t1, t2, k in requests
+            ])
+        return coordinator, answers
+
+    coordinator, answers = asyncio.run(run())
+    for (t1, t2, k), result in zip(requests, answers):
+        tops = ", ".join(
+            f"{item.object_id}:{item.score:.6g}" for item in result
+        )
+        print(f"top-{k}({t1:g}, {t2:g}) -> [{tops}]")
+    stats = coordinator.stats
+    print(
+        f"served {stats.requests} requests in {stats.batches} micro-batches "
+        f"(mean {stats.mean_batch:.1f}/batch, {stats.cache_hits} cache "
+        f"hits, {stats.deduped} deduped)"
+    )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop Poisson load against the serving tier (SLO numbers)."""
+    import asyncio
+
+    from repro.engine import TemporalRankingEngine
+    from repro.serving import DirectClient, EngineBackend, ServingCoordinator
+    from repro.serving.loadgen import plan_poisson_load, run_open_loop
+
+    db = load_index(args.database)
+    if not isinstance(db, TemporalDatabase):
+        raise SystemExit(f"{args.database} does not contain a database")
+    engine = TemporalRankingEngine(db, kmax=args.kmax)
+    backend = EngineBackend(engine, approximate=args.approximate)
+    t1, t2 = db.span
+    # Warm any lazily built index outside the measured runs.
+    engine.top_k(t1, t2, 1, approximate=args.approximate)
+    status = 0
+    for rate_text in args.rates.split(","):
+        rate = float(rate_text)
+        plan = plan_poisson_load(
+            db, count=args.count, rate=rate, kmax=args.qk, seed=args.seed
+        )
+
+        async def run():
+            outcomes = {}
+            if args.mode in ("micro", "both"):
+                coordinator = ServingCoordinator(
+                    backend,
+                    max_batch=args.max_batch,
+                    max_delay=args.max_delay,
+                )
+                async with coordinator:
+                    outcomes["micro"] = await run_open_loop(coordinator, plan)
+            if args.mode in ("direct", "both"):
+                async with DirectClient(backend) as client:
+                    outcomes["direct"] = await run_open_loop(client, plan)
+            return outcomes
+
+        outcomes = asyncio.run(run())
+        for mode, result in outcomes.items():
+            summary = result.summary()
+            print(
+                f"rate {rate:9,.0f}/s {mode:>6}: "
+                f"{summary['throughput_qps']:10,.0f} qps  "
+                f"p50 {summary['p50_ms']:8.2f} ms  "
+                f"p99 {summary['p99_ms']:8.2f} ms"
+            )
+        if len(outcomes) == 2:
+            speedup = outcomes["micro"].throughput / max(
+                outcomes["direct"].throughput, 1e-12
+            )
+            print(f"  micro/direct speedup {speedup:.2f}x")
+    return status
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     payload = load_index(args.path)
     if isinstance(payload, TemporalDatabase):
@@ -346,6 +464,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_options(p_cluster)
     p_cluster.set_defaults(func=cmd_cluster)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve top-k requests through the micro-batching coordinator",
+    )
+    p_serve.add_argument("database")
+    p_serve.add_argument(
+        "--demo",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve N sampled demo requests instead of reading stdin",
+    )
+    p_serve.add_argument(
+        "--approximate", action="store_true", help="serve through APPX2+"
+    )
+    p_serve.add_argument("--kmax", type=int, default=50)
+    p_serve.add_argument("--max-batch", type=int, default=64)
+    p_serve.add_argument(
+        "--max-delay", type=float, default=0.002,
+        help="micro-batch accumulation deadline, seconds",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load against the serving tier",
+    )
+    p_loadgen.add_argument("database")
+    p_loadgen.add_argument(
+        "--rates",
+        type=str,
+        default="1000,4000",
+        help="comma-separated offered loads (requests/second)",
+    )
+    p_loadgen.add_argument("--count", type=int, default=300)
+    p_loadgen.add_argument(
+        "--mode", choices=["micro", "direct", "both"], default="both"
+    )
+    p_loadgen.add_argument(
+        "--approximate", action="store_true", help="serve through APPX2+"
+    )
+    p_loadgen.add_argument("--kmax", type=int, default=50)
+    p_loadgen.add_argument(
+        "--qk", type=int, default=10, help="max per-query k in the workload"
+    )
+    p_loadgen.add_argument("--max-batch", type=int, default=128)
+    p_loadgen.add_argument(
+        "--max-delay", type=float, default=0.002,
+        help="micro-batch accumulation deadline, seconds",
+    )
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.set_defaults(func=cmd_loadgen)
 
     p_info = sub.add_parser("info", help="inspect a saved dataset or index")
     p_info.add_argument("path")

@@ -88,6 +88,10 @@ class TemporalDatabase:
         self._store: Optional[PLFStore] = None
         self._store_stale = False
         self._stale_reads = 0
+        # Monotone append counter: every mutation that can change any
+        # query answer bumps it, so result caches keyed on (query,
+        # epoch) can never serve a stale answer (see repro.serving).
+        self._epoch = 0
         # Maintained incrementally (appends add one segment each) so
         # N/n_avg reads are O(1) on hot paths.
         self._total_segments = sum(obj.num_segments for obj in object_list)
@@ -111,6 +115,7 @@ class TemporalDatabase:
         self.__dict__.setdefault("_store", None)
         self.__dict__.setdefault("_store_stale", False)
         self.__dict__.setdefault("_stale_reads", 0)
+        self.__dict__.setdefault("_epoch", 0)
         if "_total_segments" not in self.__dict__:
             self._total_segments = sum(
                 obj.num_segments for obj in self._objects
@@ -143,6 +148,16 @@ class TemporalDatabase:
     def span(self) -> tuple:
         """The global temporal domain ``[0, T]`` as ``(t_min, t_max)``."""
         return self.t_min, self.t_max
+
+    @property
+    def epoch(self) -> int:
+        """Monotone update counter (bumped by :meth:`append_segment`).
+
+        Two reads of the same query between equal epochs are
+        guaranteed identical, which is the invalidation contract the
+        serving tier's result cache relies on.
+        """
+        return self._epoch
 
     @property
     def total_mass(self) -> float:
@@ -352,6 +367,7 @@ class TemporalDatabase:
         self._store = None
         self._store_stale = True
         self._stale_reads = 0
+        self._epoch += 1
         self._total_segments += 1
         if t_next > self.t_max:
             self.t_max = t_next

@@ -11,6 +11,7 @@ from repro.datasets.workload import (
     WorkloadBatch,
     random_queries,
     sample_instant_workload,
+    sample_poisson_arrivals,
     sample_workload,
 )
 
@@ -23,4 +24,5 @@ __all__ = [
     "WorkloadBatch",
     "sample_workload",
     "sample_instant_workload",
+    "sample_poisson_arrivals",
 ]

@@ -92,6 +92,30 @@ def sample_instant_workload(
     return ts, ks
 
 
+def sample_poisson_arrivals(
+    count: int,
+    rate: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Open-loop Poisson arrival offsets for a serving workload.
+
+    Returns ``count`` ascending arrival times (seconds from the run's
+    start): inter-arrival gaps drawn i.i.d. exponential with mean
+    ``1 / rate`` from a fixed-seed PCG64 stream, so a load-generation
+    run is replayable — identical ``(count, rate, seed)`` reproduce
+    the identical arrival schedule on any host.  Open-loop means the
+    schedule never waits for responses; under an overloaded server,
+    requests queue and measured latency grows, exactly the behavior an
+    SLO benchmark must expose (closed-loop generators hide it by
+    slowing down with the server).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, count)
+    return np.cumsum(gaps)
+
+
 def random_queries(
     database: TemporalDatabase,
     count: int = 100,

@@ -198,6 +198,16 @@ class TemporalRankingEngine:
     # introspection
     # ------------------------------------------------------------------
     @property
+    def epoch(self) -> int:
+        """The database's append epoch (serving-cache invalidation key).
+
+        Every :meth:`append` bumps it; between equal epochs the engine
+        answers any fixed query identically, so the serving tier may
+        cache results keyed on ``(query, epoch)``.
+        """
+        return self.database.epoch
+
+    @property
     def index_size_bytes(self) -> int:
         """Combined footprint of every built index."""
         total = self.exact.index_size_bytes

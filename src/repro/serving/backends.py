@@ -1,0 +1,123 @@
+"""Backend adapters: one micro-batch API over every query engine.
+
+The coordinator (:mod:`repro.serving.coordinator`) speaks a single
+narrow interface::
+
+    backend.serve_many(t1s, t2s, ks) -> List[TopKResult]
+    backend.epoch -> int   # append counter; result-cache guard
+
+Adapters here bind that interface to each execution tier — the
+single-node :class:`~repro.engine.TemporalRankingEngine` (exact,
+approximate, or instant semantics) and both partitioned clusters.
+Every adapter routes through the engine's *batched* pipeline
+(``top_k_many`` / ``instant_top_k_many`` / cluster ``query_many``),
+whose answers are bit-identical to the scalar per-query loops (the
+repo-wide equivalence contract), so micro-batching requests changes
+latency and throughput but never an answer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.results import TopKResult
+from repro.datasets.workload import WorkloadBatch
+
+
+class EngineBackend:
+    """Aggregate ``top-k(t1, t2, k)`` over a single-node engine.
+
+    ``approximate=True`` serves through APPX2+ (candidates from the
+    tiny dyadic structure, scores exact) — the engine builds it
+    lazily on the first batch.
+    """
+
+    def __init__(self, engine, approximate: bool = False) -> None:
+        self.engine = engine
+        self.approximate = approximate
+        self.name = "engine-appx" if approximate else "engine-exact"
+
+    @property
+    def epoch(self) -> int:
+        return self.engine.epoch
+
+    def serve_many(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+    ) -> List[TopKResult]:
+        batch = WorkloadBatch(
+            np.asarray(t1s, dtype=np.float64),
+            np.asarray(t2s, dtype=np.float64),
+            np.asarray(ks, dtype=np.int64),
+        )
+        return self.engine.top_k_many(batch, approximate=self.approximate)
+
+
+class InstantBackend:
+    """Instant ``top-k(t)`` over a single-node engine.
+
+    The serving request triple is ``(t, t, k)`` — ``t2`` is ignored
+    (and canonically equal to ``t1``), matching the coordinator's
+    cache key.
+    """
+
+    name = "engine-instant"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    @property
+    def epoch(self) -> int:
+        return self.engine.epoch
+
+    def serve_many(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+    ) -> List[TopKResult]:
+        return self.engine.instant_top_k_many(
+            np.asarray(t1s, dtype=np.float64),
+            np.asarray(ks, dtype=np.int64),
+        )
+
+
+class ClusterBackend:
+    """Aggregate top-k over a partitioned cluster.
+
+    Works for both :class:`~repro.distributed.ObjectPartitionedCluster`
+    and :class:`~repro.distributed.TimePartitionedCluster` — extra
+    keyword arguments are forwarded to the cluster's ``query_many``
+    (``protocol=`` / ``batch_size=`` for time partitions, ``executor=``
+    for object partitions).  The epoch is the sum of the shard
+    databases' append counters: any shard mutation invalidates every
+    cached answer (shards are immutable after construction in the
+    current clusters, so this is effectively constant — but the guard
+    stays correct if that ever changes).
+    """
+
+    def __init__(self, cluster, name: Optional[str] = None, **query_kwargs):
+        self.cluster = cluster
+        self.name = name or type(cluster).__name__
+        self._query_kwargs = query_kwargs
+
+    @property
+    def epoch(self) -> int:
+        return sum(node.database.epoch for node in self.cluster.nodes)
+
+    def serve_many(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+    ) -> List[TopKResult]:
+        batch = WorkloadBatch(
+            np.asarray(t1s, dtype=np.float64),
+            np.asarray(t2s, dtype=np.float64),
+            np.asarray(ks, dtype=np.int64),
+        )
+        return self.cluster.query_many(batch, **self._query_kwargs)

@@ -1,0 +1,93 @@
+"""Epoch-guarded LRU result cache for the serving tier.
+
+Distinct from the storage-layer block pool
+(:class:`repro.storage.cache.LRUCache`): this caches whole *answers*
+keyed on the query triple, above any engine or cluster.  Staleness is
+impossible by construction — every entry records the backend's append
+epoch at insertion time, and a lookup only hits when that epoch equals
+the backend's *current* epoch.  Appends bump the epoch
+(:attr:`repro.core.database.TemporalDatabase.epoch`), so every cached
+answer from before the append silently becomes a miss; no scan or
+explicit invalidation pass is needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+
+@dataclass
+class ResultCacheStats:
+    """Hit/miss counters (stale entries count as misses)."""
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Bounded LRU of ``(query key, epoch) -> answer``.
+
+    ``get(key, epoch)`` hits only when the stored entry was inserted
+    at the same backend epoch; otherwise the stale entry is dropped
+    and the lookup counts as a miss.  ``put`` evicts the least
+    recently used entry past ``capacity``.  ``capacity <= 0`` disables
+    the cache entirely (every lookup misses, nothing is stored).
+    """
+
+    capacity: int = 1024
+    stats: ResultCacheStats = field(default_factory=ResultCacheStats)
+
+    def __post_init__(self) -> None:
+        self._entries: "OrderedDict[Hashable, Tuple[int, object]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, epoch: int) -> Optional[object]:
+        """The cached answer, or None on miss / epoch mismatch."""
+        if self.capacity <= 0:
+            self.stats.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        stored_epoch, value = entry
+        if stored_epoch != epoch:
+            # The backend advanced past this answer: drop it.
+            del self._entries[key]
+            self.stats.stale += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, epoch: int, value: object) -> None:
+        """Insert (or refresh) an answer computed at ``epoch``."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (epoch, value)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,355 @@
+"""Adaptive micro-batching serving coordinator (asyncio front-end).
+
+Per-request callers await ``top_k(t1, t2, k)``; the coordinator queues
+requests and flushes **micro-batches** through the backend's batched
+pipeline, which answers a whole batch far faster than the scalar loop
+(the repo's vectorized ``query_many`` engines) while returning
+bit-identical per-request answers.  Three mechanisms combine:
+
+Adaptive micro-batching
+    A flush fires when the queue reaches the *batch target* or when
+    the oldest queued request has waited ``max_delay`` — whichever
+    comes first, so an idle trickle is never held hostage to a size
+    threshold.  The target adapts to the observed arrival rate (EWMA
+    of inter-arrival gaps): roughly the number of arrivals expected
+    within one ``max_delay`` window, clamped to
+    ``[min_batch, max_batch]``.  Light load → small batches (latency
+    bound by the deadline); heavy load → large batches (throughput
+    bound by the batched kernels).
+
+In-flight pipelining
+    Execution runs on a worker thread; the event loop keeps accepting
+    and queueing requests while a batch executes, so the *next*
+    micro-batch forms during the current one's execution.
+    ``pipeline_depth`` bounds how many flushed batches may be in
+    flight (submitted, not yet finished) before the flusher itself
+    waits.  The worker pool is single-threaded by default: the query
+    engines are not thread-safe under concurrent mutation of their IO
+    counters and pools, and a single worker already yields the
+    overlap that matters (batch formation concurrent with execution)
+    with strictly deterministic backend state.
+
+Node-level result caching
+    Answers are cached in an epoch-guarded LRU
+    (:class:`~repro.serving.cache.ResultCache`) keyed on the exact
+    ``(t1, t2, k)`` triple.  The guard epoch is the backend's append
+    counter: a hit requires the entry's epoch to equal the *current*
+    epoch, and entries are only inserted when the epoch did not move
+    during execution — so a cached answer can never be stale, it is
+    byte-for-byte the answer the backend would recompute.  Duplicate
+    keys within one batch execute once (same determinism argument).
+
+Answers are bit-identical to calling the backend's ``query_many``
+directly — micro-batching, pipelining, and caching change *when* work
+happens, never *what* is answered (asserted in
+``tests/test_serving.py`` across engines and both cluster layouts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.results import TopKResult
+from repro.serving.cache import ResultCache
+
+#: Query key: the exact request triple (cache / in-batch dedup unit).
+Key = Tuple[float, float, int]
+
+
+@dataclass
+class ServingStats:
+    """Counters describing how the coordinator served its traffic."""
+
+    #: Requests accepted by :meth:`ServingCoordinator.top_k`.
+    requests: int = 0
+    #: Micro-batches flushed.
+    batches: int = 0
+    #: Flushes triggered by reaching the batch target.
+    size_flushes: int = 0
+    #: Flushes triggered by the oldest request's deadline (or drain).
+    deadline_flushes: int = 0
+    #: Unique query keys actually executed on the backend.
+    executed: int = 0
+    #: Requests answered from the result cache.
+    cache_hits: int = 0
+    #: Requests answered by an in-batch duplicate's execution.
+    deduped: int = 0
+    #: Largest micro-batch flushed.
+    max_batch: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Request:
+    key: Key
+    arrival: float
+    future: "asyncio.Future[TopKResult]" = field(repr=False)
+
+
+class ServingCoordinator:
+    """Async serving front-end over one backend.
+
+    Parameters
+    ----------
+    backend:
+        Any adapter from :mod:`repro.serving.backends` — an object
+        with ``serve_many(t1s, t2s, ks)`` and an ``epoch`` property.
+    max_batch:
+        Hard cap on micro-batch size (backend batches never exceed
+        it).
+    min_batch:
+        Floor for the adaptive batch target.
+    max_delay:
+        Longest a queued request may wait before its batch is
+        flushed, in seconds (the latency the coordinator may spend
+        *accumulating* a batch; queueing behind in-flight batches can
+        add more under overload).
+    adaptive:
+        When True (default) the flush target tracks the arrival
+        rate; when False every flush waits for ``max_batch`` or the
+        deadline.
+    pipeline_depth:
+        Maximum flushed-but-unfinished batches before the flusher
+        blocks.  ``1`` disables pipelining (next batch forms only
+        queue-side); ``2`` (default) lets one batch form and submit
+        while one executes.
+    cache_size:
+        Result-cache capacity in answers; ``0`` disables result
+        caching.
+    clock:
+        Injectable monotonic clock (tests).
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly.  :meth:`stop` drains: every accepted
+    request is answered before it returns.
+    """
+
+    def __init__(
+        self,
+        backend,
+        max_batch: int = 64,
+        min_batch: int = 1,
+        max_delay: float = 0.002,
+        adaptive: bool = True,
+        pipeline_depth: int = 2,
+        cache_size: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ReproError(f"max_batch must be >= 1, got {max_batch}")
+        if not 1 <= min_batch <= max_batch:
+            raise ReproError(
+                f"need 1 <= min_batch <= max_batch, got {min_batch}"
+            )
+        if pipeline_depth < 1:
+            raise ReproError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
+        self.backend = backend
+        self.max_batch = int(max_batch)
+        self.min_batch = int(min_batch)
+        self.max_delay = float(max_delay)
+        self.adaptive = bool(adaptive)
+        self.pipeline_depth = int(pipeline_depth)
+        self.cache = ResultCache(capacity=int(cache_size))
+        self.stats = ServingStats()
+        self._clock = clock
+        self._queue: Deque[_Request] = deque()
+        self._arrived: Optional[asyncio.Event] = None
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._flusher: Optional[asyncio.Task] = None
+        self._exec_tasks: set = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closing = False
+        # EWMA of inter-arrival gaps (seconds); None until two
+        # arrivals have been seen.
+        self._ewma_gap: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+        self._ewma_alpha = 0.2
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServingCoordinator":
+        """Spawn the flusher loop and the execution worker."""
+        if self._flusher is not None:
+            raise ReproError("coordinator already started")
+        self._closing = False
+        self._arrived = asyncio.Event()
+        self._inflight = asyncio.Semaphore(self.pipeline_depth)
+        # Single worker: backend execution stays serialized (engines
+        # mutate IO counters and pools), batches still form while one
+        # executes.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serving"
+        )
+        self._flusher = asyncio.create_task(self._flush_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Drain the queue, finish in-flight batches, shut down."""
+        if self._flusher is None:
+            return
+        self._closing = True
+        self._arrived.set()
+        await self._flusher
+        if self._exec_tasks:
+            await asyncio.gather(*tuple(self._exec_tasks))
+        self._executor.shutdown(wait=True)
+        self._flusher = None
+        self._executor = None
+
+    async def __aenter__(self) -> "ServingCoordinator":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    async def top_k(self, t1: float, t2: float, k: int) -> TopKResult:
+        """Serve one aggregate (or instant) top-k request.
+
+        Queues the request and awaits its micro-batch's answer; the
+        result is exactly what the backend's ``query_many`` returns
+        for this triple.
+        """
+        if self._flusher is None or self._closing:
+            raise ReproError("coordinator is not running (use start())")
+        now = self._clock()
+        self._observe_arrival(now)
+        future: "asyncio.Future[TopKResult]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue.append(
+            _Request((float(t1), float(t2), int(k)), now, future)
+        )
+        self.stats.requests += 1
+        self._arrived.set()
+        return await future
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _observe_arrival(self, now: float) -> None:
+        last, self._last_arrival = self._last_arrival, now
+        if last is None:
+            return
+        gap = max(now - last, 1e-9)
+        if self._ewma_gap is None:
+            self._ewma_gap = gap
+        else:
+            alpha = self._ewma_alpha
+            self._ewma_gap = alpha * gap + (1.0 - alpha) * self._ewma_gap
+
+    def batch_target(self) -> int:
+        """Current flush-size target (adaptive unless disabled).
+
+        The expected number of arrivals inside one ``max_delay``
+        window at the EWMA-estimated rate, clamped to
+        ``[min_batch, max_batch]``: waiting for more than that would
+        blow the deadline anyway, flushing sooner wastes batching
+        opportunity.
+        """
+        if not self.adaptive:
+            return self.max_batch
+        gap = self._ewma_gap
+        if gap is None:
+            return self.min_batch
+        expected = int(round(self.max_delay / gap))
+        return max(self.min_batch, min(self.max_batch, expected))
+
+    async def _flush_loop(self) -> None:
+        while True:
+            if not self._queue:
+                if self._closing:
+                    return
+                self._arrived.clear()
+                # Re-check before sleeping: a request (or stop) may
+                # have landed between the check and the clear.
+                if not self._queue and not self._closing:
+                    await self._arrived.wait()
+                continue
+            target = self.batch_target()
+            deadline_hit = False
+            while len(self._queue) < target and not self._closing:
+                remaining = self.max_delay - (
+                    self._clock() - self._queue[0].arrival
+                )
+                if remaining <= 0:
+                    deadline_hit = True
+                    break
+                self._arrived.clear()
+                try:
+                    await asyncio.wait_for(self._arrived.wait(), remaining)
+                except asyncio.TimeoutError:
+                    deadline_hit = True
+                    break
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self.max_batch))
+            ]
+            self.stats.batches += 1
+            self.stats.max_batch = max(self.stats.max_batch, len(batch))
+            if deadline_hit or self._closing:
+                self.stats.deadline_flushes += 1
+            else:
+                self.stats.size_flushes += 1
+            # Pipelining bound: wait for an in-flight slot, then hand
+            # the batch to the worker and immediately resume forming
+            # the next one.
+            await self._inflight.acquire()
+            task = asyncio.create_task(self._execute(batch))
+            self._exec_tasks.add(task)
+            task.add_done_callback(self._exec_tasks.discard)
+
+    async def _execute(self, batch: List[_Request]) -> None:
+        try:
+            epoch = self.backend.epoch
+            pending: Dict[Key, List[_Request]] = {}
+            for request in batch:
+                cached = self.cache.get(request.key, epoch)
+                if cached is not None:
+                    request.future.set_result(cached)
+                    self.stats.cache_hits += 1
+                    continue
+                pending.setdefault(request.key, []).append(request)
+            if pending:
+                keys = list(pending)
+                count = len(keys)
+                t1s = np.fromiter((k[0] for k in keys), np.float64, count)
+                t2s = np.fromiter((k[1] for k in keys), np.float64, count)
+                ks = np.fromiter((k[2] for k in keys), np.int64, count)
+                results = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self.backend.serve_many, t1s, t2s, ks
+                )
+                self.stats.executed += count
+                # Only cache when no append landed mid-execution: an
+                # entry stamped with the pre-append epoch could
+                # otherwise hold a post-append answer (or vice versa).
+                fresh = self.backend.epoch == epoch
+                for key, result in zip(keys, results):
+                    if fresh:
+                        self.cache.put(key, epoch, result)
+                    waiters = pending[key]
+                    self.stats.deduped += len(waiters) - 1
+                    for request in waiters:
+                        request.future.set_result(result)
+        except Exception as exc:  # propagate to every waiter
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+        finally:
+            self._inflight.release()

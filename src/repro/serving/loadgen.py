@@ -1,0 +1,212 @@
+"""Open-loop Poisson load generation for the serving tier.
+
+The generator fires requests on a *precomputed* arrival schedule
+(:func:`repro.datasets.workload.sample_poisson_arrivals` — seeded,
+replayable) and never waits for responses before firing the next one.
+That open-loop discipline is what makes the benchmark honest: under
+an overloaded server the schedule keeps firing, queues grow, and
+measured latency explodes — exactly the saturation behavior a
+closed-loop driver (which slows down with the server) structurally
+cannot observe.  Latency is measured against the *scheduled* arrival
+time, so generator scheduling jitter counts against the server, never
+in its favor.
+
+Two submission modes share the driver:
+
+* micro-batched — requests go through a running
+  :class:`~repro.serving.coordinator.ServingCoordinator`;
+* direct (batch = 1) — each request executes alone through the same
+  single worker thread (:class:`DirectClient`), the per-request
+  baseline the coordinator must beat.
+
+Both modes produce per-request answers, so the bench asserts them
+bit-identical to each other and to one direct ``serve_many`` call
+over the whole workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.results import TopKResult
+from repro.datasets.workload import (
+    WorkloadBatch,
+    sample_poisson_arrivals,
+    sample_workload,
+)
+
+
+@dataclass(frozen=True)
+class ArrivalPlan:
+    """A replayable open-loop run: queries plus their arrival times.
+
+    ``arrivals`` holds ascending offsets (seconds from run start) for
+    the corresponding :class:`WorkloadBatch` rows.  Built by
+    :func:`plan_poisson_load` from seeds, so identical parameters
+    reproduce the identical run on any host.
+    """
+
+    batch: WorkloadBatch
+    arrivals: np.ndarray
+    rate: float
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+def plan_poisson_load(
+    database,
+    count: int,
+    rate: float,
+    kmax: int = 20,
+    seed: int = 0,
+    interval_fractions=(0.05, 0.2, 0.5),
+) -> ArrivalPlan:
+    """Sample a seeded aggregate workload with Poisson arrivals.
+
+    The query stream comes from :func:`sample_workload` (seed) and the
+    schedule from :func:`sample_poisson_arrivals` (seed + 1), so the
+    two draws are independent but both replayable.
+    """
+    batch = sample_workload(
+        database,
+        count=count,
+        kmax=kmax,
+        seed=seed,
+        interval_fractions=interval_fractions,
+    )
+    arrivals = sample_poisson_arrivals(count, rate, seed=seed + 1)
+    return ArrivalPlan(batch=batch, arrivals=arrivals, rate=rate)
+
+
+@dataclass
+class LoadResult:
+    """Measured outcome of one open-loop run."""
+
+    #: Offered arrival rate (requests/second) of the plan.
+    offered_rate: float
+    #: Per-request latency, seconds, completion minus *scheduled*
+    #: arrival, in request order.
+    latencies: np.ndarray
+    #: Wall-clock span from run start to last completion, seconds.
+    duration: float
+    #: Answers, in request order (equivalence checks).
+    answers: List[TopKResult]
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of wall clock."""
+        return len(self.answers) / self.duration if self.duration else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        return float(np.quantile(self.latencies, q))
+
+    @property
+    def p50(self) -> float:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_quantile(0.99)
+
+    def summary(self) -> dict:
+        return {
+            "offered_rate": float(self.offered_rate),
+            "requests": int(len(self.answers)),
+            "duration_s": float(self.duration),
+            "throughput_qps": float(self.throughput),
+            "p50_ms": self.p50 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+        }
+
+
+class DirectClient:
+    """The batch=1 baseline: one backend execution per request.
+
+    Mirrors the coordinator's execution discipline — a single worker
+    thread runs the backend — but with no batching, no result cache,
+    and no dedup, so the comparison isolates exactly what
+    micro-batching buys.  Exposes the coordinator's ``top_k``
+    coroutine signature so the driver treats both uniformly.
+    """
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    async def start(self) -> "DirectClient":
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-direct"
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "DirectClient":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def top_k(self, t1: float, t2: float, k: int) -> TopKResult:
+        def one() -> TopKResult:
+            return self.backend.serve_many(
+                np.asarray([t1], dtype=np.float64),
+                np.asarray([t2], dtype=np.float64),
+                np.asarray([k], dtype=np.int64),
+            )[0]
+
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, one
+        )
+
+
+async def run_open_loop(
+    client,
+    plan: ArrivalPlan,
+    clock: Callable[[], float] = time.monotonic,
+) -> LoadResult:
+    """Replay ``plan`` open-loop against ``client.top_k``.
+
+    Fires each request at its scheduled offset (catching up without
+    pause when behind schedule — the open-loop property) and gathers
+    completions concurrently.  Latency for request ``i`` is
+    ``completion - (start + arrivals[i])``: time spent queued behind
+    an overloaded server is charged to the server.
+    """
+    t1s, t2s, ks = plan.batch.t1s, plan.batch.t2s, plan.batch.ks
+    arrivals = plan.arrivals
+    start = clock()
+
+    async def fire(index: int) -> tuple:
+        scheduled = start + float(arrivals[index])
+        answer = await client.top_k(
+            float(t1s[index]), float(t2s[index]), int(ks[index])
+        )
+        return clock() - scheduled, answer
+
+    tasks: List[asyncio.Task] = []
+    for index in range(len(plan)):
+        delay = (start + float(arrivals[index])) - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.create_task(fire(index)))
+    outcomes = await asyncio.gather(*tasks)
+    duration = clock() - start
+    latencies = np.asarray([lat for lat, _ in outcomes], dtype=np.float64)
+    answers = [answer for _, answer in outcomes]
+    return LoadResult(
+        offered_rate=plan.rate,
+        latencies=latencies,
+        duration=duration,
+        answers=answers,
+    )

@@ -164,3 +164,14 @@ class TestBenchGating:
         assert not compare_results(
             base, current, ("slow_s", "missing"), ("speedup",), 2.0
         )
+
+    def test_single_core_host_reads_recorded_and_current_metadata(self):
+        from repro.bench.gating import host_metadata, single_core_host
+
+        assert single_core_host({"cpu_count": 1})
+        assert single_core_host({})  # missing count: assume 1-core
+        assert single_core_host({"cpu_count": None})
+        assert not single_core_host({"cpu_count": 8})
+        # The current-host default agrees with host_metadata().
+        meta = host_metadata()
+        assert single_core_host() == (int(meta["cpu_count"] or 1) < 2)

@@ -210,7 +210,7 @@ def test_appx2plus_query_many_after_append_matches():
 
 
 def test_query_many_with_cache_matches_answers(db):
-    """Buffer pools disable the IO model; answers must still agree."""
+    """Buffer pools switch query_many to LRU replay; answers agree."""
     method = Appx2(r=14, kmax=KMAX, cache_blocks=16).build(db)
     t1s, t2s, ks = tricky_workload(db, method, count=24, seed=12)
     method.drop_caches()
@@ -245,6 +245,57 @@ def test_exact3_query_many_replays_lru_cache(db, cache_blocks):
     )
     # A follow-up scalar query therefore sees the same pool state.
     probe = TopKQuery(float(t1s[9]) + 0.613, float(t2s[9]) + 1.741, 5)
+    before_a, before_b = scalar.io_stats.reads, batched.io_stats.reads
+    assert scalar.query(probe) == batched.query(probe)
+    assert (
+        scalar.io_stats.reads - before_a == batched.io_stats.reads - before_b
+    )
+
+
+@pytest.mark.parametrize("cache_blocks", [4, 32, 4096])
+def test_appx1_query_many_replays_lru_cache(db, cache_blocks):
+    """QUERY1 under a buffer pool replays the scalar access stream."""
+    scalar = Appx1(r=14, kmax=KMAX, cache_blocks=cache_blocks).build(db)
+    batched = Appx1(r=14, kmax=KMAX, cache_blocks=cache_blocks).build(db)
+    t1s, t2s, ks = tricky_workload(db, scalar, count=40, seed=21)
+    expected = [
+        scalar.query(TopKQuery(float(a), float(b), int(k)))
+        for a, b, k in zip(t1s, t2s, ks)
+    ]
+    got = batched.query_many(np.stack([t1s, t2s, ks], axis=1))
+    assert all(a == b for a, b in zip(expected, got))
+    assert scalar.io_stats.reads == batched.io_stats.reads
+    assert scalar.io_stats.cache_hits == batched.io_stats.cache_hits
+    assert list(scalar._cache._entries.keys()) == list(
+        batched._cache._entries.keys()
+    )
+    probe = TopKQuery(float(t1s[10]) + 0.421, float(t2s[10]) + 1.733, 5)
+    before_a, before_b = scalar.io_stats.reads, batched.io_stats.reads
+    assert scalar.query(probe) == batched.query(probe)
+    assert (
+        scalar.io_stats.reads - before_a == batched.io_stats.reads - before_b
+    )
+
+
+@pytest.mark.parametrize("cls", [Appx2, Appx2Plus], ids=["appx2", "appx2plus"])
+@pytest.mark.parametrize("cache_blocks", [4, 32, 4096])
+def test_appx2_query_many_replays_lru_cache(db, cls, cache_blocks):
+    """QUERY2 under a buffer pool replays the scalar access stream."""
+    scalar = cls(r=14, kmax=KMAX, cache_blocks=cache_blocks).build(db)
+    batched = cls(r=14, kmax=KMAX, cache_blocks=cache_blocks).build(db)
+    t1s, t2s, ks = tricky_workload(db, scalar, count=40, seed=22)
+    expected = [
+        scalar.query(TopKQuery(float(a), float(b), int(k)))
+        for a, b, k in zip(t1s, t2s, ks)
+    ]
+    got = batched.query_many(np.stack([t1s, t2s, ks], axis=1))
+    assert all(a == b for a, b in zip(expected, got))
+    assert scalar.io_stats.reads == batched.io_stats.reads
+    assert scalar.io_stats.cache_hits == batched.io_stats.cache_hits
+    assert list(scalar._cache._entries.keys()) == list(
+        batched._cache._entries.keys()
+    )
+    probe = TopKQuery(float(t1s[10]) + 0.421, float(t2s[10]) + 1.733, 5)
     before_a, before_b = scalar.io_stats.reads, batched.io_stats.reads
     assert scalar.query(probe) == batched.query(probe)
     assert (
