@@ -18,8 +18,11 @@ the modeled communication bill per workload.
 
 Clusters measured per node count: object-partitioned with EXACT3
 nodes, object-partitioned with APPX2+ nodes (breakpoint budget ``r``
-resolved once on the full database), and time-partitioned with the
-scatter-gather protocol.
+resolved once on the full database), and time-partitioned with both
+the scatter-gather protocol and the threshold algorithm (scalar TA
+loop vs the lock-step batched TA, timed cold so the per-round kernel
+batching is what is measured; per-round comm records — including the
+sorted-access vs random-access split — are asserted identical).
 
 Usage::
 
@@ -69,33 +72,61 @@ def _interleaved_best(run_scalar, run_batched, repeats: int):
     return scalar_s, batched_s
 
 
-def measure_cluster(cluster, scalar_query, batch, repeats: int) -> dict:
-    """Scalar-protocol vs batched timings + answer/comm equivalence."""
+def measure_cluster(
+    cluster,
+    scalar_query,
+    batch,
+    repeats: int,
+    query_kwargs: dict | None = None,
+    prepare=None,
+) -> dict:
+    """Scalar-protocol vs batched timings + answer/comm equivalence.
+
+    ``query_kwargs`` selects the batched protocol (forwarded to
+    ``query_many``).  ``prepare`` (when given) runs at the start of
+    every measured pass — the threshold points use it to drop the TA
+    index caches so both paths are timed cold, which is what makes the
+    comparison "one kernel pass per node per round" vs "one kernel
+    pass per (query, node)".  Beyond totals, the per-round comm
+    records (with their sorted/random splits) are asserted equal.
+    """
     rows = list(zip(batch.t1s, batch.t2s, batch.ks))
+    kwargs = query_kwargs or {}
 
     def run_scalar():
+        if prepare is not None:
+            prepare()
         return [
             scalar_query(float(t1), float(t2), int(k)) for t1, t2, k in rows
         ]
 
     def run_batched():
-        return cluster.query_many(batch)
+        if prepare is not None:
+            prepare()
+        return cluster.query_many(batch, **kwargs)
 
     cluster.comm.reset()
     expected = run_scalar()
     scalar_comm = cluster.comm.snapshot()
+    scalar_rounds = cluster.comm.rounds
     cluster.comm.reset()
     got = run_batched()
     batched_comm = cluster.comm.snapshot()
+    batched_rounds = cluster.comm.rounds
     if any(a != b for a, b in zip(expected, got)):
         raise AssertionError("batched cluster answers diverged")
     if scalar_comm != batched_comm:
         raise AssertionError(
             f"comm diverged: scalar {scalar_comm} vs batched {batched_comm}"
         )
+    if scalar_rounds != batched_rounds:
+        raise AssertionError(
+            f"round records diverged: {len(scalar_rounds)} scalar rounds "
+            f"vs {len(batched_rounds)} batched"
+        )
     scalar_s, batched_s = _interleaved_best(run_scalar, run_batched, repeats)
     count = len(batch)
-    return {
+    point = {
         "scalar_s": scalar_s,
         "batched_s": batched_s,
         "scalar_qps": count / max(scalar_s, 1e-12),
@@ -105,6 +136,21 @@ def measure_cluster(cluster, scalar_query, batch, repeats: int) -> dict:
         "comm_pairs": batched_comm.pairs,
         "comm_bytes": batched_comm.bytes,
     }
+    if batched_rounds:
+        point["rounds"] = len(batched_rounds)
+        point["comm_sorted_messages"] = sum(
+            r.sorted_messages for r in batched_rounds
+        )
+        point["comm_sorted_pairs"] = sum(
+            r.sorted_pairs for r in batched_rounds
+        )
+        point["comm_random_messages"] = sum(
+            r.random_messages for r in batched_rounds
+        )
+        point["comm_random_pairs"] = sum(
+            r.random_pairs for r in batched_rounds
+        )
+    return point
 
 
 def check_baseline(report, path, max_regression) -> int:
@@ -148,6 +194,12 @@ def main(argv=None) -> int:
         "--qk", type=int, default=20, help="max per-query k in the workload"
     )
     parser.add_argument("--batch", type=int, default=256, help="workload size")
+    parser.add_argument(
+        "--ta-batch",
+        type=int,
+        default=8,
+        help="threshold-algorithm sorted-access batch size",
+    )
     parser.add_argument(
         "--nodes",
         type=str,
@@ -219,6 +271,23 @@ def main(argv=None) -> int:
             time_cluster, time_cluster.query_scatter_gather, batch,
             args.repeats,
         )
+        ta_cluster = TimePartitionedCluster(database, num_nodes)
+
+        def reset_ta(cluster=ta_cluster):
+            for node in cluster.nodes:
+                node.reset_ta_index()
+
+        results[f"time-threshold/nodes={num_nodes}"] = measure_cluster(
+            ta_cluster,
+            partial(ta_cluster.query_threshold, batch_size=args.ta_batch),
+            batch,
+            args.repeats,
+            query_kwargs={
+                "protocol": "threshold",
+                "batch_size": args.ta_batch,
+            },
+            prepare=reset_ta,
+        )
 
     report = {
         "bench": "distributed",
@@ -229,6 +298,7 @@ def main(argv=None) -> int:
             "kmax": args.kmax,
             "qk": args.qk,
             "batch": args.batch,
+            "ta_batch": args.ta_batch,
             "nodes": node_counts,
             "seed": args.seed,
             "smoke": bool(args.smoke),

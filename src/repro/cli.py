@@ -175,6 +175,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     db = load_index(args.database)
     if not isinstance(db, TemporalDatabase):
         raise SystemExit(f"{args.database} does not contain a database")
+    if args.protocol == "threshold" and args.partition != "time":
+        raise SystemExit(
+            "--protocol threshold requires --partition time "
+            "(the TA runs over per-node partial aggregates)"
+        )
     executor = _resolve_executor(args)
     start = time.perf_counter()
     if args.partition == "object":
@@ -199,23 +204,39 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         # Forwarded to each node's query_many (EXACT3 chunk fan-out);
         # the time cluster's scatter path has no query fan-out.
         results = cluster.query_many(batch, executor=executor)
+    elif args.protocol == "threshold":
+        # Lock-step batched TA: all queries advance rounds together.
+        results = cluster.query_many(
+            batch, protocol="threshold", batch_size=args.batch_size
+        )
     else:
         results = cluster.query_many(batch)
     batched_seconds = time.perf_counter() - start
     batched_comm = cluster.comm.snapshot()
+    rounds = (
+        f", {len(cluster.comm.rounds)} TA rounds"
+        if args.protocol == "threshold"
+        else ""
+    )
     print(
         f"query_many: {len(batch)} queries in {batched_seconds * 1e3:.1f} ms "
         f"({len(batch) / max(batched_seconds, 1e-12):,.0f} queries/s); "
         f"comm {batched_comm.messages} messages, {batched_comm.pairs} pairs "
-        f"({batched_comm.bytes} bytes)"
+        f"({batched_comm.bytes} bytes){rounds}"
     )
     if args.verify:
         cluster.comm.reset()
-        scalar_query = (
-            cluster.query
-            if args.partition == "object"
-            else cluster.query_scatter_gather
-        )
+        if args.partition == "object":
+            scalar_query = cluster.query
+        elif args.protocol == "threshold":
+
+            def scalar_query(t1, t2, k):
+                return cluster.query_threshold(
+                    t1, t2, k, batch_size=args.batch_size
+                )
+
+        else:
+            scalar_query = cluster.query_scatter_gather
         start = time.perf_counter()
         expected = [
             scalar_query(float(t1), float(t2), int(k))
@@ -456,6 +477,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--count", type=int, default=256)
     p_cluster.add_argument("--kmax", type=int, default=10)
     p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--protocol",
+        choices=["scatter", "threshold"],
+        default="scatter",
+        help="time-partition protocol: scatter-gather (default) or the "
+        "lock-step batched threshold algorithm",
+    )
+    p_cluster.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="TA sorted-access batch size (threshold protocol only)",
+    )
     p_cluster.add_argument(
         "--verify",
         action="store_true",

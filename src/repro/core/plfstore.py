@@ -60,6 +60,11 @@ from repro.core.results import TopKResult, top_k_from_arrays
 #: bounds peak memory of (q, m) broadcasts to ~a few hundred MB.
 _CHUNK_ELEMENTS = 4 << 20
 
+#: Chunk sizes at or above this locate pieces via the count-matrix
+#: pass (one global searchsorted + histogram cumsum) instead of the
+#: broadcast bisection; results are bit-identical, only speed differs.
+_COUNT_LOCATE_MIN_QUERIES = 16
+
 
 def isin_sorted(sorted_values: np.ndarray, queries: np.ndarray) -> np.ndarray:
     """Exact membership of each query in an ascending-sorted array.
@@ -312,6 +317,7 @@ class PLFStore:
         "_absolute",
         "_csr",
         "_knot_set",
+        "_knot_obj",
     )
 
     def __init__(
@@ -349,6 +355,7 @@ class PLFStore:
         self._absolute: Optional["PLFStore"] = None
         self._csr: Optional[CSRView] = None
         self._knot_set: Optional[np.ndarray] = None
+        self._knot_obj: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # shape
@@ -531,6 +538,13 @@ class PLFStore:
 
         Work is chunked over query times so the transient ``(q, m)``
         integer/float broadcasts stay within a bounded footprint.
+        Large chunks locate pieces with the count-matrix pass
+        (:meth:`_locate_counts` — one global ``searchsorted`` plus a
+        per-object histogram cumsum, a handful of array passes) instead
+        of the ``O(log max_n)``-round broadcast bisection; piece
+        selection and the clamped-trapezoid arithmetic are bit-identical
+        either way, so results do not depend on the chunking or the
+        path taken.
         """
         ts = np.atleast_1d(np.asarray(ts, dtype=np.float64))
         q = ts.size
@@ -538,7 +552,13 @@ class PLFStore:
         out = np.empty((q, m), dtype=np.float64)
         step = max(1, _CHUNK_ELEMENTS // max(m, 1))
         for lo_row in range(0, q, step):
-            chunk = ts[lo_row : lo_row + step, None]
+            flat = ts[lo_row : lo_row + step]
+            if flat.size >= _COUNT_LOCATE_MIN_QUERIES:
+                out[lo_row : lo_row + step] = self._cumulative_chunk_counts(
+                    flat
+                )
+                continue
+            chunk = flat[:, None]
             tc = np.clip(chunk, self.starts, self.ends)
             cum = self._cumulative_clamped(tc, self._locate(tc))
             out[lo_row : lo_row + step] = np.where(
@@ -547,6 +567,77 @@ class PLFStore:
                 np.where(chunk >= self.ends, self.totals, cum),
             )
         return out
+
+    def _locate_counts(self, ts: np.ndarray) -> np.ndarray:
+        """:meth:`_locate`'s piece selection for a whole chunk at once.
+
+        ``located[r, i]`` is the flat index of the segment-left knot
+        the bisection would pick for time ``ts[r]`` on object ``i`` —
+        computed without any ``(q, m)`` bisection rounds.  One global
+        ``searchsorted`` ranks every knot among the sorted chunk
+        times; a per-object histogram of those ranks, cumsummed, gives
+        ``#{knots of i with time <= ts[r]}`` for every pair (a knot
+        counts for rank ``r`` iff fewer than ``r + 1`` chunk times lie
+        strictly below it, which is exactly ``time <= ts[r]``; ties
+        between equal chunk times cannot overcount because any knot
+        above them ranks past the whole duplicate run).  Clamping into
+        each object's segment-left range matches ``searchsorted(times,
+        t, "right") - 1`` — the documented :meth:`CSRView._locate`
+        selection — for every in-span time; out-of-span times land on
+        the first/last piece, whose value the caller's boundary masks
+        replace.
+        """
+        qc = ts.size
+        m = self.num_objects
+        order = np.argsort(ts, kind="stable")
+        ranks = np.empty(qc, dtype=np.int64)
+        ranks[order] = np.arange(qc, dtype=np.int64)
+        pos = np.searchsorted(ts[order], self.knot_times, side="left")
+        if self._knot_obj is None:
+            self._knot_obj = np.repeat(
+                np.arange(m, dtype=np.int64), np.diff(self.offsets)
+            )
+        hist = np.bincount(
+            self._knot_obj * (qc + 1) + pos, minlength=m * (qc + 1)
+        )
+        counts = hist.reshape(m, qc + 1).cumsum(axis=1)
+        located = np.ascontiguousarray(counts[:, ranks].T)
+        located += self.offsets[:-1] - 1
+        np.clip(located, self.offsets[:-1], self.offsets[1:] - 2, out=located)
+        return located
+
+    def _cumulative_chunk_counts(self, ts: np.ndarray) -> np.ndarray:
+        """One chunk of :meth:`cumulative_at_many` via the count locate.
+
+        Identical arithmetic to :meth:`_cumulative_clamped` — the
+        chord slope comes from the precomputed per-segment
+        :attr:`slopes` (the very same ``(v1 - v0) / (t1 - t0)``
+        division), so every float is bit-identical to the bisection
+        path.
+        """
+        j = self._locate_counts(ts)
+        col = ts[:, None]
+        tc = np.clip(col, self.starts, self.ends)
+        t0 = self.knot_times[j]
+        v0 = self.knot_values[j]
+        # Segment index of knot j on object i is j - i (each earlier
+        # object contributes exactly one non-segment-left final knot).
+        w = self.slopes[j - np.arange(self.num_objects, dtype=np.int64)]
+        # In-place evaluation of prefix[j] + 0.5 * dt * (v0 + v_t),
+        # v_t = v0 + w * dt — the same association order as
+        # _cumulative_clamped, with the (q, m) temporaries reused.
+        dt = np.subtract(tc, t0, out=tc)
+        v_t = np.multiply(w, dt, out=w)
+        v_t = np.add(v0, v_t, out=v_t)
+        total = np.add(v0, v_t, out=v_t)
+        half = np.multiply(0.5, dt, out=dt)
+        cum = np.multiply(half, total, out=half)
+        cum = np.add(self.prefix_masses[j], cum, out=cum)
+        return np.where(
+            col <= self.starts,
+            0.0,
+            np.where(col >= self.ends, self.totals, cum),
+        )
 
     def cumulative_at_grid(self, ts: np.ndarray) -> np.ndarray:
         """:meth:`cumulative_at_many` for a small grid of times.

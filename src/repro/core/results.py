@@ -182,22 +182,26 @@ def select_top_k(pairs: Iterable, k: int) -> TopKResult:
     )
 
 
-def top_k_from_arrays(object_ids: Sequence[int], scores: Sequence[float], k: int) -> TopKResult:
-    """Vectorized top-k over parallel arrays (numpy-friendly path)."""
+def top_k_order(object_ids, scores, k: int):
+    """Positions of the canonical top ``k`` of parallel arrays.
+
+    The canonical answer order is the ``k``-prefix of the full
+    lexicographic order (descending score, ascending id on ties) —
+    a *total* order when ids are unique, so the returned prefix is
+    uniquely determined and any longer prefix extends it without
+    reshuffling (the invariant the TA prefix lists lazily extend on).
+    When ``k`` is a small fraction of the pool, an argpartition with
+    canonical boundary-tie repair (the ``top_kmax_of_column``
+    selection, which provably picks the same k) avoids sorting the
+    whole pool.
+    """
     import numpy as np
 
     ids = np.asarray(object_ids)
     vals = np.asarray(scores, dtype=np.float64)
     if ids.size == 0 or k <= 0:
-        return TopKResult()
+        return np.empty(0, dtype=np.int64)
     k = min(k, ids.size)
-    # The answer is the k-prefix of the full lexicographic order
-    # (descending score, ascending id) so boundary ties resolve
-    # identically across every method.  When k is a small fraction of
-    # the pool, an argpartition with canonical boundary-tie repair
-    # (the ``top_kmax_of_column`` selection, which provably picks the
-    # same k) avoids sorting the whole pool — the batched query
-    # pipelines build thousands of answers per workload.
     if 4 * k <= ids.size:
         neg = -vals
         chosen = np.argpartition(neg, k - 1)[:k]
@@ -209,9 +213,19 @@ def top_k_from_arrays(object_ids: Sequence[int], scores: Sequence[float], k: int
             tied = np.flatnonzero(neg == boundary)
             tied = tied[np.argsort(ids[tied], kind="stable")]
             chosen = np.concatenate([below, tied[: k - below.size]])
-        order = chosen[np.lexsort((ids[chosen], neg[chosen]))]
-    else:
-        order = np.lexsort((ids, -vals))[:k]
+        return chosen[np.lexsort((ids[chosen], neg[chosen]))]
+    return np.lexsort((ids, -vals))[:k]
+
+
+def top_k_from_arrays(object_ids: Sequence[int], scores: Sequence[float], k: int) -> TopKResult:
+    """Vectorized top-k over parallel arrays (numpy-friendly path)."""
+    import numpy as np
+
+    ids = np.asarray(object_ids)
+    vals = np.asarray(scores, dtype=np.float64)
+    if ids.size == 0 or k <= 0:
+        return TopKResult()
+    order = top_k_order(ids, vals, k)
     # tolist() converts to native int/float in one C pass; the lists
     # are adopted by the columnar result as-is.
     return TopKResult.from_columns(ids[order].tolist(), vals[order].tolist())

@@ -14,6 +14,7 @@ from repro.distributed.partitioner import (
     time_boundaries,
     time_range_partition,
 )
+from repro.distributed.ta_index import SortedPrefixList, TANodeIndex
 from repro.distributed.time_partition import TimePartitionedCluster
 
 __all__ = [
@@ -22,7 +23,9 @@ __all__ = [
     "PAIR_BYTES",
     "Partition",
     "RoundRecord",
+    "SortedPrefixList",
     "StorageNode",
+    "TANodeIndex",
     "ObjectPartitionedCluster",
     "TimePartitionedCluster",
     "build_node_methods",

@@ -47,10 +47,22 @@ class CommSnapshot:
 
 @dataclass
 class RoundRecord:
-    """Message/pair counters for one protocol round."""
+    """Message/pair counters for one protocol round.
+
+    Beyond the totals, the TA's two access kinds are tracked
+    separately — ``sorted_*`` for sorted-access batches, ``random_*``
+    for random-access probes — so the comm bill of a threshold run is
+    attributable per mechanism (surfaced by
+    ``scripts/bench_distributed.py``).  Records written through the
+    plain :meth:`CommStats.record` path leave the split fields at 0.
+    """
 
     messages: int = 0
     pairs: int = 0
+    sorted_messages: int = 0
+    sorted_pairs: int = 0
+    random_messages: int = 0
+    random_pairs: int = 0
 
 
 @dataclass
@@ -93,6 +105,31 @@ class CommStats:
         if self._open_round is not None:
             self._open_round.messages += int(num_messages)
             self._open_round.pairs += int(num_pairs)
+
+    # ------------------------------------------------------------------
+    # TA access kinds (attributable comm bill)
+    # ------------------------------------------------------------------
+    def record_sorted(self, num_pairs: int) -> None:
+        """One sorted-access message carrying ``num_pairs`` pairs."""
+        self.record_sorted_messages(1, num_pairs)
+
+    def record_sorted_messages(self, num_messages: int, num_pairs: int) -> None:
+        """Bulk sorted-access charge (totals + the round's split)."""
+        self.record_messages(num_messages, num_pairs)
+        if self._open_round is not None:
+            self._open_round.sorted_messages += int(num_messages)
+            self._open_round.sorted_pairs += int(num_pairs)
+
+    def record_random(self, num_pairs: int) -> None:
+        """One random-access probe message carrying ``num_pairs`` pairs."""
+        self.record_random_messages(1, num_pairs)
+
+    def record_random_messages(self, num_messages: int, num_pairs: int) -> None:
+        """Bulk random-access charge (totals + the round's split)."""
+        self.record_messages(num_messages, num_pairs)
+        if self._open_round is not None:
+            self._open_round.random_messages += int(num_messages)
+            self._open_round.random_pairs += int(num_pairs)
 
     # ------------------------------------------------------------------
     # rounds (threshold-style protocols)

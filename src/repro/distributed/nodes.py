@@ -27,6 +27,7 @@ from repro.core.plfstore import CSRView
 from repro.core.queries import TopKQuery
 from repro.core.results import TopKResult
 from repro.datasets.workload import WorkloadBatch
+from repro.distributed.ta_index import SortedPrefixList, TANodeIndex
 from repro.exact.base import RankingMethod
 from repro.exact.exact3 import Exact3
 from repro.parallel.executor import ParallelExecutor
@@ -93,6 +94,22 @@ class StorageNode:
         # Warm the shard's columnar store eagerly so serving never
         # pays a first-query snapshot build.
         database.store()
+        self._ta_index: Optional[TANodeIndex] = None
+
+    @property
+    def ta_index(self) -> TANodeIndex:
+        """The node's prefix-list TA index (built lazily, cached)."""
+        if self._ta_index is None:
+            self._ta_index = TANodeIndex(self.database.store())
+        return self._ta_index
+
+    def reset_ta_index(self) -> None:
+        """Drop the TA index's cached streams (cold-start benchmarks).
+
+        Purely a perf event: rebuilt prefix lists are canonical, so
+        results never change.
+        """
+        self._ta_index = None
 
     @property
     def view(self) -> CSRView:
@@ -138,10 +155,25 @@ class StorageNode:
         return out
 
     def sorted_partials(self, t1: float, t2: float) -> TopKResult:
-        """All local partial scores, descending (the TA's sorted access)."""
+        """All local partial scores, descending (the TA's sorted access).
+
+        The eager full-sort form, kept as a reference handler; the TA
+        protocols stream from :meth:`ta_stream` instead, which never
+        sorts past the consumed prefix.
+        """
         return self.method.query(
             TopKQuery(t1, t2, self.database.num_objects)
         )
+
+    def ta_stream(self, t1: float, t2: float) -> SortedPrefixList:
+        """The node's sorted-access stream for one interval.
+
+        Served from the prefix-list TA index: the partial-score row
+        comes from one CSR kernel pass (bit-identical to
+        ``obj.score``), and descending order is materialized only as
+        far as the TA actually reads.
+        """
+        return self.ta_index.stream(t1, t2)
 
     # ------------------------------------------------------------------
     # message handlers (batched: whole workload slices per message)
@@ -187,3 +219,72 @@ class StorageNode:
             axis=1,
         )
         return self.database.store().integrals_many(queries)
+
+    def sorted_access_many(
+        self,
+        t1s: Sequence[float],
+        t2s: Sequence[float],
+        cursors: Sequence[int],
+        batch_size: int,
+    ):
+        """One sorted-access pass serving every live query's next batch.
+
+        The lock-step TA's per-round node message: for query ``j`` the
+        node returns ``(ids, scores, hi)`` — stream items
+        ``[cursors[j], hi)`` with ``hi = min(cursors[j] + batch_size,
+        stream size)`` — from its prefix-list index.  All missing
+        score rows are materialized in one CSR kernel pass
+        (:meth:`TANodeIndex.streams`); per-query slices are exactly
+        what the scalar TA reads at the same cursor, so lock-step
+        sorted-access order is bit-identical by construction.
+        """
+        streams = self.ta_index.streams(t1s, t2s)
+        out = []
+        for stream, cursor in zip(streams, cursors):
+            lo = int(cursor)
+            hi = min(lo + int(batch_size), stream.size)
+            if hi > lo:
+                ids, scores = stream.slice(lo, hi)
+            else:
+                ids, scores = [], []
+            out.append((ids, scores, hi))
+        return out
+
+    def probe_partials_many(
+        self,
+        t1s: Sequence[float],
+        t2s: Sequence[float],
+        id_lists: Sequence[Sequence[int]],
+    ):
+        """Batched random-access probe over each query's newly seen ids.
+
+        One node message per query (the scalar probe's unit); the
+        lookup of the *union* of all queries' ids against the shard's
+        object table runs as a single vectorized pass, and scores are
+        gathered from the cached TA rows — bit-identical to
+        ``partial_scores`` / ``obj.score``.  Returns, per query,
+        ``(present_mask, scores_of_present)`` aligned to
+        ``id_lists[j]``.
+        """
+        streams = self.ta_index.streams(t1s, t2s)
+        lengths = [len(ids) for ids in id_lists]
+        if not lengths:
+            return []
+        flat = np.concatenate(
+            [np.asarray(ids, dtype=np.int64) for ids in id_lists]
+        )
+        sorted_ids, sorted_rows = self.ta_index._lookup
+        pos = np.searchsorted(sorted_ids, flat)
+        clamped = np.minimum(pos, sorted_ids.size - 1)
+        present_flat = (pos < sorted_ids.size) & (
+            sorted_ids[clamped] == flat
+        )
+        rows_flat = sorted_rows[clamped]
+        out = []
+        offset = 0
+        for stream, length in zip(streams, lengths):
+            present = present_flat[offset : offset + length]
+            rows = rows_flat[offset : offset + length][present]
+            out.append((present, stream.row[rows]))
+            offset += length
+        return out

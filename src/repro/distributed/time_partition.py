@@ -19,16 +19,28 @@ Two protocols:
   running k-th best total reaches the threshold (the sum of the
   current batch frontiers).  Exact, and on skewed data it ships a
   small fraction of the pairs.  Every sorted-access-plus-probe round
-  is recorded in :attr:`CommStats.rounds`, so convergence is
-  observable per round, not just in final totals.
+  is recorded in :attr:`CommStats.rounds` (with sorted vs random
+  splits), so convergence is observable per round, not just in final
+  totals.  Sorted access streams from each node's **prefix-list TA
+  index** (:mod:`repro.distributed.ta_index`): one CSR kernel pass
+  materializes the partial-score row, and the descending order is an
+  argpartition prefix extended lazily — a TA round never pays a full
+  local top-``m`` sort.
 
-:meth:`TimePartitionedCluster.query_many` serves whole workloads: the
-scatter-gather protocol is replayed *batched* — per-node partial-score
-matrices through each shard's CSR kernel, accumulated in node order
-(bit-identical float sequence to the scalar coordinator) and reduced
-with one columnar top-k pass.  The adaptive threshold protocol has no
-batched form (each round depends on the previous one's frontier), so
-``protocol="threshold"`` replays the scalar rounds per query.
+:meth:`TimePartitionedCluster.query_many` serves whole workloads.
+``protocol="scatter"`` replays the scatter-gather protocol batched:
+per-node partial-score matrices through each shard's CSR kernel,
+accumulated in node order (bit-identical float sequence to the scalar
+coordinator) and reduced with one columnar top-k pass.
+``protocol="threshold"`` runs the **lock-step batched TA**: all live
+queries advance their TA rounds together, so each round is one
+vectorized sorted-access pass per node (every live query's next batch
+from that node's prefix lists) and one batched random-access probe per
+node (the union of newly seen ids, scattered back per query), with
+per-query early termination masking finished queries out of later
+rounds.  Answers, tie-breaks, per-round comm records, and round counts
+are bit-identical to looping :meth:`query_threshold` — both paths read
+the same canonical prefix streams and the same kernel score rows.
 
 This realizes, at simulation level, the "distributed setting" the
 paper's conclusion leaves open.
@@ -48,6 +60,89 @@ from repro.distributed.comm import CommStats
 from repro.distributed.nodes import StorageNode, build_node_methods
 from repro.distributed.partitioner import time_boundaries, time_range_partition
 from repro.parallel.executor import ParallelExecutor
+
+
+class _TAQueryState:
+    """Per-query bookkeeping for the lock-step threshold protocol.
+
+    Mirrors the scalar :meth:`TimePartitionedCluster.query_threshold`
+    locals exactly — cursors, frontiers, totals dict, seen set, the
+    bounded best-k min-heap — plus the per-round comm tallies that are
+    replayed into :class:`CommStats` in query order once the whole
+    batch has drained.
+    """
+
+    __slots__ = (
+        "index",
+        "t1",
+        "t2",
+        "k",
+        "nodes",
+        "streams",
+        "cursors",
+        "frontiers",
+        "totals",
+        "seen",
+        "best_k",
+        "rounds",
+        "round_batches",
+        "round_probes",
+        "new_ids",
+        "live",
+    )
+
+    def __init__(self, index, t1, t2, k, nodes):
+        self.index = index
+        self.t1 = t1
+        self.t2 = t2
+        self.k = k
+        self.nodes = nodes
+        self.streams = [None] * len(nodes)
+        self.cursors = [0] * len(nodes)
+        self.frontiers = [0.0] * len(nodes)
+        self.totals: Dict[int, float] = {}
+        self.seen: set = set()
+        self.best_k: List[float] = []
+        #: (sorted_msgs, sorted_pairs, random_msgs, random_pairs) per round.
+        self.rounds: List[tuple] = []
+        self.round_batches: Dict[int, tuple] = {}
+        self.round_probes: List[tuple] = []
+        self.new_ids: List[int] = []
+        self.live = True
+
+    def init_frontiers(self) -> None:
+        # Guarded like the scalar path: a frontier below 0 is not a
+        # valid bound for objects absent from the shard (they
+        # contribute exactly 0), so frontiers are clamped at 0.
+        self.frontiers = [
+            max(stream.score_at(0), 0.0) if stream.size else 0.0
+            for stream in self.streams
+        ]
+
+    def threshold(self) -> float:
+        return float(sum(self.frontiers))
+
+    def kth_best(self) -> float:
+        if len(self.best_k) < self.k:
+            return -np.inf
+        return self.best_k[0]
+
+    def should_continue(self) -> bool:
+        return self.kth_best() < self.threshold() and any(
+            self.cursors[i] < self.streams[i].size
+            for i in range(len(self.nodes))
+        )
+
+    def finalize(self) -> TopKResult:
+        if not self.totals:
+            return TopKResult()
+        ids = np.fromiter(
+            self.totals.keys(), dtype=np.int64, count=len(self.totals)
+        )
+        vals = np.fromiter(
+            self.totals.values(), dtype=np.float64, count=len(self.totals)
+        )
+        return top_k_from_arrays(ids, vals, self.k)
 
 
 class TimePartitionedCluster:
@@ -137,21 +232,18 @@ class TimePartitionedCluster:
         pass produces every answer.  Answers, tie-breaks, and comm
         totals equal the scalar loop exactly.
 
-        ``protocol="threshold"`` replays :meth:`query_threshold` per
-        query (the TA's rounds are adaptive — each depends on the
-        previous frontier — so there is no cross-query batching), with
-        ``batch_size`` forwarded.
+        ``protocol="threshold"`` runs the lock-step batched TA: all
+        live queries advance their rounds together — one sorted-access
+        pass and one batched probe per node per round — with per-query
+        early termination.  Answers, per-round comm records, and round
+        counts are bit-identical to looping :meth:`query_threshold`
+        with the same ``batch_size``.
         """
         t1s, t2s, ks = workload_arrays(queries)
         if t1s.size == 0:
             return []
         if protocol == "threshold":
-            return [
-                self.query_threshold(
-                    float(t1), float(t2), int(k), batch_size=batch_size
-                )
-                for t1, t2, k in zip(t1s, t2s, ks)
-            ]
+            return self._threshold_many(t1s, t2s, ks, batch_size)
         if protocol != "scatter":
             from repro.core.errors import ReproError
 
@@ -224,18 +316,30 @@ class TimePartitionedCluster:
     def query_threshold(
         self, t1: float, t2: float, k: int, batch_size: int = 8
     ) -> TopKResult:
-        """Exact TA protocol: sorted access in batches + random probes."""
+        """Exact TA protocol: sorted access in batches + random probes.
+
+        Sorted access streams from each node's prefix-list TA index —
+        no node ever sorts past the prefix the coordinator actually
+        consumes — and random-access probes gather from the same
+        cached score rows, so stream and probe values are mutually
+        consistent (and bit-identical to ``obj.score``).
+
+        Frontier guard: a batch frontier is ``max(last served score,
+        0.0)``.  The raw last-score frontier assumes nonnegative
+        partials — an object *absent* from a shard contributes exactly
+        0 to its total, which would exceed a negative frontier and
+        break the threshold's upper-bound property; the clamp keeps
+        the TA exact when score functions go negative (Section 4) and
+        is a bitwise no-op on nonnegative data.
+        """
         nodes = self._touched_nodes(t1, t2)
-        if not nodes:
+        if not nodes or k <= 0:
             return TopKResult()
-        # Sorted access streams (lazily materialized per node).
-        streams = []
-        for node in nodes:
-            full = node.sorted_partials(t1, t2)
-            streams.append(list(full))
+        streams = [node.ta_stream(t1, t2) for node in nodes]
         cursors = [0] * len(nodes)
         frontiers = [
-            stream[0].score if stream else 0.0 for stream in streams
+            max(stream.score_at(0), 0.0) if stream.size else 0.0
+            for stream in streams
         ]
         totals: Dict[int, float] = {}
         seen: set = set()
@@ -255,35 +359,43 @@ class TimePartitionedCluster:
             return best_k[0]
 
         while kth_best() < threshold() and any(
-            cursors[i] < len(streams[i]) for i in range(len(nodes))
+            cursors[i] < streams[i].size for i in range(len(nodes))
         ):
             # One TA round: a sorted-access batch from every stream
             # plus the random-access probes it triggers, recorded as
             # one CommStats round.
             self.comm.start_round()
-            new_ids = []
+            new_ids: List[int] = []
             for i, stream in enumerate(streams):
                 lo = cursors[i]
-                hi = min(lo + batch_size, len(stream))
+                hi = min(lo + batch_size, stream.size)
                 if hi > lo:
-                    self.comm.record(hi - lo)
-                    for item in stream[lo:hi]:
-                        if item.object_id not in seen:
-                            seen.add(item.object_id)
-                            new_ids.append(item.object_id)
+                    ids, scores = stream.slice(lo, hi)
+                    self.comm.record_sorted(hi - lo)
+                    for object_id in ids:
+                        if object_id not in seen:
+                            seen.add(object_id)
+                            new_ids.append(object_id)
                     cursors[i] = hi
-                    frontiers[i] = (
-                        stream[hi - 1].score if hi - 1 < len(stream) else 0.0
-                    )
+                    frontiers[i] = max(scores[-1], 0.0)
                 else:
+                    # Exhausted stream: every shard object was already
+                    # streamed, and objects absent from the shard
+                    # contribute exactly 0 — so 0.0 is the tight bound
+                    # regardless of sign.
                     frontiers[i] = 0.0
             # Random access: resolve full totals for newly seen objects.
             if new_ids:
-                for i, node in enumerate(nodes):
-                    probed = node.partial_scores(t1, t2, new_ids)
-                    self.comm.record(len(probed))
-                    for object_id, score in probed.items():
-                        totals[object_id] = totals.get(object_id, 0.0) + score
+                arr = np.asarray(new_ids, dtype=np.int64)
+                for stream in streams:
+                    present, values = stream.probe(new_ids)
+                    self.comm.record_random(int(values.size))
+                    for object_id, score in zip(
+                        arr[present].tolist(), values.tolist()
+                    ):
+                        totals[object_id] = (
+                            totals.get(object_id, 0.0) + score
+                        )
                 for object_id in new_ids:
                     if object_id not in totals:
                         continue
@@ -298,3 +410,193 @@ class TimePartitionedCluster:
         ids = np.fromiter(totals.keys(), dtype=np.int64, count=len(totals))
         vals = np.fromiter(totals.values(), dtype=np.float64, count=len(totals))
         return top_k_from_arrays(ids, vals, k)
+
+    # ------------------------------------------------------------------
+    # lock-step batched TA
+    # ------------------------------------------------------------------
+    def _threshold_many(
+        self,
+        t1s: np.ndarray,
+        t2s: np.ndarray,
+        ks: np.ndarray,
+        batch_size: int,
+    ) -> List[TopKResult]:
+        """All queries' TA rounds in lock-step, batched per node.
+
+        Each global round performs (a) **one sorted-access pass per
+        node** — :meth:`StorageNode.sorted_access_many` serves every
+        live query's next batch from that node's prefix lists — and
+        (b) **one batched random-access probe per node** —
+        :meth:`StorageNode.probe_partials_many` resolves the union of
+        newly seen ids in a single vectorized lookup, scattered back
+        per query.  Per-query state then advances with exactly the
+        scalar :meth:`query_threshold` logic (same cursors, frontier
+        clamps, heap updates, termination test), so each query's round
+        sequence is bit-identical to its scalar run; finished queries
+        drop out of later rounds.
+
+        Comm accounting: rounds for different queries interleave in
+        wall time, so per-query round tallies are buffered and
+        replayed into :attr:`comm` in query order afterwards — the
+        rounds list (with sorted/random splits) and the totals equal
+        the scalar per-query loop exactly.
+        """
+        num_queries = int(t1s.size)
+        results: List[Optional[TopKResult]] = [None] * num_queries
+        states: List[_TAQueryState] = []
+        # Vectorized _touched_nodes: same boundary comparisons, one
+        # (q, nodes) pass instead of a Python scan per query.
+        bounds = np.asarray(self.boundaries, dtype=np.float64)
+        touched_matrix = (bounds[None, 1:] > t1s[:, None]) & (
+            bounds[None, :-1] < t2s[:, None]
+        )
+        for j in range(num_queries):
+            t1, t2, k = float(t1s[j]), float(t2s[j]), int(ks[j])
+            nodes = [self.nodes[i] for i in np.flatnonzero(touched_matrix[j])]
+            if not nodes or k <= 0:
+                results[j] = TopKResult()
+                continue
+            states.append(_TAQueryState(j, t1, t2, k, nodes))
+        if states:
+            # Membership lists per node, built once: which (state,
+            # stream slot) pairs read from each node.
+            per_node: Dict[int, tuple] = {}
+            for state in states:
+                for slot, node in enumerate(state.nodes):
+                    per_node.setdefault(node.node_id, (node, []))[1].append(
+                        (state, slot)
+                    )
+            # Stream creation: one kernel pass per node covering every
+            # query that touches it.
+            for node, members in per_node.values():
+                streams = node.ta_index.streams(
+                    [state.t1 for state, _ in members],
+                    [state.t2 for state, _ in members],
+                )
+                for (state, slot), stream in zip(members, streams):
+                    state.streams[slot] = stream
+            for state in states:
+                state.init_frontiers()
+                state.live = state.should_continue()
+            live = [state for state in states if state.live]
+            for state in states:
+                if not state.live:
+                    results[state.index] = state.finalize()
+            while live:
+                self._threshold_round(live, per_node, batch_size)
+                still = []
+                for state in live:
+                    if state.should_continue():
+                        still.append(state)
+                    else:
+                        state.live = False
+                        results[state.index] = state.finalize()
+                live = still
+            # Replay per-query round tallies in query order: the comm
+            # log reads exactly as if the scalar loop had run.
+            for state in states:
+                for s_msgs, s_pairs, r_msgs, r_pairs in state.rounds:
+                    self.comm.start_round()
+                    if s_msgs:
+                        self.comm.record_sorted_messages(s_msgs, s_pairs)
+                    if r_msgs:
+                        self.comm.record_random_messages(r_msgs, r_pairs)
+                    self.comm.end_round()
+        return results
+
+    def _threshold_round(
+        self,
+        live: List[_TAQueryState],
+        per_node: Dict[int, tuple],
+        batch_size: int,
+    ) -> None:
+        """One lock-step round over all live queries."""
+        # (a) one sorted-access pass per node.
+        for node, members in per_node.values():
+            served = [
+                (state, slot)
+                for state, slot in members
+                if state.live
+                and state.cursors[slot] < state.streams[slot].size
+            ]
+            if not served:
+                continue
+            batches = node.sorted_access_many(
+                [state.t1 for state, _ in served],
+                [state.t2 for state, _ in served],
+                [state.cursors[slot] for state, slot in served],
+                batch_size,
+            )
+            for (state, slot), batch in zip(served, batches):
+                state.round_batches[slot] = batch
+        # Per-query new-id scan and frontier updates, in each query's
+        # own stream order — the scalar loop's iteration exactly.
+        for state in live:
+            state.new_ids = []
+            s_msgs = 0
+            s_pairs = 0
+            for slot in range(len(state.nodes)):
+                batch = state.round_batches.pop(slot, None)
+                if batch is not None:
+                    ids, scores, hi = batch
+                    s_msgs += 1
+                    s_pairs += hi - state.cursors[slot]
+                    for object_id in ids:
+                        if object_id not in state.seen:
+                            state.seen.add(object_id)
+                            state.new_ids.append(object_id)
+                    state.cursors[slot] = hi
+                    state.frontiers[slot] = max(scores[-1], 0.0)
+                else:
+                    state.frontiers[slot] = 0.0
+            state.round_probes = [None] * len(state.nodes)
+            state.rounds.append((s_msgs, s_pairs, 0, 0))
+        # (b) one batched random-access probe per node over the union
+        # of newly seen ids (every touched node is probed, as in the
+        # scalar protocol).
+        for node, members in per_node.values():
+            probing = [
+                (state, slot)
+                for state, slot in members
+                if state.live and state.new_ids
+            ]
+            if not probing:
+                continue
+            probes = node.probe_partials_many(
+                [state.t1 for state, _ in probing],
+                [state.t2 for state, _ in probing],
+                [state.new_ids for state, _ in probing],
+            )
+            for (state, slot), probe in zip(probing, probes):
+                state.round_probes[slot] = probe
+        # Scatter probe results back per query: accumulate totals in
+        # ascending node order (the scalar float-addition sequence)
+        # and update the best-k heap in new-id order.
+        for state in live:
+            if not state.new_ids:
+                continue
+            arr = np.asarray(state.new_ids, dtype=np.int64)
+            acc = np.zeros(arr.size, dtype=np.float64)
+            any_present = np.zeros(arr.size, dtype=bool)
+            r_msgs = 0
+            r_pairs = 0
+            for probe in state.round_probes:
+                present, values = probe
+                r_msgs += 1
+                r_pairs += int(values.size)
+                if values.size:
+                    acc[present] += values
+                    any_present |= present
+            state.totals.update(
+                zip(arr[any_present].tolist(), acc[any_present].tolist())
+            )
+            for object_id in state.new_ids:
+                if object_id not in state.totals:
+                    continue
+                value = state.totals[object_id]
+                if len(state.best_k) < state.k:
+                    heapq.heappush(state.best_k, value)
+                elif value > state.best_k[0]:
+                    heapq.heapreplace(state.best_k, value)
+            s_msgs, s_pairs, _, _ = state.rounds[-1]
+            state.rounds[-1] = (s_msgs, s_pairs, r_msgs, r_pairs)

@@ -14,6 +14,12 @@ Every adapter routes through the engine's *batched* pipeline
 whose answers are bit-identical to the scalar per-query loops (the
 repo-wide equivalence contract), so micro-batching requests changes
 latency and throughput but never an answer.
+
+Each adapter declares a ``cost_hint`` — the coordinator's result-cache
+admission signal (relative recomputation cost of one answer).  The
+instant path is a single fractional-cascading walk per query, cheap
+enough that caching it mostly churns the LRU; the aggregate and
+cluster paths pay real kernel work per answer.
 """
 
 from __future__ import annotations
@@ -33,6 +39,9 @@ class EngineBackend:
     tiny dyadic structure, scores exact) — the engine builds it
     lazily on the first batch.
     """
+
+    #: Aggregate answers pay per-query kernel work: worth caching.
+    cost_hint = 1.0
 
     def __init__(self, engine, approximate: bool = False) -> None:
         self.engine = engine
@@ -66,6 +75,10 @@ class InstantBackend:
     """
 
     name = "engine-instant"
+    #: One fractional-cascading walk per answer — cheaper to recompute
+    #: than to let it evict aggregate answers (admission rejects it
+    #: under a positive ``cache_min_cost``).
+    cost_hint = 0.0
 
     def __init__(self, engine) -> None:
         self.engine = engine
@@ -99,6 +112,9 @@ class ClusterBackend:
     current clusters, so this is effectively constant — but the guard
     stays correct if that ever changes).
     """
+
+    #: Cluster answers cross the (modeled) network: worth caching.
+    cost_hint = 1.0
 
     def __init__(self, cluster, name: Optional[str] = None, **query_kwargs):
         self.cluster = cluster

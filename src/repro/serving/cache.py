@@ -26,6 +26,7 @@ class ResultCacheStats:
     misses: int = 0
     stale: int = 0
     evictions: int = 0
+    rejected: int = 0
 
     @property
     def lookups(self) -> int:
@@ -45,9 +46,16 @@ class ResultCache:
     and the lookup counts as a miss.  ``put`` evicts the least
     recently used entry past ``capacity``.  ``capacity <= 0`` disables
     the cache entirely (every lookup misses, nothing is stored).
+
+    Admission policy: ``put`` takes the answer's recomputation
+    ``cost`` (backend-defined scale); answers cheaper than
+    ``min_cost`` are rejected instead of cached, so trivially
+    recomputable results never evict expensive ones.  The default
+    ``min_cost`` of 0.0 admits everything.
     """
 
     capacity: int = 1024
+    min_cost: float = 0.0
     stats: ResultCacheStats = field(default_factory=ResultCacheStats)
 
     def __post_init__(self) -> None:
@@ -78,9 +86,19 @@ class ResultCache:
         self.stats.hits += 1
         return value
 
-    def put(self, key: Hashable, epoch: int, value: object) -> None:
-        """Insert (or refresh) an answer computed at ``epoch``."""
+    def put(
+        self, key: Hashable, epoch: int, value: object, cost: float = 1.0
+    ) -> None:
+        """Insert (or refresh) an answer computed at ``epoch``.
+
+        ``cost`` is the answer's recomputation cost; entries below
+        :attr:`min_cost` are rejected (counted in ``stats.rejected``)
+        rather than admitted.
+        """
         if self.capacity <= 0:
+            return
+        if cost < self.min_cost:
+            self.stats.rejected += 1
             return
         if key in self._entries:
             self._entries.move_to_end(key)

@@ -127,6 +127,12 @@ class ServingCoordinator:
     cache_size:
         Result-cache capacity in answers; ``0`` disables result
         caching.
+    cache_min_cost:
+        Admission threshold for the result cache: answers whose
+        backend-declared recomputation cost (the backend's
+        ``cost_hint``, default 1.0) falls below this are *not*
+        cached, so instant-cheap backends never churn the LRU.  The
+        default 0.0 admits everything.
     clock:
         Injectable monotonic clock (tests).
 
@@ -144,6 +150,7 @@ class ServingCoordinator:
         adaptive: bool = True,
         pipeline_depth: int = 2,
         cache_size: int = 1024,
+        cache_min_cost: float = 0.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
@@ -162,7 +169,9 @@ class ServingCoordinator:
         self.max_delay = float(max_delay)
         self.adaptive = bool(adaptive)
         self.pipeline_depth = int(pipeline_depth)
-        self.cache = ResultCache(capacity=int(cache_size))
+        self.cache = ResultCache(
+            capacity=int(cache_size), min_cost=float(cache_min_cost)
+        )
         self.stats = ServingStats()
         self._clock = clock
         self._queue: Deque[_Request] = deque()
@@ -340,9 +349,10 @@ class ServingCoordinator:
                 # entry stamped with the pre-append epoch could
                 # otherwise hold a post-append answer (or vice versa).
                 fresh = self.backend.epoch == epoch
+                cost = float(getattr(self.backend, "cost_hint", 1.0))
                 for key, result in zip(keys, results):
                     if fresh:
-                        self.cache.put(key, epoch, result)
+                        self.cache.put(key, epoch, result, cost=cost)
                     waiters = pending[key]
                     self.stats.deduped += len(waiters) - 1
                     for request in waiters:

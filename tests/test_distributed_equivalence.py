@@ -322,6 +322,191 @@ class TestThresholdRounds:
         assert cluster.comm.rounds == []
         assert cluster.comm.pairs == 0
 
+    def test_round_records_split_by_access_kind(self, db):
+        """Each round's sorted/random split partitions its totals."""
+        cluster = TimePartitionedCluster(db, num_nodes=4)
+        cluster.comm.reset()
+        cluster.query_threshold(10.0, 80.0, 5, batch_size=4)
+        assert cluster.comm.rounds
+        for record in cluster.comm.rounds:
+            assert record.messages == (
+                record.sorted_messages + record.random_messages
+            )
+            assert record.pairs == record.sorted_pairs + record.random_pairs
+        # Sorted access happens every round; random access at least in
+        # the first (everything streamed there is newly seen).
+        assert all(r.sorted_messages > 0 for r in cluster.comm.rounds)
+        assert cluster.comm.rounds[0].random_messages > 0
+
+
+# ----------------------------------------------------------------------
+# lock-step batched TA (tentpole: one kernel pass per node per round)
+# ----------------------------------------------------------------------
+def assert_lockstep_equals_scalar(db, num_nodes, batch, batch_size=8):
+    """query_many(protocol="threshold") == the scalar TA loop, exactly.
+
+    Two independently built clusters run the two paths from zero, so
+    answers, comm totals, *and the per-round records* (with their
+    sorted/random splits) are directly comparable.
+    """
+    from repro.core.queries import workload_arrays
+
+    scalar_cluster = TimePartitionedCluster(db, num_nodes=num_nodes)
+    batched_cluster = TimePartitionedCluster(db, num_nodes=num_nodes)
+    rows = list(zip(*workload_arrays(batch)))
+    expected = [
+        scalar_cluster.query_threshold(
+            float(t1), float(t2), int(k), batch_size=batch_size
+        )
+        for t1, t2, k in rows
+    ]
+    got = batched_cluster.query_many(
+        batch, protocol="threshold", batch_size=batch_size
+    )
+    assert len(got) == len(expected)
+    for row, (want, have) in enumerate(zip(expected, got)):
+        assert want == have, f"answer diverged at row {row}"
+    # CommStats equality covers totals and the full rounds list.
+    assert scalar_cluster.comm == batched_cluster.comm
+    return expected
+
+
+class TestThresholdLockStep:
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4, 8])
+    def test_matches_scalar_across_node_counts(self, db, batch, num_nodes):
+        assert_lockstep_equals_scalar(db, num_nodes, batch)
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 16])
+    def test_matches_scalar_across_batch_sizes(self, db, batch, batch_size):
+        assert_lockstep_equals_scalar(db, 4, batch, batch_size=batch_size)
+
+    def test_matches_brute_force(self, db, batch):
+        cluster = TimePartitionedCluster(db, num_nodes=4)
+        got = cluster.query_many(batch, protocol="threshold")
+        for j, result in enumerate(got):
+            ref = db.brute_force_top_k(
+                float(batch.t1s[j]), float(batch.t2s[j]), int(batch.ks[j])
+            )
+            assert result.object_ids == ref.object_ids
+            assert np.allclose(result.scores, ref.scores, atol=1e-6)
+
+    def test_tie_heavy_totals(self):
+        """Maximal score ties: tie-break order still scalar-identical."""
+        tie_db = tie_heavy_database(num_objects=40)
+        tie_batch = sample_workload(tie_db, count=24, kmax=20, seed=5)
+        assert_lockstep_equals_scalar(tie_db, 4, tie_batch, batch_size=4)
+
+    def test_k_exceeds_num_objects(self, db):
+        t1s = np.asarray([10.0, 20.0])
+        t2s = np.asarray([80.0, 90.0])
+        ks = np.asarray([db.num_objects + 5, db.num_objects * 3])
+        batch = np.stack([t1s, t2s, ks], axis=1)
+        expected = assert_lockstep_equals_scalar(db, 4, batch)
+        for j, result in enumerate(expected):
+            ref = db.brute_force_top_k(
+                float(t1s[j]), float(t2s[j]), int(ks[j])
+            )
+            assert result.object_ids == ref.object_ids
+
+    def test_empty_touched_sets_in_batch(self, db):
+        """Out-of-domain intervals answer empty and never join the
+        lock-step rounds of live queries."""
+        t_min, t_max = db.span
+        t1s = np.asarray([10.0, t_max + 1.0, t_min - 5.0])
+        t2s = np.asarray([70.0, t_max + 2.0, t_min - 1.0])
+        ks = np.asarray([5, 4, 3])
+        batch = np.stack([t1s, t2s, ks], axis=1)
+        results = assert_lockstep_equals_scalar(db, 4, batch)
+        assert len(results[1]) == 0  # past the span: no touched nodes
+        assert len(results[2]) == 0  # before the span
+        assert len(results[0]) == 5
+
+    def test_nonpositive_k_scalar_guard(self, db):
+        """k <= 0 is answered empty before any stream is opened (the
+        batched entry point rejects k < 1 at workload validation)."""
+        cluster = TimePartitionedCluster(db, num_nodes=3)
+        cluster.comm.reset()
+        assert cluster.query_threshold(10.0, 70.0, 0) == TopKResult()
+        assert cluster.query_threshold(10.0, 70.0, -2) == TopKResult()
+        assert cluster.comm.pairs == 0 and cluster.comm.rounds == []
+
+    def test_one_node_cluster(self, db, batch):
+        assert_lockstep_equals_scalar(db, 1, batch)
+
+    def test_batch_size_larger_than_any_stream(self, db, batch):
+        """One sorted-access round drains every stream completely."""
+        expected = assert_lockstep_equals_scalar(
+            db, 3, batch, batch_size=10 * db.num_objects
+        )
+        cluster = TimePartitionedCluster(db, num_nodes=3)
+        got = cluster.query_many(
+            batch, protocol="threshold", batch_size=10 * db.num_objects
+        )
+        assert got == expected
+
+    def test_all_streams_exhausted_terminates_exactly(self):
+        """Regression: k = m forces the TA to drain every stream; the
+        exhausted-stream frontier (0.0, not the last served score)
+        lets the threshold drop so the run terminates with the full
+        exact answer."""
+        tiny = make_random_database(num_objects=8, avg_segments=10, seed=21)
+        t1, t2 = tiny.span
+        batch = np.asarray([[t1, t2, tiny.num_objects]], dtype=np.float64)
+        results = assert_lockstep_equals_scalar(tiny, 4, batch, batch_size=3)
+        ref = tiny.brute_force_top_k(t1, t2, tiny.num_objects)
+        assert results[0].object_ids == ref.object_ids
+        assert np.allclose(results[0].scores, ref.scores, atol=1e-9)
+
+    def test_negative_partials_frontier_clamp(self):
+        """Negative score functions: the nonnegative frontier guard
+        keeps the TA exact (an object absent from a shard contributes
+        0, which exceeds any negative frontier)."""
+        objects = []
+        for i in range(12):
+            level = float(i - 8)  # levels -8 .. 3: mostly negative
+            objects.append(
+                TemporalObject(
+                    i,
+                    PiecewiseLinearFunction([0.0, 50.0, 100.0], [level] * 3),
+                )
+            )
+        negative_db = TemporalDatabase(objects, span=(0.0, 100.0), pad=True)
+        cluster = TimePartitionedCluster(negative_db, num_nodes=3)
+        for k in (1, 3, 12):
+            got = cluster.query_threshold(5.0, 95.0, k, batch_size=4)
+            ref = negative_db.brute_force_top_k(5.0, 95.0, k)
+            assert got.object_ids == ref.object_ids
+            assert np.allclose(got.scores, ref.scores, atol=1e-9)
+        batch = np.asarray(
+            [[5.0, 95.0, 1], [5.0, 95.0, 3], [5.0, 95.0, 12]],
+            dtype=np.float64,
+        )
+        assert_lockstep_equals_scalar(negative_db, 3, batch, batch_size=4)
+
+    @pytest.mark.parametrize("backend,workers", EXECUTOR_MATRIX)
+    def test_build_fanout_backends_identical(self, db, batch, backend, workers):
+        """Lock-step answers are backend-invariant for the node-build
+        fan-out (the TA index derives from the shard stores, which are
+        byte-identical across executors)."""
+        executor = get_executor(backend, workers)
+        reference = TimePartitionedCluster(db, num_nodes=4)
+        fanned = TimePartitionedCluster(db, num_nodes=4, executor=executor)
+        expected = reference.query_many(batch, protocol="threshold")
+        got = fanned.query_many(batch, protocol="threshold")
+        assert expected == got
+        assert reference.comm == fanned.comm
+
+    def test_serving_backend_threshold_protocol(self, db, batch):
+        """ClusterBackend forwards protocol="threshold" to query_many."""
+        from repro.serving import ClusterBackend
+
+        cluster = TimePartitionedCluster(db, num_nodes=3)
+        backend = ClusterBackend(cluster, protocol="threshold")
+        reference = TimePartitionedCluster(db, num_nodes=3)
+        expected = reference.query_many(batch, protocol="threshold")
+        got = backend.serve_many(batch.t1s, batch.t2s, batch.ks)
+        assert got == expected
+
 
 # ----------------------------------------------------------------------
 # partitioners (satellite: disjoint cover, determinism, edge cases)

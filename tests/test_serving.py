@@ -108,8 +108,9 @@ def test_serving_matches_direct_instant(db, engine):
     [
         ("object", {}),
         ("time", {"protocol": "scatter"}),
+        ("time", {"protocol": "threshold"}),
     ],
-    ids=["object-partition", "time-partition"],
+    ids=["object-partition", "time-partition", "time-threshold"],
 )
 def test_serving_matches_direct_cluster(db, engine, partition, kwargs):
     cluster = engine.cluster(3, partition=partition)
@@ -326,6 +327,55 @@ def test_result_cache_epoch_and_lru_mechanics():
     disabled.put(("a",), 0, "A")
     assert disabled.get(("a",), 0) is None
     assert len(disabled) == 0
+
+
+def test_result_cache_admission_by_cost():
+    """Answers cheaper than min_cost are rejected, not cached."""
+    cache = ResultCache(capacity=4, min_cost=0.5)
+    cache.put(("cheap",), 0, "X", cost=0.1)
+    assert cache.get(("cheap",), 0) is None
+    assert cache.stats.rejected == 1
+    assert len(cache) == 0
+    cache.put(("dear",), 0, "Y", cost=1.0)
+    assert cache.get(("dear",), 0) == "Y"
+    assert cache.stats.rejected == 1
+    # The default min_cost of 0.0 admits everything (cost default 1.0).
+    default = ResultCache(capacity=4)
+    default.put(("a",), 0, "A", cost=0.0)
+    assert default.get(("a",), 0) == "A"
+    assert default.stats.rejected == 0
+
+
+def test_coordinator_admission_skips_instant_backend(db, engine):
+    """With a positive cache_min_cost, InstantBackend answers
+    (cost_hint 0.0 — a stab is trivially recomputable) are never
+    cached, while EngineBackend answers (cost_hint 1.0) still are."""
+    t1, t2 = db.span
+    t_mid = 0.5 * (t1 + t2)
+
+    async def run(backend, *query):
+        coordinator = ServingCoordinator(
+            backend, max_delay=0.001, cache_min_cost=0.5
+        )
+        async with coordinator:
+            first = await coordinator.top_k(*query)
+            second = await coordinator.top_k(*query)
+        return coordinator, first, second
+
+    instant = InstantBackend(engine)
+    coordinator, first, second = asyncio.run(
+        run(instant, t_mid, t_mid, 4)
+    )
+    assert first == second
+    assert coordinator.cache.stats.rejected >= 1
+    assert coordinator.cache.stats.hits == 0
+    assert len(coordinator.cache) == 0
+
+    ranked = EngineBackend(engine)
+    coordinator, first, second = asyncio.run(run(ranked, t1, t2, 4))
+    assert first == second == engine.top_k(t1, t2, 4)
+    assert coordinator.cache.stats.rejected == 0
+    assert coordinator.cache.stats.hits >= 1
 
 
 # ----------------------------------------------------------------------
