@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Durable storage tier bench: cold-open vs rebuild, mmap fan-out.
+
+Measures what the segment + catalog tier buys over rebuilding from the
+raw dataset:
+
+* **open** — wall time to build a :class:`TemporalRankingEngine` from
+  scratch (store + EXACT3 index) versus cold-mounting the same engine
+  from a snapshot directory (``repro.open``: memmap the CSR segments,
+  unpickle the index skeleton, re-attach block payloads — zero
+  builds).  ``open_speedup`` is the in-run ratio, so it normalizes
+  away host speed; mounted answers are asserted bit-identical to the
+  rebuilt engine's on a sampled workload before anything is reported.
+* **fanout** — bytes pickled to ship the kernel's CSR view to a
+  process-pool worker: a mounted view serializes as its segment path
+  (the worker re-mounts zero-copy), an in-memory view serializes every
+  array.  ``payload_shrink`` is the ratio.
+* **rss** — resident-set delta of a fresh subprocess that maps the
+  store segment versus one that unpickles the same arrays: mapped
+  pages are shared file cache, unpickled bytes are private heap.
+  Reported but not gated (small datasets sit inside interpreter
+  noise).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_storage.py [--m 1000]
+        [--navg 60] [--count 200] [--seed 0] [--smoke]
+        [--require-speedup 0] [--baseline BENCH_storage.json]
+        [--max-regression 2.0]
+
+``--smoke`` shrinks every dimension so CI can run in a few seconds.
+With ``--baseline`` the run is compared against the committed
+trajectory entry whose config matches; the script exits nonzero when
+an in-run speedup ratio regresses by more than ``--max-regression`` x.
+Output is one JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: No absolute wall clocks are gated: open/rebuild times depend on the
+#: host; the in-run ratio is the portable signal.
+GATED_KEYS = ()
+
+#: In-run cold-open vs rebuild ratio (and the fan-out payload ratio,
+#: which is a pure format property).
+GATED_RATIOS = ("open_speedup", "payload_shrink")
+
+_RSS_CHILD = """
+import pickle, sys
+mode, path = sys.argv[1], sys.argv[2]
+sys.path.insert(0, sys.argv[3])
+from repro.core.plfstore import PLFStore  # same import cost both modes
+if mode == "mount":
+    store = PLFStore.from_segments(path, verify=False)
+    touch = float(store.totals.sum())  # fault in a few pages
+else:
+    with open(path, "rb") as handle:
+        store = pickle.loads(handle.read())
+    touch = float(store["totals"].sum())
+with open("/proc/self/statm") as handle:
+    pages = int(handle.read().split()[1])
+print(pages)
+"""
+
+
+def _child_rss_kb(mode: str, path: str, src: str) -> float:
+    """Resident KB of a fresh interpreter after loading the store."""
+    import resource
+
+    out = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD, mode, path, src],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    page_kb = resource.getpagesize() // 1024
+    return int(out.stdout.split()[-1]) * page_kb
+
+
+def bench_open(engine_factory, database, queries, snap_dir, repeats=3):
+    """Rebuild-vs-mount timing plus the bit-identity assertion.
+
+    Both sides are best-of-``repeats``: rebuild and mount each take
+    tens of milliseconds at m=1000, so a single sample sits inside
+    scheduler jitter and the gated ratio would wobble run to run.
+    """
+    import repro
+
+    rebuild_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        rebuilt = engine_factory(database)
+        rebuild_seconds = min(
+            rebuild_seconds, time.perf_counter() - start
+        )
+
+    start = time.perf_counter()
+    rebuilt.snapshot(snap_dir)
+    snapshot_seconds = time.perf_counter() - start
+    snapshot_bytes = sum(f.stat().st_size for f in Path(snap_dir).iterdir())
+
+    cold_open_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        mounted = repro.open(snap_dir)
+        cold_open_seconds = min(
+            cold_open_seconds, time.perf_counter() - start
+        )
+
+    for q in queries:
+        a = rebuilt.exact.measured_query(q)
+        b = mounted.exact.measured_query(q)
+        if a.result != b.result or a.ios != b.ios:
+            raise AssertionError(
+                f"mounted engine diverged on {q}: "
+                f"{a.result!r}/{a.ios} vs {b.result!r}/{b.ios}"
+            )
+    return mounted, {
+        "rebuild_seconds": rebuild_seconds,
+        "snapshot_seconds": snapshot_seconds,
+        "snapshot_bytes": snapshot_bytes,
+        "cold_open_seconds": cold_open_seconds,
+        "open_speedup": rebuild_seconds / max(cold_open_seconds, 1e-12),
+    }
+
+
+def bench_fanout(mounted, database):
+    """Worker-shipment payload: segment path vs pickled arrays."""
+    mounted_view = mounted.database.store().csr_view()
+    memory_view = database.store().csr_view()
+    mounted_bytes = len(pickle.dumps(mounted_view))
+    memory_bytes = len(pickle.dumps(memory_view))
+    return {
+        "pickle_bytes_mounted": mounted_bytes,
+        "pickle_bytes_memory": memory_bytes,
+        "payload_shrink": memory_bytes / max(mounted_bytes, 1),
+    }
+
+
+def bench_rss(mounted, database, tmp, src):
+    """Fresh-process resident set: mmap mount vs unpickled arrays."""
+    from repro.storage.segments import STORE_ARRAYS
+
+    seg_path = mounted.database.store().segment_path
+    pickle_path = str(Path(tmp) / "store_arrays.pkl")
+    store = database.store()
+    with open(pickle_path, "wb") as handle:
+        pickle.dump(
+            {name: getattr(store, name) for name in STORE_ARRAYS},
+            handle,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    mounted_rss = _child_rss_kb("mount", seg_path, src)
+    pickled_rss = _child_rss_kb("pickle", pickle_path, src)
+    return {
+        "mounted_rss_kb": mounted_rss,
+        "pickled_rss_kb": pickled_rss,
+        "rss_delta_kb": pickled_rss - mounted_rss,
+    }
+
+
+def check_baseline(report, path, max_regression) -> int:
+    """Compare against the matching committed entry; 0 when OK."""
+    from repro.bench.gating import compare_results, find_baseline_entry
+
+    with open(path) as handle:
+        history = json.load(handle)
+    baseline = find_baseline_entry(history, report["config"])
+    if baseline is None:
+        print(
+            f"baseline: no entry in {path} matches this config; skipping",
+            file=sys.stderr,
+        )
+        return 0
+    failures = []
+    for name, point in report["results"].items():
+        base = baseline["results"].get(name)
+        if base is None:
+            continue
+        failures.extend(
+            compare_results(
+                base, point, GATED_KEYS, GATED_RATIOS, max_regression,
+                label=f"{name} ",
+            )
+        )
+    for line in failures:
+        print(f"REGRESSION: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=1000, help="objects")
+    parser.add_argument("--navg", type=int, default=60, help="avg readings")
+    parser.add_argument(
+        "--count", type=int, default=200, help="equivalence-check queries"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless cold-open beats rebuild by this ratio "
+        "(e.g. 5.0 when recording trajectory entries at m=1000)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help="committed BENCH_storage.json to compare this run against",
+    )
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.m = min(args.m, 150)
+        args.navg = min(args.navg, 20)
+        args.count = min(args.count, 40)
+
+    from repro.bench.gating import host_metadata
+    from repro.datasets import generate_temp, random_queries
+    from repro.engine import TemporalRankingEngine
+
+    database = generate_temp(
+        num_objects=args.m, avg_readings=args.navg, seed=args.seed
+    )
+    queries = random_queries(database, count=args.count, k=10, seed=args.seed)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_dir = str(Path(tmp) / "snap")
+        mounted, open_point = bench_open(
+            TemporalRankingEngine, database, queries, snap_dir
+        )
+        fanout_point = bench_fanout(mounted, database)
+        rss_point = bench_rss(mounted, database, tmp, src)
+
+    report = {
+        "bench": "storage",
+        "config": {
+            "m": args.m,
+            "navg": args.navg,
+            "count": args.count,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+        },
+        "host": host_metadata(),
+        "open_speedup": open_point["open_speedup"],
+        "results": {
+            "open": open_point,
+            "fanout": fanout_point,
+            "rss": rss_point,
+        },
+    }
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    status = 0
+    if (
+        args.require_speedup
+        and open_point["open_speedup"] < args.require_speedup
+    ):
+        print(
+            f"SPEEDUP FLOOR: cold-open vs rebuild ratio "
+            f"{open_point['open_speedup']:.2f}x < required "
+            f"{args.require_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.baseline is not None:
+        status = max(status, check_baseline(
+            report, args.baseline, args.max_regression
+        ))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

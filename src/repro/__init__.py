@@ -38,7 +38,14 @@ from repro.distributed import ObjectPartitionedCluster, TimePartitionedCluster
 from repro.exact import Exact1, Exact2, Exact3, RankingMethod
 from repro.holistic import QuantileRanker, interval_median, interval_quantile
 from repro.instant import InstantBruteForce, InstantIntervalTree
-from repro.storage.persistence import load_index, save_index
+from repro.engine import TemporalRankingEngine
+from repro.storage.persistence import (
+    PersistenceError,
+    load_index,
+    read_payload,
+    save_index,
+    write_payload,
+)
 from repro.approximate import (
     Appx1,
     Appx1B,
@@ -52,6 +59,21 @@ from repro.approximate import (
 )
 
 __version__ = "1.0.0"
+
+
+def open(path, verify: bool = True):
+    """Mount any snapshot directory (engine or cluster) zero-copy.
+
+    Dispatches on the catalog's recorded kind: an engine snapshot
+    returns a :class:`TemporalRankingEngine`, a cluster snapshot the
+    matching cluster class.  Mounting performs no index builds — the
+    kernel arrays come back as read-only ``np.memmap`` views and every
+    persisted index re-attaches as built — and the mounted object
+    answers queries bit-identically to the one that was snapshotted.
+    """
+    from repro.storage.snapshot import open_any
+
+    return open_any(path, verify=verify)
 
 __all__ = [
     "Aggregate",
@@ -89,6 +111,11 @@ __all__ = [
     "interval_median",
     "ObjectPartitionedCluster",
     "TimePartitionedCluster",
+    "TemporalRankingEngine",
+    "open",
+    "PersistenceError",
+    "write_payload",
+    "read_payload",
     "save_index",
     "load_index",
     "__version__",

@@ -29,7 +29,7 @@ from repro.datasets import (
 )
 from repro.exact import Exact1, Exact2, Exact3
 from repro.parallel import BACKENDS, get_executor
-from repro.storage.persistence import load_index, save_index
+from repro.storage.persistence import read_payload, write_payload
 
 _EXACT_METHODS = {"exact1": Exact1, "exact2": Exact2, "exact3": Exact3}
 
@@ -70,20 +70,20 @@ def cmd_generate(args: argparse.Namespace) -> int:
         db = generate_meme(
             num_objects=args.objects, avg_records=args.readings, seed=args.seed
         )
-    written = save_index(db, args.output)
+    written = write_payload(args.output, db)
     print(f"wrote {db} to {args.output} ({written / 1e6:.1f} MB)")
     return 0
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    db = load_index(args.database)
+    db = read_payload(args.database)
     if not isinstance(db, TemporalDatabase):
         raise SystemExit(f"{args.database} does not contain a database")
     method = _make_method(
         args.method, args.epsilon, args.kmax, _resolve_executor(args)
     )
     method.build(db)
-    written = save_index(method, args.output)
+    written = write_payload(args.output, method)
     print(
         f"built {method.name}: {method.index_size_bytes / 1e6:.2f} MB index, "
         f"{method.build_seconds:.2f}s; saved to {args.output} "
@@ -93,7 +93,7 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    method = load_index(args.index)
+    method = read_payload(args.index)
     query = TopKQuery(args.t1, args.t2, args.k)
     cost = method.measured_query(query)
     print(f"{method.name} top-{args.k}({args.t1:g}, {args.t2:g}, sum):")
@@ -104,7 +104,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    db = load_index(args.database)
+    db = read_payload(args.database)
     queries = random_queries(
         db, count=args.queries, interval_fraction=args.interval, k=args.k,
         seed=args.seed,
@@ -132,7 +132,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     """Serve a sampled batch through ``query_many`` (and verify it)."""
     import time
 
-    method = load_index(args.index)
+    method = read_payload(args.index)
     if not hasattr(method, "query_many"):
         raise SystemExit(f"{args.index} does not contain a ranking index")
     database = method.database
@@ -172,7 +172,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         TimePartitionedCluster,
     )
 
-    db = load_index(args.database)
+    db = read_payload(args.database)
     if not isinstance(db, TemporalDatabase):
         raise SystemExit(f"{args.database} does not contain a database")
     if args.protocol == "threshold" and args.partition != "time":
@@ -260,22 +260,167 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Write a durable engine snapshot of a saved dataset.
+
+    Builds EXACT3 (always; ``--approximate`` / ``--instant`` add the
+    other indexes) and persists the whole engine as mmap-able segments
+    plus a SQLite catalog.  Reopen with ``repro mount`` or
+    ``repro serve --catalog`` — mounting rebuilds nothing.
+    """
+    import time
+
+    from repro.engine import TemporalRankingEngine
+
+    db = read_payload(args.database)
+    if not isinstance(db, TemporalDatabase):
+        raise SystemExit(f"{args.database} does not contain a database")
+    start = time.perf_counter()
+    engine = TemporalRankingEngine(db, epsilon=args.epsilon, kmax=args.kmax)
+    t1, t2 = db.span
+    if args.approximate:
+        engine.top_k(t1, t2, 1, approximate=True)
+    if args.instant:
+        engine.instant_top_k((t1 + t2) / 2.0, 1)
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    engine.snapshot(args.output)
+    snap_seconds = time.perf_counter() - start
+    from pathlib import Path
+
+    total = sum(f.stat().st_size for f in Path(args.output).iterdir())
+    print(
+        f"snapshotted {engine!r} to {args.output}: "
+        f"{total / 1e6:.2f} MB in {snap_seconds:.2f}s "
+        f"(indexes built in {build_seconds:.2f}s)"
+    )
+    return 0
+
+
+def _rebuild_in_memory(mounted):
+    """A fresh, fully in-memory copy of a mounted engine or cluster."""
+    import numpy as np
+
+    from repro.core import PiecewiseLinearFunction, TemporalObject
+    from repro.distributed import (
+        ObjectPartitionedCluster,
+        TimePartitionedCluster,
+    )
+    from repro.engine import TemporalRankingEngine
+
+    def fresh_db(database):
+        objects = [
+            TemporalObject(
+                obj.object_id,
+                PiecewiseLinearFunction(
+                    np.array(obj.function.times, dtype=np.float64),
+                    np.array(obj.function.values, dtype=np.float64),
+                ),
+                obj.label,
+            )
+            for obj in database
+        ]
+        return TemporalDatabase(
+            objects, span=database.span, pad=database.padded
+        )
+
+    if isinstance(mounted, TemporalRankingEngine):
+        engine = TemporalRankingEngine(
+            fresh_db(mounted.database),
+            epsilon=mounted.epsilon,
+            kmax=mounted.kmax,
+        )
+        return engine, engine.database
+    if isinstance(mounted, TimePartitionedCluster):
+        db = fresh_db(mounted.database)
+        return TimePartitionedCluster(db, mounted.num_nodes), db
+    if isinstance(mounted, ObjectPartitionedCluster):
+        objects = [obj for node in mounted.nodes for obj in node.database]
+        objects.sort(key=lambda obj: obj.object_id)
+        spans = [node.database.span for node in mounted.nodes]
+        span = (min(s[0] for s in spans), max(s[1] for s in spans))
+        db = TemporalDatabase(
+            [
+                TemporalObject(
+                    obj.object_id,
+                    PiecewiseLinearFunction(
+                        np.array(obj.function.times, dtype=np.float64),
+                        np.array(obj.function.values, dtype=np.float64),
+                    ),
+                    obj.label,
+                )
+                for obj in objects
+            ],
+            span=span,
+            pad=mounted.nodes[0].database.padded,
+        )
+        return ObjectPartitionedCluster(db, mounted.num_nodes), db
+    raise SystemExit(f"cannot verify a {type(mounted).__name__}")
+
+
+def cmd_mount(args: argparse.Namespace) -> int:
+    """Mount a snapshot directory (zero-copy, no index builds).
+
+    ``--verify`` replays a full in-memory build of the same data and
+    asserts the mounted answers are bit-identical.
+    """
+    import time
+
+    from repro.engine import TemporalRankingEngine
+    from repro.storage.snapshot import open_any
+
+    start = time.perf_counter()
+    mounted = open_any(args.path)
+    open_seconds = time.perf_counter() - start
+    print(f"mounted {mounted!r} from {args.path} in {open_seconds * 1e3:.1f} ms")
+    if not args.verify:
+        return 0
+    rebuilt, db = _rebuild_in_memory(mounted)
+    queries = random_queries(db, count=args.count, k=args.k, seed=args.seed)
+    if isinstance(mounted, TemporalRankingEngine):
+        expected = [rebuilt.exact.query(q) for q in queries]
+        got = [mounted.exact.query(q) for q in queries]
+        ios_expected = [rebuilt.exact.measured_query(q).ios for q in queries]
+        ios_got = [mounted.exact.measured_query(q).ios for q in queries]
+    else:
+        expected = [rebuilt.query_many([q])[0] for q in queries]
+        got = [mounted.query_many([q])[0] for q in queries]
+        ios_expected = ios_got = []
+    agree = all(a == b for a, b in zip(expected, got))
+    ios_agree = ios_expected == ios_got
+    print(
+        f"verify against in-memory rebuild: answers "
+        f"{'identical' if agree else 'DIVERGED'}, IO charges "
+        f"{'identical' if ios_agree else 'DIVERGED'} "
+        f"({len(queries)} queries)"
+    )
+    return 0 if agree and ios_agree else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve top-k requests through the micro-batching coordinator.
 
-    Requests come from ``--demo N`` (a seeded sampled workload) or
-    from stdin, one ``t1 t2 k`` triple per line.  Answers are printed
-    per request; micro-batching statistics follow.
+    The engine comes from ``--catalog <snapshot-dir>`` (mounted
+    zero-copy, no index builds) or from a saved dataset file (indexes
+    built on startup).  Requests come from ``--demo N`` (a seeded
+    sampled workload) or from stdin, one ``t1 t2 k`` triple per line.
+    Answers are printed per request; micro-batching statistics follow.
     """
     import asyncio
 
     from repro.engine import TemporalRankingEngine
     from repro.serving import EngineBackend, ServingCoordinator
 
-    db = load_index(args.database)
-    if not isinstance(db, TemporalDatabase):
-        raise SystemExit(f"{args.database} does not contain a database")
-    engine = TemporalRankingEngine(db, kmax=args.kmax)
+    if args.catalog is not None:
+        engine = TemporalRankingEngine.open(args.catalog)
+        db = engine.database
+    elif args.database is not None:
+        db = read_payload(args.database)
+        if not isinstance(db, TemporalDatabase):
+            raise SystemExit(f"{args.database} does not contain a database")
+        engine = TemporalRankingEngine(db, kmax=args.kmax)
+    else:
+        raise SystemExit("serve needs a database file or --catalog <dir>")
     backend = EngineBackend(engine, approximate=args.approximate)
     if args.demo:
         batch = sample_workload(
@@ -331,7 +476,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serving import DirectClient, EngineBackend, ServingCoordinator
     from repro.serving.loadgen import plan_poisson_load, run_open_loop
 
-    db = load_index(args.database)
+    db = read_payload(args.database)
     if not isinstance(db, TemporalDatabase):
         raise SystemExit(f"{args.database} does not contain a database")
     engine = TemporalRankingEngine(db, kmax=args.kmax)
@@ -379,7 +524,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    payload = load_index(args.path)
+    payload = read_payload(args.path)
     if isinstance(payload, TemporalDatabase):
         print(f"database: {payload}")
         print(f"  m={payload.num_objects} N={payload.total_segments} "
@@ -499,11 +644,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_options(p_cluster)
     p_cluster.set_defaults(func=cmd_cluster)
 
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="write a durable engine snapshot (segments + catalog)",
+    )
+    p_snap.add_argument("database", help="a saved dataset file (see generate)")
+    p_snap.add_argument("-o", "--output", required=True, metavar="DIR")
+    p_snap.add_argument(
+        "--approximate", action="store_true", help="also build APPX2+"
+    )
+    p_snap.add_argument(
+        "--instant", action="store_true", help="also build the instant engine"
+    )
+    p_snap.add_argument("--epsilon", type=float, default=1e-4)
+    p_snap.add_argument("--kmax", type=int, default=50)
+    p_snap.set_defaults(func=cmd_snapshot)
+
+    p_mount = sub.add_parser(
+        "mount", help="mount a snapshot directory (zero-copy, no builds)"
+    )
+    p_mount.add_argument("path", metavar="DIR")
+    p_mount.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay a full in-memory build and assert bit-identical answers",
+    )
+    p_mount.add_argument("--count", type=int, default=32)
+    p_mount.add_argument("-k", type=int, default=10)
+    p_mount.add_argument("--seed", type=int, default=0)
+    p_mount.set_defaults(func=cmd_mount)
+
     p_serve = sub.add_parser(
         "serve",
         help="serve top-k requests through the micro-batching coordinator",
     )
-    p_serve.add_argument("database")
+    p_serve.add_argument(
+        "database", nargs="?", default=None,
+        help="a saved dataset file (or use --catalog)",
+    )
+    p_serve.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="mount this snapshot directory instead of building indexes",
+    )
     p_serve.add_argument(
         "--demo",
         type=int,

@@ -1,0 +1,26 @@
+"""Build-counter instrumentation for the open-not-rebuild contract.
+
+The durable storage tier promises that mounting a snapshot performs
+*zero* index or store builds — everything is opened from disk.  That
+promise is cheap to state and easy to silently regress, so the two
+build chokepoints (:meth:`repro.exact.base.RankingMethod.build` and
+``PLFStore`` construction from function objects) bump a process-wide
+counter here, and the storage-tier tests assert the counters do not
+move across ``repro.open()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_counts: Dict[str, int] = {"store": 0, "index": 0}
+
+
+def record(kind: str) -> None:
+    """Count one build of ``kind`` (``"store"`` or ``"index"``)."""
+    _counts[kind] = _counts.get(kind, 0) + 1
+
+
+def counts() -> Dict[str, int]:
+    """A snapshot of the per-kind build counts since process start."""
+    return dict(_counts)

@@ -97,6 +97,51 @@ class TemporalDatabase:
         self._total_segments = sum(obj.num_segments for obj in object_list)
 
     # ------------------------------------------------------------------
+    # mounting (storage/segments)
+    # ------------------------------------------------------------------
+    @classmethod
+    def mounted(
+        cls,
+        store: PLFStore,
+        labels: Optional[Sequence[str]] = None,
+        span: Optional[tuple] = None,
+        padded: bool = True,
+        epoch: int = 0,
+    ) -> "TemporalDatabase":
+        """A database over an already-built (typically memmapped) store.
+
+        The open-not-rebuild path of the durable storage tier: objects
+        wrap the store's own per-object function views (zero-copy
+        slices of the kernel arrays), the columnar cache is the store
+        itself (warm, not stale), and the append ``epoch`` recorded at
+        snapshot time is restored so serving-tier result caches keyed
+        on ``(query, epoch)`` stay correct across a restart.  No
+        validation or store construction happens here — the segment
+        layer already checksummed the arrays.
+        """
+        ids = store.object_ids.tolist()
+        if labels is None:
+            labels = [""] * len(ids)
+        objects = [
+            TemporalObject(int(object_id), fn, label)
+            for object_id, fn, label in zip(ids, store.functions, labels)
+        ]
+        self = cls.__new__(cls)
+        self._objects = objects
+        self._by_id = {obj.object_id: idx for idx, obj in enumerate(objects)}
+        if span is None:
+            span = (float(store.starts.min()), float(store.ends.max()))
+        self.t_min = float(span[0])
+        self.t_max = float(span[1])
+        self.padded = bool(padded)
+        self._store = store
+        self._store_stale = False
+        self._stale_reads = 0
+        self._epoch = int(epoch)
+        self._total_segments = store.num_segments
+        return self
+
+    # ------------------------------------------------------------------
     # pickling (storage/persistence)
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:

@@ -69,6 +69,28 @@ class PiecewiseLinearFunction:
         self.values = values_arr
         self._prefix: np.ndarray | None = None
 
+    @classmethod
+    def _trusted(
+        cls,
+        times: np.ndarray,
+        values: np.ndarray,
+        prefix: np.ndarray | None = None,
+    ) -> "PiecewiseLinearFunction":
+        """Wrap already-validated knot arrays without copying or checks.
+
+        The mount path of the durable storage tier slices each object's
+        knots (and its cumulative prefix, which restarts at 0 per
+        object) zero-copy out of a memmapped segment that was written
+        from validated functions — re-validating would fault every page
+        in and re-deriving the prefix would break bit-identity with the
+        persisted kernel arrays.  Never pass unchecked user data here.
+        """
+        self = cls.__new__(cls)
+        self.times = times
+        self.values = values
+        self._prefix = prefix
+        return self
+
     # ------------------------------------------------------------------
     # basic shape
     # ------------------------------------------------------------------

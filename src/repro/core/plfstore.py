@@ -52,6 +52,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import buildcount
 from repro.core.errors import ReproError
 from repro.core.plf import PiecewiseLinearFunction
 from repro.core.results import TopKResult, top_k_from_arrays
@@ -106,6 +107,7 @@ class CSRView:
         "starts",
         "ends",
         "totals",
+        "segment",
     )
 
     def __init__(
@@ -117,6 +119,7 @@ class CSRView:
         starts: np.ndarray,
         ends: np.ndarray,
         totals: np.ndarray,
+        segment: Optional[str] = None,
     ) -> None:
         self.knot_times = knot_times
         self.knot_values = knot_values
@@ -125,6 +128,29 @@ class CSRView:
         self.starts = starts
         self.ends = ends
         self.totals = totals
+        # Path of the on-disk store segment backing these arrays, when
+        # they were mounted (repro.storage.segments) rather than built
+        # in memory.  Segment-backed views pickle as just this path —
+        # see __reduce__ — so process fan-out ships no array bytes.
+        self.segment = segment
+
+    def __reduce__(self):
+        if self.segment is not None:
+            from repro.storage.segments import open_csr_view
+
+            return (open_csr_view, (self.segment,))
+        return (
+            CSRView,
+            (
+                self.knot_times,
+                self.knot_values,
+                self.offsets,
+                self.prefix_masses,
+                self.starts,
+                self.ends,
+                self.totals,
+            ),
+        )
 
     @property
     def num_objects(self) -> int:
@@ -318,6 +344,7 @@ class PLFStore:
         "_csr",
         "_knot_set",
         "_knot_obj",
+        "_segment",
     )
 
     def __init__(
@@ -349,6 +376,10 @@ class PLFStore:
         self.starts = self.knot_times[offsets[:-1]]
         self.ends = self.knot_times[offsets[1:] - 1]
         self.totals = self.prefix_masses[offsets[1:] - 1]
+        self._init_lazy(segment=None)
+        buildcount.record("store")
+
+    def _init_lazy(self, segment: Optional[str]) -> None:
         self._seg_left_knot: Optional[np.ndarray] = None
         self._seg_obj: Optional[np.ndarray] = None
         self._slopes: Optional[np.ndarray] = None
@@ -356,6 +387,54 @@ class PLFStore:
         self._csr: Optional[CSRView] = None
         self._knot_set: Optional[np.ndarray] = None
         self._knot_obj: Optional[np.ndarray] = None
+        self._segment = segment
+
+    @classmethod
+    def from_segments(
+        cls, path, verify: bool = True
+    ) -> "PLFStore":
+        """Mount a store zero-copy from an on-disk segment.
+
+        The seven kernel arrays (plus ``object_ids``) become read-only
+        ``np.memmap`` views of the segment written by
+        :func:`repro.storage.segments.write_store_segment`; per-object
+        function objects are trusted zero-copy slices of the same
+        arrays (each object's ``prefix_masses`` restarts at 0, so the
+        slice *is* the function's own prefix array, bit for bit).
+        Nothing is rebuilt and no build counter moves: answers from a
+        mounted store are bit-identical to the store that was written.
+        """
+        from repro.storage.segments import open_segment
+
+        segment = open_segment(path, verify=verify)
+        times = segment["knot_times"]
+        values = segment["knot_values"]
+        offsets = segment["offsets"]
+        prefix = segment["prefix_masses"]
+        bounds = offsets.tolist()
+        functions = [
+            PiecewiseLinearFunction._trusted(
+                times[lo:hi], values[lo:hi], prefix[lo:hi]
+            )
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        self = cls.__new__(cls)
+        self.functions = functions
+        self.object_ids = segment["object_ids"]
+        self.knot_times = times
+        self.knot_values = values
+        self.offsets = offsets
+        self.prefix_masses = prefix
+        self.starts = segment["starts"]
+        self.ends = segment["ends"]
+        self.totals = segment["totals"]
+        self._init_lazy(segment=str(segment.path))
+        return self
+
+    @property
+    def segment_path(self) -> Optional[str]:
+        """The backing store segment's path (None for in-memory builds)."""
+        return self._segment
 
     # ------------------------------------------------------------------
     # shape
@@ -496,6 +575,7 @@ class PLFStore:
                 self.starts,
                 self.ends,
                 self.totals,
+                segment=self._segment,
             )
         return self._csr
 

@@ -65,6 +65,23 @@ class ObjectPartitionedCluster:
     def num_nodes(self) -> int:
         return len(self.nodes)
 
+    def snapshot(self, path) -> "ObjectPartitionedCluster":
+        """Write a durable per-shard snapshot (see the storage tier)."""
+        from repro.storage.snapshot import snapshot_cluster
+
+        snapshot_cluster(self, path)
+        return self
+
+    @classmethod
+    def open(cls, path, verify: bool = True) -> "ObjectPartitionedCluster":
+        """Mount a snapshot written by :meth:`snapshot`: no rebuilds."""
+        from repro.storage.snapshot import open_cluster
+
+        cluster = open_cluster(path, verify=verify)
+        if not isinstance(cluster, cls):
+            raise TypeError(f"{path} does not hold a {cls.__name__} snapshot")
+        return cluster
+
     def query(self, t1: float, t2: float, k: int) -> TopKResult:
         """Exact global top-k: merge each node's local top-k."""
         candidates = []

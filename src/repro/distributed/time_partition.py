@@ -188,6 +188,23 @@ class TimePartitionedCluster:
     def num_nodes(self) -> int:
         return len(self.nodes)
 
+    def snapshot(self, path) -> "TimePartitionedCluster":
+        """Write a durable per-shard snapshot (see the storage tier)."""
+        from repro.storage.snapshot import snapshot_cluster
+
+        snapshot_cluster(self, path)
+        return self
+
+    @classmethod
+    def open(cls, path, verify: bool = True) -> "TimePartitionedCluster":
+        """Mount a snapshot written by :meth:`snapshot`: no rebuilds."""
+        from repro.storage.snapshot import open_cluster
+
+        cluster = open_cluster(path, verify=verify)
+        if not isinstance(cluster, cls):
+            raise TypeError(f"{path} does not hold a {cls.__name__} snapshot")
+        return cluster
+
     def _touched_nodes(self, t1: float, t2: float) -> List[StorageNode]:
         touched = []
         for node in self.nodes:

@@ -182,6 +182,32 @@ class TemporalRankingEngine:
         )
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def snapshot(self, path) -> "TemporalRankingEngine":
+        """Write a durable snapshot of this engine to directory ``path``.
+
+        The snapshot holds the kernel arrays as mmap-able segments,
+        every *built* index (EXACT3 always; APPX2+ and the instant
+        engine if they have been used) with its block payloads, and a
+        WAL-mode SQLite catalog tying them together.  Reopen with
+        :meth:`open` (or ``repro.open``): mounting is zero-copy and
+        performs no index builds, and the mounted engine answers every
+        query bit-identically — scores, tie-breaks, and IO charges.
+        """
+        from repro.storage.snapshot import snapshot_engine
+
+        snapshot_engine(self, path)
+        return self
+
+    @classmethod
+    def open(cls, path, verify: bool = True) -> "TemporalRankingEngine":
+        """Mount an engine snapshot written by :meth:`snapshot`."""
+        from repro.storage.snapshot import open_engine
+
+        return open_engine(path, verify=verify)
+
+    # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def append(self, object_id: int, t_next: float, v_next: float) -> None:

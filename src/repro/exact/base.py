@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core import buildcount
 from repro.core.database import TemporalDatabase
 from repro.core.queries import TopKQuery, workload_arrays
 from repro.core.results import TopKResult
@@ -51,6 +52,7 @@ class RankingMethod(ABC):
     def build(self, database: TemporalDatabase) -> "RankingMethod":
         """Construct the index over ``database``; returns self."""
         start = time.perf_counter()
+        buildcount.record("index")
         self.database = database
         self._build(database)
         self.build_seconds = time.perf_counter() - start

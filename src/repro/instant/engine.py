@@ -24,6 +24,7 @@ from typing import List
 
 import numpy as np
 
+from repro.core import buildcount
 from repro.core.database import TemporalDatabase
 from repro.core.errors import IndexStateError, InvalidQueryError
 from repro.core.plfstore import _CHUNK_ELEMENTS, isin_sorted
@@ -112,6 +113,7 @@ class InstantIntervalTree:
         self._built = False
 
     def build(self, database: TemporalDatabase) -> "InstantIntervalTree":
+        buildcount.record("index")
         store = database.store()
         self._object_ids = store.object_ids
         # The build-time snapshot backs the batched query pipeline (the

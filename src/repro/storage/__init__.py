@@ -7,24 +7,54 @@ uncached block access, an :class:`LRUCache` buffer pool, and
 :class:`IOStats` counters that benchmarks snapshot around each
 operation.  See DESIGN.md ("Substitutions") for why this preserves the
 behaviour the paper measures.
+
+The durable tier lives beside it: aligned, checksummed, mmap-able
+array segments (:mod:`repro.storage.segments`), a WAL-mode SQLite
+catalog (:mod:`repro.storage.catalog`), and the snapshot/open
+orchestration (:mod:`repro.storage.snapshot`) behind
+``TemporalRankingEngine.snapshot`` / ``repro.open``.
 """
 
 from repro.storage.cache import LRUCache
+from repro.storage.catalog import Catalog
 from repro.storage.device import (
     DEFAULT_BLOCK_BYTES,
     BlockDevice,
     BlockDeviceError,
     entries_per_block,
 )
+from repro.storage.persistence import (
+    PersistenceError,
+    read_payload,
+    write_payload,
+)
+from repro.storage.segments import (
+    MappedSegment,
+    SegmentInfo,
+    open_segment,
+    read_header,
+    write_segment,
+    write_store_segment,
+)
 from repro.storage.stats import IOMeasurement, IOSnapshot, IOStats
 
 __all__ = [
     "BlockDevice",
     "BlockDeviceError",
+    "Catalog",
     "DEFAULT_BLOCK_BYTES",
     "entries_per_block",
     "IOMeasurement",
     "IOSnapshot",
     "IOStats",
     "LRUCache",
+    "MappedSegment",
+    "PersistenceError",
+    "SegmentInfo",
+    "open_segment",
+    "read_header",
+    "read_payload",
+    "write_payload",
+    "write_segment",
+    "write_store_segment",
 ]

@@ -1,0 +1,358 @@
+"""WAL-mode SQLite catalog for the durable storage tier.
+
+A snapshot directory holds one ``catalog.sqlite`` beside its segment
+and index files.  The catalog is the source of truth for *what* is on
+disk — datasets, partitions (one per cluster shard, or one ``full``
+row for a single-node engine), the segments backing each partition
+(with per-array dtypes, offsets, and checksums mirrored out of the
+segment headers), and the index builds layered on top — so a node (or
+shard) mounts exactly its slice without parsing anything else.
+
+``sqlite3`` is stdlib; WAL mode + NORMAL sync is the standard
+single-writer/many-reader configuration (the per-dataset SQLite
+catalog idiom of SNIPPETS.md).  A schema-version stamp is checked on
+every open: a catalog written by an incompatible layout is refused
+with :class:`~repro.storage.persistence.PersistenceError` instead of
+being misread.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import List, Optional
+
+from repro.storage.persistence import PersistenceError
+
+#: Bump when the catalog schema changes incompatibly.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE catalog_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE datasets (
+    dataset_id   INTEGER PRIMARY KEY,
+    name         TEXT NOT NULL UNIQUE,
+    num_objects  INTEGER NOT NULL,
+    num_segments INTEGER NOT NULL,
+    t_min        REAL NOT NULL,
+    t_max        REAL NOT NULL,
+    padded       INTEGER NOT NULL,
+    epoch        INTEGER NOT NULL
+);
+CREATE TABLE partitions (
+    partition_id INTEGER PRIMARY KEY,
+    dataset_id   INTEGER NOT NULL REFERENCES datasets(dataset_id)
+                 ON DELETE CASCADE,
+    node_id      INTEGER NOT NULL,
+    kind         TEXT NOT NULL,  -- 'full' | 'object' | 'time'
+    t_lo         REAL NOT NULL,
+    t_hi         REAL NOT NULL,
+    num_objects  INTEGER NOT NULL,
+    epoch        INTEGER NOT NULL
+);
+CREATE TABLE segments (
+    segment_id     INTEGER PRIMARY KEY,
+    partition_id   INTEGER NOT NULL REFERENCES partitions(partition_id)
+                   ON DELETE CASCADE,
+    role           TEXT NOT NULL,  -- 'csr' | 'blocks'
+    path           TEXT NOT NULL,  -- relative to the catalog directory
+    bytes          INTEGER NOT NULL,
+    crc32          INTEGER NOT NULL,
+    format_version INTEGER NOT NULL
+);
+CREATE TABLE segment_arrays (
+    segment_id INTEGER NOT NULL REFERENCES segments(segment_id)
+               ON DELETE CASCADE,
+    name       TEXT NOT NULL,
+    dtype      TEXT NOT NULL,
+    shape      TEXT NOT NULL,  -- JSON list
+    offset     INTEGER NOT NULL,
+    nbytes     INTEGER NOT NULL,
+    crc32      INTEGER NOT NULL,
+    PRIMARY KEY (segment_id, name)
+);
+CREATE TABLE index_builds (
+    index_id      INTEGER PRIMARY KEY,
+    partition_id  INTEGER NOT NULL REFERENCES partitions(partition_id)
+                  ON DELETE CASCADE,
+    kind          TEXT NOT NULL,  -- 'exact3' | 'appx2plus' | 'instant'
+    path          TEXT NOT NULL,
+    blocks_path   TEXT,
+    bytes         INTEGER NOT NULL,
+    crc32         INTEGER NOT NULL,
+    build_seconds REAL NOT NULL,
+    params        TEXT NOT NULL   -- JSON
+);
+"""
+
+
+def _connect(path: Path) -> sqlite3.Connection:
+    conn = sqlite3.connect(str(path))
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute("PRAGMA foreign_keys=ON")
+    conn.execute("PRAGMA busy_timeout=30000")
+    return conn
+
+
+class Catalog:
+    """The snapshot directory's metadata store (see module docstring)."""
+
+    FILENAME = "catalog.sqlite"
+
+    def __init__(self, conn: sqlite3.Connection, path: Path) -> None:
+        self._conn = conn
+        self.path = path
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: str | Path, kind: str) -> "Catalog":
+        """Initialize a fresh catalog at ``path`` (an sqlite file path).
+
+        ``kind`` names the snapshot flavor (``engine``,
+        ``cluster-object``, ``cluster-time``) and drives
+        :func:`repro.storage.snapshot.open_any`'s dispatch.
+        """
+        path = Path(path)
+        if path.exists():
+            path.unlink()
+        conn = _connect(path)
+        with conn:
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT INTO catalog_meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+            conn.execute(
+                "INSERT INTO catalog_meta (key, value) VALUES (?, ?)",
+                ("kind", kind),
+            )
+        return cls(conn, path)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "Catalog":
+        """Open an existing catalog, refusing incompatible schemas."""
+        path = Path(path)
+        if not path.exists():
+            raise PersistenceError(f"no catalog at {path}")
+        try:
+            conn = _connect(path)
+            row = conn.execute(
+                "SELECT value FROM catalog_meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            raise PersistenceError(
+                f"{path} is not a repro catalog: {exc}"
+            ) from exc
+        if row is None:
+            raise PersistenceError(f"{path} has no schema-version stamp")
+        version = int(row["value"])
+        if version != SCHEMA_VERSION:
+            raise PersistenceError(
+                f"{path} has catalog schema version {version}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        return cls(conn, path)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Catalog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # meta
+    # ------------------------------------------------------------------
+    def set_meta(self, key: str, value: str) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO catalog_meta (key, value) "
+                "VALUES (?, ?)",
+                (key, value),
+            )
+
+    def get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM catalog_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row["value"]
+
+    @property
+    def kind(self) -> str:
+        kind = self.get_meta("kind")
+        if kind is None:
+            raise PersistenceError(f"{self.path} records no snapshot kind")
+        return kind
+
+    # ------------------------------------------------------------------
+    # inserts
+    # ------------------------------------------------------------------
+    def add_dataset(
+        self,
+        name: str,
+        num_objects: int,
+        num_segments: int,
+        t_min: float,
+        t_max: float,
+        padded: bool,
+        epoch: int,
+    ) -> int:
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO datasets (name, num_objects, num_segments, "
+                "t_min, t_max, padded, epoch) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    name,
+                    int(num_objects),
+                    int(num_segments),
+                    float(t_min),
+                    float(t_max),
+                    int(bool(padded)),
+                    int(epoch),
+                ),
+            )
+        return int(cursor.lastrowid)
+
+    def add_partition(
+        self,
+        dataset_id: int,
+        node_id: int,
+        kind: str,
+        t_lo: float,
+        t_hi: float,
+        num_objects: int,
+        epoch: int,
+    ) -> int:
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO partitions (dataset_id, node_id, kind, t_lo, "
+                "t_hi, num_objects, epoch) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    int(dataset_id),
+                    int(node_id),
+                    kind,
+                    float(t_lo),
+                    float(t_hi),
+                    int(num_objects),
+                    int(epoch),
+                ),
+            )
+        return int(cursor.lastrowid)
+
+    def add_segment(self, partition_id: int, role: str, relpath: str, info) -> int:
+        """Record a written segment (and mirror its per-array header)."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO segments (partition_id, role, path, bytes, "
+                "crc32, format_version) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    int(partition_id),
+                    role,
+                    relpath,
+                    int(info.file_bytes),
+                    int(info.crc32),
+                    int(info.version),
+                ),
+            )
+            segment_id = int(cursor.lastrowid)
+            self._conn.executemany(
+                "INSERT INTO segment_arrays (segment_id, name, dtype, "
+                "shape, offset, nbytes, crc32) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        segment_id,
+                        entry["name"],
+                        entry["dtype"],
+                        json.dumps(entry["shape"]),
+                        int(entry["offset"]),
+                        int(entry["nbytes"]),
+                        int(entry["crc32"]),
+                    )
+                    for entry in info.arrays
+                ],
+            )
+        return segment_id
+
+    def add_index(
+        self,
+        partition_id: int,
+        kind: str,
+        relpath: str,
+        blocks_relpath: Optional[str],
+        nbytes: int,
+        crc32: int,
+        build_seconds: float,
+        params: dict,
+    ) -> int:
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO index_builds (partition_id, kind, path, "
+                "blocks_path, bytes, crc32, build_seconds, params) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    int(partition_id),
+                    kind,
+                    relpath,
+                    blocks_relpath,
+                    int(nbytes),
+                    int(crc32),
+                    float(build_seconds),
+                    json.dumps(params, sort_keys=True),
+                ),
+            )
+        return int(cursor.lastrowid)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def datasets(self) -> List[sqlite3.Row]:
+        return self._conn.execute(
+            "SELECT * FROM datasets ORDER BY dataset_id"
+        ).fetchall()
+
+    def partitions(
+        self, dataset_id: int, kind: Optional[str] = None
+    ) -> List[sqlite3.Row]:
+        if kind is None:
+            return self._conn.execute(
+                "SELECT * FROM partitions WHERE dataset_id = ? "
+                "ORDER BY node_id",
+                (int(dataset_id),),
+            ).fetchall()
+        return self._conn.execute(
+            "SELECT * FROM partitions WHERE dataset_id = ? AND kind = ? "
+            "ORDER BY node_id",
+            (int(dataset_id), kind),
+        ).fetchall()
+
+    def segments(
+        self, partition_id: int, role: Optional[str] = None
+    ) -> List[sqlite3.Row]:
+        if role is None:
+            return self._conn.execute(
+                "SELECT * FROM segments WHERE partition_id = ? "
+                "ORDER BY segment_id",
+                (int(partition_id),),
+            ).fetchall()
+        return self._conn.execute(
+            "SELECT * FROM segments WHERE partition_id = ? AND role = ? "
+            "ORDER BY segment_id",
+            (int(partition_id), role),
+        ).fetchall()
+
+    def indexes(self, partition_id: int) -> List[sqlite3.Row]:
+        return self._conn.execute(
+            "SELECT * FROM index_builds WHERE partition_id = ? "
+            "ORDER BY index_id",
+            (int(partition_id),),
+        ).fetchall()

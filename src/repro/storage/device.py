@@ -17,6 +17,7 @@ Structures decide their own packing via :func:`entries_per_block`.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from typing import Any, Dict, Optional, Sequence
 
@@ -287,13 +288,17 @@ class BlockDevice:
             )
 
     def __setstate__(self, state: dict) -> None:
-        # A device deliberately unpickled elsewhere (a saved index
-        # loaded by the CLI, a spawned worker receiving one as session
-        # state) belongs to the process that unpickled it; only
-        # fork-inherited copies keep the original owner and stay
-        # read-only.
+        # A device deliberately unpickled by a top-level process (a
+        # saved index loaded by the CLI, a mounted snapshot) belongs to
+        # that process.  Inside a multiprocessing child — a spawned
+        # pool worker receiving session state, or a worker re-mounting
+        # a read-only segment — ownership stays with the original
+        # coordinator, matching fork-inherited copies: workers may
+        # read, but a write there would silently diverge from the
+        # coordinator's layout and IO counts, so it keeps raising.
         self.__dict__.update(state)
-        self._owner_pid = os.getpid()
+        if multiprocessing.parent_process() is None:
+            self._owner_pid = os.getpid()
 
 
 class _Miss:

@@ -1,17 +1,23 @@
-"""Saving and loading built indexes.
+"""Versioned pickle containers (legacy surface: see the snapshot tier).
 
-A production index is useless if it must be rebuilt on every process
-start.  Because every structure in this package keeps *all* of its
-state either in plain attributes or in blocks of its
-:class:`~repro.storage.device.BlockDevice`, whole methods pickle
-cleanly; this module wraps that with versioning and integrity checks
-so stale or foreign files fail loudly instead of mysteriously.
+Historically this module was the whole persistence story: pickle a
+built method (or database) behind a magic + version prefix.  The
+durable storage tier (:mod:`repro.storage.segments`,
+:mod:`repro.storage.catalog`, :mod:`repro.storage.snapshot`) replaced
+it as the public API — ``TemporalRankingEngine.snapshot(path)`` /
+``repro.open(path)`` write catalog-tracked, mmap-able segments instead
+of monolithic pickles.  The container format itself survives inside
+the snapshot tier (index state that is not a flat array still pickles)
+and for raw dataset files, via :func:`write_payload` /
+:func:`read_payload`; the old :func:`save_index` / :func:`load_index`
+names remain as thin deprecation shims.
 """
 
 from __future__ import annotations
 
 import io
 import pickle
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -23,11 +29,11 @@ _MAGIC = b"REPRO-IDX"
 
 
 class PersistenceError(ReproError):
-    """Raised when an index file is malformed or incompatible."""
+    """Raised when a persisted file is malformed or incompatible."""
 
 
-def save_index(method: Any, path: str | Path) -> int:
-    """Serialize a built method (or any picklable index) to ``path``.
+def write_payload(path: str | Path, payload: Any) -> int:
+    """Serialize any picklable object to a versioned container file.
 
     Returns the number of bytes written.  The file layout is::
 
@@ -37,14 +43,14 @@ def save_index(method: Any, path: str | Path) -> int:
     buffer = io.BytesIO()
     buffer.write(_MAGIC)
     buffer.write(FORMAT_VERSION.to_bytes(2, "big"))
-    pickle.dump(method, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-    payload = buffer.getvalue()
-    path.write_bytes(payload)
-    return len(payload)
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    raw = buffer.getvalue()
+    path.write_bytes(raw)
+    return len(raw)
 
 
-def load_index(path: str | Path) -> Any:
-    """Load an index previously written by :func:`save_index`."""
+def read_payload(path: str | Path) -> Any:
+    """Load an object previously written by :func:`write_payload`."""
     path = Path(path)
     raw = path.read_bytes()
     if len(raw) < len(_MAGIC) + 2 or not raw.startswith(_MAGIC):
@@ -55,3 +61,30 @@ def load_index(path: str | Path) -> Any:
             f"{path} has format version {version}, expected {FORMAT_VERSION}"
         )
     return pickle.loads(raw[len(_MAGIC) + 2 :])
+
+
+def save_index(method: Any, path: str | Path) -> int:
+    """Deprecated alias of :func:`write_payload`.
+
+    Prefer ``TemporalRankingEngine.snapshot(path)`` (or a cluster's
+    ``snapshot``) for whole engines: snapshots are catalog-tracked,
+    checksummed, and mount zero-copy instead of unpickling arrays.
+    """
+    warnings.warn(
+        "save_index is deprecated; use TemporalRankingEngine.snapshot "
+        "(or write_payload for raw container files)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return write_payload(path, method)
+
+
+def load_index(path: str | Path) -> Any:
+    """Deprecated alias of :func:`read_payload` (see :func:`save_index`)."""
+    warnings.warn(
+        "load_index is deprecated; use repro.open "
+        "(or read_payload for raw container files)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return read_payload(path)

@@ -59,6 +59,49 @@ class TestPersistence:
         assert loaded.total_mass == pytest.approx(db.total_mass)
 
 
+class TestDeprecationShims:
+    def test_save_load_shims_warn_and_round_trip(self, tmp_path):
+        db = make_random_database(num_objects=10, avg_segments=8, seed=73)
+        method = Exact3().build(db)
+        path = tmp_path / "shim.idx"
+        with pytest.warns(DeprecationWarning, match="save_index is deprecated"):
+            written = save_index(method, path)
+        assert written > 0
+        with pytest.warns(DeprecationWarning, match="load_index is deprecated"):
+            loaded = load_index(path)
+        q = TopKQuery(10, 80, 5)
+        assert loaded.query(q).object_ids == method.query(q).object_ids
+
+    def test_canonical_payload_functions_do_not_warn(
+        self, tmp_path, recwarn
+    ):
+        from repro.storage.persistence import read_payload, write_payload
+
+        db = make_random_database(num_objects=6, avg_segments=5, seed=74)
+        path = tmp_path / "payload.bin"
+        write_payload(path, db)
+        loaded = read_payload(path)
+        assert loaded.num_objects == db.num_objects
+        deprecations = [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+        assert deprecations == []
+
+    def test_shims_share_the_canonical_container(self, tmp_path):
+        # A file written by the shim opens through the new name (and
+        # vice versa): the shims are aliases, not a parallel format.
+        from repro.storage.persistence import read_payload, write_payload
+
+        db = make_random_database(num_objects=6, avg_segments=5, seed=75)
+        path = tmp_path / "either.bin"
+        with pytest.warns(DeprecationWarning):
+            save_index(db, path)
+        assert read_payload(path).num_objects == db.num_objects
+        write_payload(path, db)
+        with pytest.warns(DeprecationWarning):
+            assert load_index(path).num_objects == db.num_objects
+
+
 class TestCli:
     def test_generate_info(self, tmp_path, capsys):
         out = tmp_path / "t.db"
@@ -117,6 +160,47 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["build", str(db_path), "--method", "nope", "-o",
                   str(tmp_path / "x.idx")])
+
+    def test_snapshot_mount_verify(self, tmp_path, capsys):
+        db_path = tmp_path / "t.db"
+        snap = tmp_path / "snap"
+        main(["generate", "temp", "--objects", "20", "--readings", "12",
+              "-o", str(db_path)])
+        assert main([
+            "snapshot", str(db_path), "-o", str(snap), "--instant",
+        ]) == 0
+        assert (snap / "catalog.sqlite").exists()
+        assert (snap / "dataset.seg").exists()
+        assert (snap / "exact3.idx").exists()
+        assert main(["mount", str(snap)]) == 0
+        assert main([
+            "mount", str(snap), "--verify", "--count", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "answers identical" in out
+        assert "IO charges identical" in out
+
+    def test_serve_from_catalog(self, tmp_path, capsys):
+        db_path = tmp_path / "t.db"
+        snap = tmp_path / "snap"
+        main(["generate", "temp", "--objects", "15", "--readings", "10",
+              "-o", str(db_path)])
+        main(["snapshot", str(db_path), "-o", str(snap)])
+        assert main([
+            "serve", "--catalog", str(snap), "--demo", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 4 requests" in out
+
+    def test_serve_needs_database_or_catalog(self):
+        with pytest.raises(SystemExit, match="database file or --catalog"):
+            main(["serve", "--demo", "1"])
+
+    def test_mount_nonexistent_dir_fails_cleanly(self, tmp_path):
+        from repro.storage.persistence import PersistenceError
+
+        with pytest.raises(PersistenceError, match="no catalog"):
+            main(["mount", str(tmp_path / "nothing")])
 
 
 class TestAsciiPlot:
