@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Chaos serving bench: tail latency and recall under injected faults.
+
+Builds replicated clusters (object- and time-partitioned, 2 endpoints
+per shard) over a generated Temp-like database and serves the same
+workload at a sweep of fault rates.  Rate ``r`` means every
+cluster->node call draws a transient fault with probability ``r`` and
+a permanent replica crash with probability ``r / 40`` (crashes are
+forever, so over a long run even a small per-call rate retires whole
+replica groups; the 1:40 mix keeps the top rate degraded-but-bounded
+rather than fully dark) from the
+deterministic per-replica fault streams of
+:class:`repro.faults.FaultPlan` — so a run is exactly reproducible
+from its seed.  Each rate gets a *fresh* cluster (crashes are
+permanent; carrying dead replicas across rates would conflate them).
+
+Per rate the script reports:
+
+* ``p50_ms`` / ``p99_ms`` — per-query latency through ``query_many``
+  (retry/backoff and failover overhead included; backoff sleeps are
+  no-ops so the numbers measure work, not timers),
+* ``recall`` — mean overlap with the healthy cluster's answers,
+* ``degraded`` — how many answers were flagged partial, with the mean
+  flagged coverage, and
+* ``silent_divergence`` — answers that differed from healthy *without*
+  being flagged degraded.  The resilience contract is that this is
+  **always zero**: masked faults (retried transients, replica
+  failover) answer bit-identically, and anything else is flagged.
+
+The script exits nonzero when the contract fails: silent divergence
+anywhere, recall < 1 at rate 0, or recall below ``--min-recall`` at
+the highest rate (degradation must stay bounded, not collapse).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_chaos.py [--m 1000] [--navg 60]
+        [--nodes 4] [--batch 256] [--qk 20] [--rates 0,0.05,0.2]
+        [--seed 0] [--min-recall 0.5] [--smoke]
+
+``--smoke`` shrinks every dimension so CI can run in a few seconds.
+Output is one JSON object on stdout (committed as BENCH_chaos.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def _percentile(sorted_values, q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def _recall(result, reference) -> float:
+    """Fraction of the healthy top-k recovered (order-insensitive)."""
+    want = set(reference.object_ids)
+    if not want:
+        return 1.0
+    got = set(result.object_ids)
+    return len(want & got) / len(want)
+
+
+def measure_rate(make_cluster, batch, reference, rate: float, seed: int) -> dict:
+    """Serve the workload query-by-query through one chaotic cluster."""
+    from repro.datasets.workload import WorkloadBatch
+    from repro.faults import INSTANT_RETRY_POLICY, FaultPlan
+
+    plan = None
+    if rate > 0.0:
+        plan = FaultPlan(
+            seed=seed, crash_rate=rate / 40.0, transient_rate=rate
+        )
+    cluster = make_cluster(plan, INSTANT_RETRY_POLICY)
+    latencies = []
+    results = []
+    # One query per call: the latency distribution is per-request, the
+    # way a serving tier would see it (batching would hide the tail).
+    for t1, t2, k in zip(batch.t1s, batch.t2s, batch.ks):
+        single = WorkloadBatch(t1s=t1[None], t2s=t2[None], ks=k[None])
+        start = time.perf_counter()
+        results.append(cluster.query_many(single)[0])
+        latencies.append(time.perf_counter() - start)
+    latencies.sort()
+    degraded = [r for r in results if r.degraded]
+    silent = sum(
+        1
+        for got, want in zip(results, reference)
+        if got != want and not got.degraded
+    )
+    recalls = [_recall(got, want) for got, want in zip(results, reference)]
+    dead = sum(
+        1
+        for group in cluster.groups
+        for endpoint in group.endpoints
+        if getattr(endpoint, "dead", False)
+    )
+    return {
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "recall": sum(recalls) / len(recalls),
+        "degraded": len(degraded),
+        "mean_degraded_coverage": (
+            sum(r.coverage for r in degraded) / len(degraded)
+            if degraded
+            else 1.0
+        ),
+        "silent_divergence": silent,
+        "dead_replicas": dead,
+        "comm_degraded_queries": cluster.comm.degraded_queries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=1000, help="objects")
+    parser.add_argument("--navg", type=int, default=60, help="avg readings")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=256, help="workload size")
+    parser.add_argument(
+        "--qk", type=int, default=20, help="max per-query k in the workload"
+    )
+    parser.add_argument(
+        "--rates",
+        type=str,
+        default="0,0.05,0.2",
+        help="comma-separated per-call fault rates",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-recall",
+        type=float,
+        default=0.5,
+        help="recall floor gated at the highest fault rate",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.m = min(args.m, 200)
+        args.navg = min(args.navg, 25)
+        args.qk = min(args.qk, 10)
+        args.batch = min(args.batch, 64)
+    rates = [float(part) for part in args.rates.split(",") if part != ""]
+
+    from repro.datasets import generate_temp, sample_workload
+    from repro.distributed import (
+        ObjectPartitionedCluster,
+        TimePartitionedCluster,
+    )
+    from repro.bench.gating import host_metadata
+
+    database = generate_temp(
+        num_objects=args.m, avg_readings=args.navg, seed=args.seed
+    )
+    batch = sample_workload(
+        database, count=args.batch, kmax=args.qk, seed=args.seed
+    )
+
+    def make_object(plan, retry):
+        return ObjectPartitionedCluster(
+            database,
+            args.nodes,
+            replicas=args.replicas,
+            fault_plan=plan,
+            retry_policy=retry,
+        )
+
+    def make_time(plan, retry):
+        return TimePartitionedCluster(
+            database,
+            args.nodes,
+            replicas=args.replicas,
+            fault_plan=plan,
+            retry_policy=retry,
+        )
+
+    results = {}
+    failures = []
+    for name, make_cluster in (("object", make_object), ("time", make_time)):
+        reference = make_cluster(None, None).query_many(batch)
+        for rate in rates:
+            point = measure_rate(
+                make_cluster, batch, reference, rate, args.seed
+            )
+            results[f"{name}/rate={rate:g}"] = point
+            if point["silent_divergence"]:
+                failures.append(
+                    f"{name}/rate={rate:g}: {point['silent_divergence']} "
+                    "answers diverged from healthy without a degraded flag"
+                )
+            if rate == 0.0 and point["recall"] < 1.0:
+                failures.append(
+                    f"{name}/rate=0: recall {point['recall']:.3f} < 1.0"
+                )
+        top_rate = max(rates)
+        top = results[f"{name}/rate={top_rate:g}"]
+        if top_rate > 0.0 and top["recall"] < args.min_recall:
+            failures.append(
+                f"{name}/rate={top_rate:g}: recall {top['recall']:.3f} "
+                f"below the {args.min_recall} floor"
+            )
+
+    report = {
+        "bench": "chaos",
+        "config": {
+            "m": args.m,
+            "navg": args.navg,
+            "nodes": args.nodes,
+            "replicas": args.replicas,
+            "batch": args.batch,
+            "qk": args.qk,
+            "rates": rates,
+            "seed": args.seed,
+            "min_recall": args.min_recall,
+            "smoke": bool(args.smoke),
+        },
+        "host": host_metadata(),
+        "results": results,
+    }
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    for line in failures:
+        print(f"CHAOS GATE: {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,9 +24,14 @@ from repro.core import (
     F2,
     SUM,
     Aggregate,
+    CoordinatorShutdown,
+    DeadlineExceeded,
+    NodeUnavailable,
+    PartialResultError,
     PiecewiseLinearFunction,
     PiecewisePolynomialFunction,
     RankedItem,
+    ReproError,
     TemporalDatabase,
     TemporalObject,
     TopKQuery,
@@ -113,6 +118,11 @@ __all__ = [
     "TimePartitionedCluster",
     "TemporalRankingEngine",
     "open",
+    "ReproError",
+    "NodeUnavailable",
+    "DeadlineExceeded",
+    "PartialResultError",
+    "CoordinatorShutdown",
     "PersistenceError",
     "write_payload",
     "read_payload",

@@ -180,23 +180,52 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             "--protocol threshold requires --partition time "
             "(the TA runs over per-node partial aggregates)"
         )
+    fault_plan = None
+    retry_policy = None
+    chaotic = args.fault_rate > 0.0 or args.crash_rate > 0.0
+    if chaotic:
+        from repro.faults import INSTANT_RETRY_POLICY, FaultPlan
+
+        fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+        fault_plan = FaultPlan(
+            seed=fault_seed,
+            crash_rate=args.crash_rate,
+            transient_rate=args.fault_rate,
+        )
+        retry_policy = INSTANT_RETRY_POLICY
     executor = _resolve_executor(args)
     start = time.perf_counter()
     if args.partition == "object":
         cluster = ObjectPartitionedCluster(
-            db, num_nodes=args.nodes, executor=executor
+            db,
+            num_nodes=args.nodes,
+            executor=executor,
+            replicas=args.replicas,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
     else:
         cluster = TimePartitionedCluster(
-            db, num_nodes=args.nodes, executor=executor
+            db,
+            num_nodes=args.nodes,
+            executor=executor,
+            replicas=args.replicas,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
     build_seconds = time.perf_counter() - start
     batch = sample_workload(
         db, count=args.count, kmax=args.kmax, seed=args.seed
     )
+    chaos_note = (
+        f", replicas={args.replicas}, crash={args.crash_rate:g}, "
+        f"transient={args.fault_rate:g}"
+        if chaotic or args.replicas > 1
+        else ""
+    )
     print(
         f"{args.partition}-partitioned cluster: {cluster.num_nodes} nodes "
-        f"over {db} (built in {build_seconds:.2f}s)"
+        f"over {db} (built in {build_seconds:.2f}s{chaos_note})"
     )
     cluster.comm.reset()
     start = time.perf_counter()
@@ -246,17 +275,36 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         # comm was reset before each run, so both snapshots count
         # from zero and compare directly.
         scalar_comm = cluster.comm.snapshot()
-        agree = all(a == b for a, b in zip(expected, results))
-        comm_agree = scalar_comm == batched_comm
-        print(
-            f"scalar protocol: {scalar_seconds * 1e3:.1f} ms "
-            f"({len(batch) / max(scalar_seconds, 1e-12):,.0f} queries/s); "
-            f"speedup {scalar_seconds / max(batched_seconds, 1e-12):.1f}x; "
-            f"answers {'identical' if agree else 'DIVERGED'}; "
-            f"comm bytes {'identical' if comm_agree else 'DIVERGED'}"
-        )
-        if not (agree and comm_agree):
-            return 1
+        if chaotic:
+            # The scalar protocols talk to the bare shards (faults wrap
+            # only the replica groups), so `expected` is the healthy
+            # reference: a masked fault (retried transient, replica
+            # failover) must still answer bit-for-bit identically, and
+            # any divergence must be flagged degraded, never silent.
+            degraded = sum(1 for r in results if r.degraded)
+            agree = all(
+                a == b or b.degraded for a, b in zip(expected, results)
+            )
+            exact = sum(1 for a, b in zip(expected, results) if a == b)
+            print(
+                f"verify vs healthy scalar protocol: {exact}/{len(results)} "
+                f"bit-identical, {degraded} flagged degraded; "
+                f"{'OK' if agree else 'SILENT DIVERGENCE'}"
+            )
+            if not agree:
+                return 1
+        else:
+            agree = all(a == b for a, b in zip(expected, results))
+            comm_agree = scalar_comm == batched_comm
+            print(
+                f"scalar protocol: {scalar_seconds * 1e3:.1f} ms "
+                f"({len(batch) / max(scalar_seconds, 1e-12):,.0f} queries/s); "
+                f"speedup {scalar_seconds / max(batched_seconds, 1e-12):.1f}x; "
+                f"answers {'identical' if agree else 'DIVERGED'}; "
+                f"comm bytes {'identical' if comm_agree else 'DIVERGED'}"
+            )
+            if not (agree and comm_agree):
+                return 1
     return 0
 
 
@@ -443,27 +491,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("no requests")
         return 0
 
+    deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
+
     async def run():
         coordinator = ServingCoordinator(
-            backend, max_batch=args.max_batch, max_delay=args.max_delay
+            backend,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            request_deadline=deadline,
         )
         async with coordinator:
-            answers = await asyncio.gather(*[
-                coordinator.top_k(t1, t2, k) for t1, t2, k in requests
-            ])
+            answers = await asyncio.gather(
+                *[coordinator.top_k(t1, t2, k) for t1, t2, k in requests],
+                return_exceptions=True,
+            )
         return coordinator, answers
 
     coordinator, answers = asyncio.run(run())
+    from repro.core.errors import DeadlineExceeded
+
     for (t1, t2, k), result in zip(requests, answers):
+        if isinstance(result, DeadlineExceeded):
+            print(f"top-{k}({t1:g}, {t2:g}) -> DEADLINE EXCEEDED")
+            continue
+        if isinstance(result, BaseException):
+            raise result
         tops = ", ".join(
             f"{item.object_id}:{item.score:.6g}" for item in result
         )
         print(f"top-{k}({t1:g}, {t2:g}) -> [{tops}]")
     stats = coordinator.stats
+    failed = f", {stats.failed} failed" if stats.failed else ""
     print(
         f"served {stats.requests} requests in {stats.batches} micro-batches "
         f"(mean {stats.mean_batch:.1f}/batch, {stats.cache_hits} cache "
-        f"hits, {stats.deduped} deduped)"
+        f"hits, {stats.deduped} deduped{failed})"
     )
     return 0
 
@@ -636,10 +698,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="TA sorted-access batch size (threshold protocol only)",
     )
     p_cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serving endpoints per shard (failover masks dead replicas)",
+    )
+    p_cluster.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-call transient fault probability (masked by retry)",
+    )
+    p_cluster.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="per-call replica crash probability (masked by failover "
+        "while a replica survives; flagged degraded otherwise)",
+    )
+    p_cluster.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault-plan seed (default: --seed); same seed, same faults",
+    )
+    p_cluster.add_argument(
         "--verify",
         action="store_true",
         help="also run the scalar protocol and check answers and comm "
-        "bytes are identical",
+        "bytes are identical (under faults: check every non-degraded "
+        "answer matches the healthy protocol bit-for-bit)",
     )
     _add_executor_options(p_cluster)
     p_cluster.set_defaults(func=cmd_cluster)
@@ -703,6 +791,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-delay", type=float, default=0.002,
         help="micro-batch accumulation deadline, seconds",
+    )
+    p_serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="per-request deadline in milliseconds (0: none); overruns "
+        "fail with a structured DeadlineExceeded",
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(func=cmd_serve)

@@ -9,9 +9,15 @@ polynomials, negative scores, avg/F2 aggregates, appends).
 from repro.core.aggregates import AVG, F2, SUM, Aggregate, AvgAggregate, F2Aggregate, SumAggregate
 from repro.core.database import TemporalDatabase
 from repro.core.errors import (
+    BlockDeviceError,
+    CoordinatorShutdown,
+    DeadlineExceeded,
     IndexStateError,
     InvalidFunctionError,
     InvalidQueryError,
+    NodeUnavailable,
+    PartialResultError,
+    PersistenceError,
     ReproError,
 )
 from repro.core.geometry import Segment, interpolate, segment_integral, segment_integrals
@@ -51,4 +57,10 @@ __all__ = [
     "InvalidFunctionError",
     "InvalidQueryError",
     "IndexStateError",
+    "BlockDeviceError",
+    "PersistenceError",
+    "NodeUnavailable",
+    "DeadlineExceeded",
+    "PartialResultError",
+    "CoordinatorShutdown",
 ]

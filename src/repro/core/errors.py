@@ -1,6 +1,23 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+One taxonomy, one base class: every error this package raises on
+purpose derives from :class:`ReproError`, so ``except ReproError``
+catches exactly "the repro stack reported a structured failure" and
+nothing else.  The storage- and distributed-tier classes live here
+(rather than in their subsystems) because the fault-tolerance layer
+crosses tiers: a cluster coordinator must classify a shard's
+:class:`BlockDeviceError` or a replica's :class:`NodeUnavailable`
+without importing the subsystem that raised it.
+
+The historical definition sites re-export these names
+(``repro.storage.device.BlockDeviceError``,
+``repro.storage.persistence.PersistenceError``), so existing
+``except`` clauses and imports keep working unchanged.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -17,3 +34,72 @@ class InvalidQueryError(ReproError):
 
 class IndexStateError(ReproError):
     """An index was used before being built, or after being invalidated."""
+
+
+class BlockDeviceError(ReproError):
+    """Raised on invalid block accesses (bad id, freed block, corrupt
+    read, mutation from a non-owner process)."""
+
+
+class PersistenceError(ReproError):
+    """Raised when a persisted file is malformed or incompatible."""
+
+
+class NodeUnavailable(ReproError):
+    """A storage node (or one replica of it) failed to serve a call.
+
+    ``transient`` distinguishes a retryable blip (injected transient
+    error, timeout) from a permanent condition (crashed replica, every
+    replica exhausted): retry policies re-attempt transient failures
+    and fail over — or give up — on permanent ones.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node_id: Optional[int] = None,
+        replica: Optional[int] = None,
+        transient: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+        self.replica = replica
+        self.transient = transient
+
+
+class DeadlineExceeded(ReproError):
+    """A call (or serving request) ran past its deadline.
+
+    Structured replacement for an unbounded await: the caller gets a
+    clean error carrying the budget that was blown instead of hanging
+    forever on a wedged shard.
+    """
+
+    def __init__(self, message: str, deadline: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class PartialResultError(ReproError):
+    """A query could only be answered over part of the data.
+
+    Raised by cluster coordinators running with ``allow_partial=False``
+    when no replica survives for some partition; carries the
+    best-effort ``result`` (already coverage-annotated) so a caller
+    that would rather degrade than fail can still use it.
+    """
+
+    def __init__(self, message: str, result=None, coverage: float = 0.0) -> None:
+        super().__init__(message)
+        self.result = result
+        self.coverage = float(coverage)
+
+
+class CoordinatorShutdown(ReproError):
+    """The serving coordinator shut down before answering a request.
+
+    Set on still-pending request futures by
+    :meth:`~repro.serving.coordinator.ServingCoordinator.close` when
+    the drain timeout expires — a structured failure instead of a
+    forever-hanging await.
+    """

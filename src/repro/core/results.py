@@ -48,13 +48,14 @@ class TopKResult:
     score)`` columns (bitwise on scores), never object identity.
     """
 
-    __slots__ = ("_ids", "_scores", "_items")
+    __slots__ = ("_ids", "_scores", "_items", "_coverage")
 
     def __init__(self, items: Iterable = ()) -> None:
         items = tuple(items)
         self._items: Optional[tuple] = items
         self._ids: Optional[list] = None
         self._scores: Optional[list] = None
+        self._coverage: float = 1.0
 
     @classmethod
     def from_columns(cls, ids: list, scores: list) -> "TopKResult":
@@ -70,6 +71,44 @@ class TopKResult:
         result._items = None
         result._ids = ids
         result._scores = scores
+        result._coverage = 1.0
+        return result
+
+    # ------------------------------------------------------------------
+    # degradation annotation (fault-tolerant serving)
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> float:
+        """Fraction of the relevant data this answer was computed over.
+
+        ``1.0`` is a full answer; anything less means some partition
+        had no surviving replica and the coordinator returned a
+        best-effort answer over the survivors.
+        """
+        return self._coverage
+
+    @property
+    def degraded(self) -> bool:
+        """True when this is a partial (best-effort) answer."""
+        return self._coverage < 1.0
+
+    def with_coverage(self, coverage: float) -> "TopKResult":
+        """This answer annotated with ``coverage`` (columns shared).
+
+        Coverage is an annotation, not part of the answer's value:
+        equality and hashing still compare the ranked columns only, so
+        a degraded answer that happens to match the full one compares
+        equal to it (the property the failover equivalence suites
+        exercise).
+        """
+        coverage = float(coverage)
+        if coverage >= 1.0:
+            return self
+        result = TopKResult.__new__(TopKResult)
+        result._items = self._items
+        result._ids = self._ids
+        result._scores = self._scores
+        result._coverage = coverage
         return result
 
     @staticmethod
@@ -146,19 +185,29 @@ class TopKResult:
     def truncated(self, k: int) -> "TopKResult":
         """The top-``k`` prefix of this answer."""
         if self._ids is not None:
-            return TopKResult.from_columns(self._ids[:k], self._scores[:k])
-        return TopKResult(self._items[:k])
+            result = TopKResult.from_columns(self._ids[:k], self._scores[:k])
+        else:
+            result = TopKResult(self._items[:k])
+        return result.with_coverage(self._coverage)
 
     # ------------------------------------------------------------------
     # pickling (__slots__ classes need explicit state plumbing)
     # ------------------------------------------------------------------
     def __getstate__(self) -> tuple:
         ids, scores = self._columns()
-        return (ids, scores)
+        # Full answers keep the historical 2-tuple state (byte-stable
+        # pickles); only degraded answers carry the annotation.
+        if self._coverage >= 1.0:
+            return (ids, scores)
+        return (ids, scores, self._coverage)
 
     def __setstate__(self, state: tuple) -> None:
         self._items = None
-        self._ids, self._scores = state
+        if len(state) == 2:
+            self._ids, self._scores = state
+            self._coverage = 1.0
+        else:
+            self._ids, self._scores, self._coverage = state
 
 
 def select_top_k(pairs: Iterable, k: int) -> TopKResult:

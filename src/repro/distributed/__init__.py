@@ -6,11 +6,17 @@ from repro.distributed.comm import (
     CommStats,
     RoundRecord,
 )
-from repro.distributed.nodes import StorageNode, build_node_methods
+from repro.distributed.nodes import (
+    ReplicaGroup,
+    StorageNode,
+    build_node_methods,
+    make_replica_groups,
+)
 from repro.distributed.object_partition import ObjectPartitionedCluster
 from repro.distributed.partitioner import (
     Partition,
     hash_partition,
+    replica_placement,
     time_boundaries,
     time_range_partition,
 )
@@ -27,9 +33,12 @@ __all__ = [
     "StorageNode",
     "TANodeIndex",
     "ObjectPartitionedCluster",
+    "ReplicaGroup",
     "TimePartitionedCluster",
     "build_node_methods",
     "hash_partition",
+    "make_replica_groups",
+    "replica_placement",
     "time_boundaries",
     "time_range_partition",
 ]

@@ -78,6 +78,10 @@ class CommStats:
     messages: int = 0
     pairs: int = 0
     rounds: List[RoundRecord] = field(default_factory=list)
+    #: Queries answered best-effort because some partition had no
+    #: surviving replica, and each such query's coverage fraction.
+    degraded_queries: int = 0
+    coverages: List[float] = field(default_factory=list)
     _open_round: Optional[RoundRecord] = field(
         default=None, repr=False, compare=False
     )
@@ -132,6 +136,19 @@ class CommStats:
             self._open_round.random_pairs += int(num_pairs)
 
     # ------------------------------------------------------------------
+    # degradation (fault-tolerant serving)
+    # ------------------------------------------------------------------
+    def record_degraded(self, coverage: float) -> None:
+        """One query answered over ``coverage`` of its data.
+
+        Charged by coordinators when no replica survives for some
+        partition a query touches; the per-query coverage list is what
+        the chaos bench aggregates into recall-vs-fault-rate curves.
+        """
+        self.degraded_queries += 1
+        self.coverages.append(float(coverage))
+
+    # ------------------------------------------------------------------
     # rounds (threshold-style protocols)
     # ------------------------------------------------------------------
     def start_round(self) -> None:
@@ -151,4 +168,6 @@ class CommStats:
         self.messages = 0
         self.pairs = 0
         self.rounds = []
+        self.degraded_queries = 0
+        self.coverages = []
         self._open_round = None

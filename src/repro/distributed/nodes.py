@@ -175,6 +175,21 @@ class StorageNode:
         """
         return self.ta_index.stream(t1, t2)
 
+    def ta_streams(
+        self, t1s: Sequence[float], t2s: Sequence[float]
+    ) -> List[SortedPrefixList]:
+        """Batched :meth:`ta_stream`: one stream per query interval.
+
+        One CSR kernel pass covers every missing score row
+        (:meth:`TANodeIndex.streams`); stream ``j`` is the same
+        canonical prefix list :meth:`ta_stream` returns for
+        ``(t1s[j], t2s[j])``.  This is the lock-step TA's stream-setup
+        message — routing it through the node (rather than reaching
+        into ``ta_index`` from the coordinator) keeps it on the remote
+        API, where fault injection and failover apply.
+        """
+        return self.ta_index.streams(t1s, t2s)
+
     # ------------------------------------------------------------------
     # message handlers (batched: whole workload slices per message)
     # ------------------------------------------------------------------
@@ -288,3 +303,116 @@ class StorageNode:
             out.append((present, stream.row[rows]))
             offset += length
         return out
+
+
+# ----------------------------------------------------------------------
+# replication (fault-tolerant serving)
+# ----------------------------------------------------------------------
+class ReplicaGroup:
+    """The ``k`` serving endpoints of one shard, with failover.
+
+    A group owns one logical partition.  Its endpoints all answer from
+    the *same* shard state (in-process replication replicates the
+    serving endpoint, not the bytes), so any live endpoint's answer is
+    bit-identical to any other's — which is what makes failover
+    invisible in the results.  :meth:`call` is the cluster→node
+    chokepoint: each endpoint attempt runs under the group's
+    :class:`~repro.faults.retry.RetryPolicy` (transient faults retried
+    with backoff); a permanent endpoint failure rotates to the next
+    replica; when every replica is gone the group raises a permanent
+    :class:`~repro.core.errors.NodeUnavailable` and the coordinator's
+    degradation path takes over.
+    """
+
+    __slots__ = ("node_id", "endpoints", "retry", "primary", "failovers")
+
+    def __init__(self, node_id: int, endpoints, retry=None) -> None:
+        self.node_id = node_id
+        self.endpoints = list(endpoints)
+        if not self.endpoints:
+            raise ValueError("a replica group needs at least one endpoint")
+        self.retry = retry
+        #: Index of the endpoint currently serving (sticky: a failover
+        #: promotes the survivor so later calls skip the corpse).
+        self.primary = 0
+        self.failovers = 0
+
+    @property
+    def inner(self) -> StorageNode:
+        """The underlying shard node (unwrap a fault endpoint)."""
+        endpoint = self.endpoints[0]
+        return getattr(endpoint, "inner", endpoint)
+
+    @property
+    def replicas(self) -> int:
+        return len(self.endpoints)
+
+    @property
+    def alive(self) -> bool:
+        """True while at least one endpoint still serves."""
+        return any(
+            not getattr(endpoint, "dead", False) for endpoint in self.endpoints
+        )
+
+    def call(self, name: str, *args, **kwargs):
+        """Serve one remote call with retry and replica failover.
+
+        Raises a non-transient :class:`NodeUnavailable` only when
+        every replica has failed permanently.
+        """
+        from repro.core.errors import DeadlineExceeded, NodeUnavailable
+
+        count = len(self.endpoints)
+        last = None
+        for offset in range(count):
+            idx = (self.primary + offset) % count
+            endpoint = self.endpoints[idx]
+            if getattr(endpoint, "dead", False):
+                continue
+            func = getattr(endpoint, name)
+            try:
+                if self.retry is not None:
+                    result = self.retry.call(func, *args, **kwargs)
+                else:
+                    result = func(*args, **kwargs)
+            except (NodeUnavailable, DeadlineExceeded) as exc:
+                last = exc
+                continue
+            if idx != self.primary:
+                self.failovers += 1
+                self.primary = idx
+            return result
+        raise NodeUnavailable(
+            f"node {self.node_id}: all {count} replicas failed",
+            node_id=self.node_id,
+            transient=False,
+        ) from last
+
+
+def make_replica_groups(
+    nodes: Sequence[StorageNode],
+    replicas: int = 1,
+    fault_plan=None,
+    retry_policy=None,
+    sleep=None,
+) -> List[ReplicaGroup]:
+    """One :class:`ReplicaGroup` per shard node.
+
+    The healthy fast path — one replica, no fault plan — serves the
+    bare node through a trivial group (no wrapper in the call path),
+    so an unfaulted cluster's behavior and accounting are unchanged.
+    """
+    import time as _time
+
+    from repro.faults.injection import wrap_cluster_nodes
+
+    endpoint_lists = wrap_cluster_nodes(
+        nodes,
+        fault_plan,
+        replicas=replicas,
+        sleep=sleep if sleep is not None else _time.sleep,
+    )
+    return [
+        ReplicaGroup(node.node_id, endpoints, retry=retry_policy)
+        for node, endpoints in zip(nodes, endpoint_lists)
+    ]

@@ -25,11 +25,16 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.core.database import TemporalDatabase
+from repro.core.errors import NodeUnavailable, PartialResultError
 from repro.core.queries import workload_arrays
 from repro.core.results import TopKResult, merge_top_k_many, select_top_k
 from repro.exact.base import RankingMethod
 from repro.distributed.comm import CommStats
-from repro.distributed.nodes import StorageNode, build_node_methods
+from repro.distributed.nodes import (
+    StorageNode,
+    build_node_methods,
+    make_replica_groups,
+)
 from repro.distributed.partitioner import hash_partition
 from repro.parallel.executor import ParallelExecutor
 
@@ -40,6 +45,16 @@ class ObjectPartitionedCluster:
     ``executor`` fans the per-node index builds through one
     :class:`~repro.parallel.executor.Session` (the PR 3 build
     executor); the built shards are byte-identical on every backend.
+
+    Fault tolerance: ``replicas`` endpoints serve each shard
+    (failover between them is answer-invisible — same shard state),
+    ``fault_plan`` injects deterministic chaos, ``retry_policy``
+    governs every coordinator→node call in :meth:`query_many`.  When
+    every replica of some shard is gone, the batched path degrades:
+    with ``allow_partial`` (the default) it answers best-effort over
+    the surviving shards, annotating each result with its coverage
+    (fraction of objects still reachable); otherwise it raises
+    :class:`~repro.core.errors.PartialResultError`.
     """
 
     def __init__(
@@ -48,6 +63,10 @@ class ObjectPartitionedCluster:
         num_nodes: int,
         method_factory: Optional[Callable[[], RankingMethod]] = None,
         executor: Optional[ParallelExecutor] = None,
+        replicas: int = 1,
+        fault_plan=None,
+        retry_policy=None,
+        allow_partial: bool = True,
     ) -> None:
         self.comm = CommStats()
         partitions = hash_partition(database, num_nodes)
@@ -60,6 +79,10 @@ class ObjectPartitionedCluster:
             StorageNode(partition.node_id, partition.database, method)
             for partition, method in zip(partitions, methods)
         ]
+        self.allow_partial = allow_partial
+        self.groups = make_replica_groups(
+            self.nodes, replicas, fault_plan, retry_policy
+        )
 
     @property
     def num_nodes(self) -> int:
@@ -109,15 +132,52 @@ class ObjectPartitionedCluster:
         ``executor`` is forwarded to each node's ``query_many``
         (EXACT3 fans query chunks; serial, thread, and process
         backends are answer-identical).
+
+        Every node call goes through the shard's
+        :class:`~repro.distributed.nodes.ReplicaGroup` — transient
+        faults are retried, a dead replica fails over (the survivor's
+        answer is bit-identical, so the merged results equal the
+        healthy run's).  A shard with no surviving replica is skipped;
+        the merged answers then carry ``coverage`` = the fraction of
+        objects still reachable, each query is charged to
+        :meth:`CommStats.record_degraded`, and with
+        ``allow_partial=False`` the batch raises
+        :class:`PartialResultError` carrying the best-effort results.
         """
         t1s, t2s, ks = workload_arrays(queries)
         if t1s.size == 0:
             return []
         per_node: List[List[TopKResult]] = []
-        for node in self.nodes:
-            local = node.local_top_k_many(t1s, t2s, ks, executor=executor)
+        lost_objects = 0
+        total_objects = 0
+        for group in self.groups:
+            total_objects += group.inner.num_objects
+            try:
+                local = group.call(
+                    "local_top_k_many", t1s, t2s, ks, executor=executor
+                )
+            except NodeUnavailable:
+                lost_objects += group.inner.num_objects
+                continue
             self.comm.record_messages(
                 len(local), sum(len(result) for result in local)
             )
             per_node.append(local)
-        return merge_top_k_many(per_node, ks)
+        if per_node:
+            results = merge_top_k_many(per_node, ks)
+        else:
+            results = [TopKResult() for _ in range(int(t1s.size))]
+        if not lost_objects:
+            return results
+        coverage = 1.0 - lost_objects / max(total_objects, 1)
+        results = [result.with_coverage(coverage) for result in results]
+        for _ in results:
+            self.comm.record_degraded(coverage)
+        if not self.allow_partial:
+            raise PartialResultError(
+                f"{lost_objects}/{total_objects} objects unreachable "
+                "(no surviving replica)",
+                result=results,
+                coverage=coverage,
+            )
+        return results

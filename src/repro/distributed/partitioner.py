@@ -73,6 +73,46 @@ def hash_partition(
     return partitions
 
 
+def replica_placement(
+    num_partitions: int, replicas: int, num_hosts: Optional[int] = None
+) -> List[List[int]]:
+    """Chained-declustering placement of ``replicas`` copies per shard.
+
+    Returns, per partition, the ``replicas`` host ids serving it:
+    partition ``i``'s copies land on hosts ``(i + r) % num_hosts`` for
+    ``r in range(replicas)``.  The properties the fault-tolerant
+    serving tier relies on (and the tests assert):
+
+    * a partition's replicas occupy **distinct hosts** (requires
+      ``replicas <= num_hosts``), so one host death loses at most one
+      copy of any shard;
+    * the placement is **balanced** — every host serves exactly
+      ``num_partitions * replicas / num_hosts`` copies when hosts
+      divide evenly (and within one otherwise);
+    * losing any single host leaves every partition covered whenever
+      ``replicas >= 2``.
+
+    ``num_hosts`` defaults to ``num_partitions`` (the in-process
+    clusters' layout: one primary host per shard, replicas chained
+    onto neighbors).
+    """
+    if num_partitions < 1:
+        raise ReproError("need at least one partition")
+    if num_hosts is None:
+        num_hosts = num_partitions
+    if replicas < 1:
+        raise ReproError("need at least one replica")
+    if replicas > num_hosts:
+        raise ReproError(
+            f"cannot place {replicas} replicas on {num_hosts} hosts "
+            "without co-locating copies of a shard"
+        )
+    return [
+        [(i + r) % num_hosts for r in range(replicas)]
+        for i in range(num_partitions)
+    ]
+
+
 def time_boundaries(database: TemporalDatabase, num_nodes: int) -> np.ndarray:
     """The ``num_nodes + 1`` equal-width slice boundaries over the span."""
     if num_nodes < 1:

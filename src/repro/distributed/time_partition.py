@@ -54,12 +54,32 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.database import TemporalDatabase
+from repro.core.errors import NodeUnavailable, PartialResultError
 from repro.core.queries import workload_arrays
 from repro.core.results import TopKResult, top_k_from_arrays
 from repro.distributed.comm import CommStats
-from repro.distributed.nodes import StorageNode, build_node_methods
+from repro.distributed.nodes import (
+    StorageNode,
+    build_node_methods,
+    make_replica_groups,
+)
 from repro.distributed.partitioner import time_boundaries, time_range_partition
 from repro.parallel.executor import ParallelExecutor
+
+
+class _DeadStream:
+    """Stand-in stream for a slot whose node lost every replica.
+
+    Size 0 reads as "exhausted": the TA charges it a 0.0 frontier (the
+    same bound an exhausted healthy stream gets) and never slices or
+    probes it, so the protocol keeps running over the survivors.
+    """
+
+    __slots__ = ()
+    size = 0
+
+
+_DEAD_STREAM = _DeadStream()
 
 
 class _TAQueryState:
@@ -89,6 +109,7 @@ class _TAQueryState:
         "round_probes",
         "new_ids",
         "live",
+        "lost",
     )
 
     def __init__(self, index, t1, t2, k, nodes):
@@ -109,6 +130,28 @@ class _TAQueryState:
         self.round_probes: List[tuple] = []
         self.new_ids: List[int] = []
         self.live = True
+        #: Slots whose node lost every replica mid-protocol.
+        self.lost: set = set()
+
+    def mark_lost(self, slot: int) -> None:
+        """Retire a slot whose node has no surviving replica.
+
+        The slot reads as an exhausted stream from here on (0.0
+        frontier, nothing left to slice), which keeps the TA exact
+        over the *surviving* slices: the lost slice simply stops
+        contributing, and the final answer is flagged with the
+        query's coverage.
+        """
+        if slot in self.lost:
+            return
+        self.lost.add(slot)
+        self.streams[slot] = _DEAD_STREAM
+        self.cursors[slot] = 0
+        self.frontiers[slot] = 0.0
+
+    def coverage(self) -> float:
+        """Fraction of this query's touched slices still serving."""
+        return 1.0 - len(self.lost) / max(len(self.nodes), 1)
 
     def init_frontiers(self) -> None:
         # Guarded like the scalar path: a frontier below 0 is not a
@@ -158,6 +201,10 @@ class TimePartitionedCluster:
         database: TemporalDatabase,
         num_nodes: int,
         executor: Optional[ParallelExecutor] = None,
+        replicas: int = 1,
+        fault_plan=None,
+        retry_policy=None,
+        allow_partial: bool = True,
     ) -> None:
         self.comm = CommStats()
         self.database = database
@@ -172,6 +219,10 @@ class TimePartitionedCluster:
             StorageNode(partition.node_id, partition.database, method)
             for partition, method in zip(partitions, methods)
         ]
+        self.allow_partial = allow_partial
+        self.groups = make_replica_groups(
+            self.nodes, replicas, fault_plan, retry_policy
+        )
         # The node layout is immutable after construction, so the
         # batched coordinator's global answer columns (union of shard
         # object sets, ascending) and each node's scatter positions
@@ -307,13 +358,26 @@ class TimePartitionedCluster:
         q = int(t1s.size)
         totals = np.zeros((q, columns.size), dtype=np.float64)
         present = np.zeros((q, columns.size), dtype=bool)
-        for node, cols in zip(self.nodes, self._node_cols):
+        touched = np.zeros(q, dtype=np.int64)
+        served = np.zeros(q, dtype=np.int64)
+        for group, cols in zip(self.groups, self._node_cols):
+            node = group.inner
             lo = float(self.boundaries[node.node_id])
             hi = float(self.boundaries[node.node_id + 1])
             rows = np.flatnonzero((hi > t1s) & (lo < t2s))
             if rows.size == 0:
                 continue
-            partials = node.partial_scores_many(t1s[rows], t2s[rows])
+            touched[rows] += 1
+            try:
+                partials = group.call(
+                    "partial_scores_many", t1s[rows], t2s[rows]
+                )
+            except NodeUnavailable:
+                # No surviving replica for this slice: the queries it
+                # touches lose its contribution and are answered
+                # best-effort from the remaining slices.
+                continue
+            served[rows] += 1
             # Ascending-node accumulation: object totals see the same
             # float-addition sequence as the scalar coordinator's
             # ``totals[id] = totals.get(id, 0.0) + score`` dict walk.
@@ -327,7 +391,23 @@ class TimePartitionedCluster:
         # and per-query k is clamped so a pad can never be selected.
         scores = np.where(present, totals, -np.inf)
         k_eff = np.minimum(ks, present.sum(axis=1))
-        return top_k_rows(columns, scores, k_eff)
+        results = top_k_rows(columns, scores, k_eff)
+        if np.array_equal(served, touched):
+            return results
+        coverage = np.where(touched > 0, served / np.maximum(touched, 1), 1.0)
+        degraded_rows = np.flatnonzero(served < touched)
+        for row in degraded_rows:
+            results[row] = results[row].with_coverage(float(coverage[row]))
+            self.comm.record_degraded(float(coverage[row]))
+        if not self.allow_partial:
+            worst = float(coverage[degraded_rows].min())
+            raise PartialResultError(
+                f"{degraded_rows.size} queries lost time slices "
+                "(no surviving replica)",
+                result=results,
+                coverage=worst,
+            )
+        return results
 
     # ------------------------------------------------------------------
     def query_threshold(
@@ -469,27 +549,35 @@ class TimePartitionedCluster:
         )
         for j in range(num_queries):
             t1, t2, k = float(t1s[j]), float(t2s[j]), int(ks[j])
-            nodes = [self.nodes[i] for i in np.flatnonzero(touched_matrix[j])]
-            if not nodes or k <= 0:
+            groups = [self.groups[i] for i in np.flatnonzero(touched_matrix[j])]
+            if not groups or k <= 0:
                 results[j] = TopKResult()
                 continue
-            states.append(_TAQueryState(j, t1, t2, k, nodes))
+            states.append(_TAQueryState(j, t1, t2, k, groups))
         if states:
             # Membership lists per node, built once: which (state,
-            # stream slot) pairs read from each node.
+            # stream slot) pairs read from each node's replica group.
             per_node: Dict[int, tuple] = {}
             for state in states:
-                for slot, node in enumerate(state.nodes):
-                    per_node.setdefault(node.node_id, (node, []))[1].append(
+                for slot, group in enumerate(state.nodes):
+                    per_node.setdefault(group.node_id, (group, []))[1].append(
                         (state, slot)
                     )
             # Stream creation: one kernel pass per node covering every
-            # query that touches it.
-            for node, members in per_node.values():
-                streams = node.ta_index.streams(
-                    [state.t1 for state, _ in members],
-                    [state.t2 for state, _ in members],
-                )
+            # query that touches it, served through the replica group
+            # (retry + failover); a node with no surviving replica
+            # retires its slot in every touching query.
+            for group, members in per_node.values():
+                try:
+                    streams = group.call(
+                        "ta_streams",
+                        [state.t1 for state, _ in members],
+                        [state.t2 for state, _ in members],
+                    )
+                except NodeUnavailable:
+                    for state, slot in members:
+                        state.mark_lost(slot)
+                    continue
                 for (state, slot), stream in zip(members, streams):
                     state.streams[slot] = stream
             for state in states:
@@ -498,7 +586,7 @@ class TimePartitionedCluster:
             live = [state for state in states if state.live]
             for state in states:
                 if not state.live:
-                    results[state.index] = state.finalize()
+                    results[state.index] = self._finish_state(state)
             while live:
                 self._threshold_round(live, per_node, batch_size)
                 still = []
@@ -507,7 +595,7 @@ class TimePartitionedCluster:
                         still.append(state)
                     else:
                         state.live = False
-                        results[state.index] = state.finalize()
+                        results[state.index] = self._finish_state(state)
                 live = still
             # Replay per-query round tallies in query order: the comm
             # log reads exactly as if the scalar loop had run.
@@ -519,7 +607,26 @@ class TimePartitionedCluster:
                     if r_msgs:
                         self.comm.record_random_messages(r_msgs, r_pairs)
                     self.comm.end_round()
+            if not self.allow_partial:
+                lost_states = [state for state in states if state.lost]
+                if lost_states:
+                    raise PartialResultError(
+                        f"{len(lost_states)} queries lost time slices "
+                        "(no surviving replica)",
+                        result=results,
+                        coverage=min(
+                            state.coverage() for state in lost_states
+                        ),
+                    )
         return results
+
+    def _finish_state(self, state: _TAQueryState) -> TopKResult:
+        """Finalize one TA query, annotating lost-slice degradation."""
+        result = state.finalize()
+        if state.lost:
+            result = result.with_coverage(state.coverage())
+            self.comm.record_degraded(state.coverage())
+        return result
 
     def _threshold_round(
         self,
@@ -528,8 +635,12 @@ class TimePartitionedCluster:
         batch_size: int,
     ) -> None:
         """One lock-step round over all live queries."""
-        # (a) one sorted-access pass per node.
-        for node, members in per_node.values():
+        # (a) one sorted-access pass per node, through its replica
+        # group.  A group whose last replica dies mid-round retires
+        # its slot in every live query (the batch it failed to serve
+        # reads as an exhausted stream) and the round carries on over
+        # the survivors.
+        for group, members in per_node.values():
             served = [
                 (state, slot)
                 for state, slot in members
@@ -538,12 +649,19 @@ class TimePartitionedCluster:
             ]
             if not served:
                 continue
-            batches = node.sorted_access_many(
-                [state.t1 for state, _ in served],
-                [state.t2 for state, _ in served],
-                [state.cursors[slot] for state, slot in served],
-                batch_size,
-            )
+            try:
+                batches = group.call(
+                    "sorted_access_many",
+                    [state.t1 for state, _ in served],
+                    [state.t2 for state, _ in served],
+                    [state.cursors[slot] for state, slot in served],
+                    batch_size,
+                )
+            except NodeUnavailable:
+                for state, slot in members:
+                    if state.live:
+                        state.mark_lost(slot)
+                continue
             for (state, slot), batch in zip(served, batches):
                 state.round_batches[slot] = batch
         # Per-query new-id scan and frontier updates, in each query's
@@ -570,20 +688,28 @@ class TimePartitionedCluster:
             state.rounds.append((s_msgs, s_pairs, 0, 0))
         # (b) one batched random-access probe per node over the union
         # of newly seen ids (every touched node is probed, as in the
-        # scalar protocol).
-        for node, members in per_node.values():
+        # scalar protocol).  Lost slots are skipped — a dead slice
+        # contributes nothing to any total from here on.
+        for group, members in per_node.values():
             probing = [
                 (state, slot)
                 for state, slot in members
-                if state.live and state.new_ids
+                if state.live and state.new_ids and slot not in state.lost
             ]
             if not probing:
                 continue
-            probes = node.probe_partials_many(
-                [state.t1 for state, _ in probing],
-                [state.t2 for state, _ in probing],
-                [state.new_ids for state, _ in probing],
-            )
+            try:
+                probes = group.call(
+                    "probe_partials_many",
+                    [state.t1 for state, _ in probing],
+                    [state.t2 for state, _ in probing],
+                    [state.new_ids for state, _ in probing],
+                )
+            except NodeUnavailable:
+                for state, slot in members:
+                    if state.live:
+                        state.mark_lost(slot)
+                continue
             for (state, slot), probe in zip(probing, probes):
                 state.round_probes[slot] = probe
         # Scatter probe results back per query: accumulate totals in
@@ -598,6 +724,10 @@ class TimePartitionedCluster:
             r_msgs = 0
             r_pairs = 0
             for probe in state.round_probes:
+                if probe is None:
+                    # Lost slot (or a node retired this round): no
+                    # probe was served, no comm is charged.
+                    continue
                 present, values = probe
                 r_msgs += 1
                 r_pairs += int(values.size)

@@ -147,6 +147,10 @@ class TemporalRankingEngine:
         partition: str = "object",
         method_factory=None,
         executor=None,
+        replicas: int = 1,
+        fault_plan=None,
+        retry_policy=None,
+        allow_partial: bool = True,
     ):
         """A partitioned serving cluster over this engine's database.
 
@@ -172,10 +176,20 @@ class TemporalRankingEngine:
                 num_nodes,
                 method_factory=method_factory,
                 executor=executor,
+                replicas=replicas,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                allow_partial=allow_partial,
             )
         if partition == "time":
             return TimePartitionedCluster(
-                self.database, num_nodes, executor=executor
+                self.database,
+                num_nodes,
+                executor=executor,
+                replicas=replicas,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                allow_partial=allow_partial,
             )
         raise InvalidQueryError(
             f"unknown partition {partition!r}; choose object or time"

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and resilience policies.
+
+The chaos toolbox for the distributed/serving tiers:
+
+* :class:`FaultPlan` / :class:`NodeFaults` — seedable, scriptable
+  fault schedules (crash, transient error, added latency, corrupt
+  read), deterministic per ``(seed, node_id, replica)`` endpoint;
+* :class:`FaultyNode` / :class:`FaultyDevice` — drop-in wrappers that
+  inject those faults into ``StorageNode`` message handlers and
+  ``BlockDevice`` reads;
+* :class:`RetryPolicy` — exponential-backoff retry with per-attempt
+  timeouts, the policy every cluster→node call goes through.
+
+Everything here is deterministic by construction: same seed, same
+workload ⇒ same faults, same failovers, same answers.
+"""
+
+from repro.faults.injection import (
+    REMOTE_CALLS,
+    FaultyDevice,
+    FaultyNode,
+    wrap_cluster_nodes,
+)
+from repro.faults.plan import CORRUPT, CRASH, LATENCY, TRANSIENT, FaultPlan, NodeFaults
+from repro.faults.retry import DEFAULT_RETRY_POLICY, INSTANT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "NodeFaults",
+    "FaultyNode",
+    "FaultyDevice",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "INSTANT_RETRY_POLICY",
+    "REMOTE_CALLS",
+    "wrap_cluster_nodes",
+    "CRASH",
+    "TRANSIENT",
+    "LATENCY",
+    "CORRUPT",
+]

@@ -1,0 +1,211 @@
+"""Fault-injecting wrappers for storage nodes and block devices.
+
+:class:`FaultyNode` wraps a :class:`~repro.distributed.nodes.StorageNode`
+endpoint: every *remote* handler (the message API coordinators call)
+first consults the endpoint's :class:`~repro.faults.plan.NodeFaults`
+stream and may crash the endpoint, raise a transient error, or delay
+the call; every other attribute delegates untouched, so a wrapped node
+is a drop-in replacement anywhere a node flows.
+
+:class:`FaultyDevice` wraps a :class:`~repro.storage.device.BlockDevice`
+read path the same way, modeling checksum-detected corrupt reads as
+:class:`~repro.core.errors.BlockDeviceError` — the failure class a real
+disk surfaces, and the one the storage tier's quarantine path handles.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Sequence
+
+from repro.core.errors import BlockDeviceError, NodeUnavailable
+from repro.faults.plan import CRASH, LATENCY, TRANSIENT, FaultPlan, NodeFaults
+
+#: The remote message API of ``StorageNode`` — the calls a coordinator
+#: issues over the (simulated) wire, and therefore the calls that can
+#: fail.  Properties and shard metadata delegate untouched: they model
+#: cluster-construction-time state, not per-query traffic.
+REMOTE_CALLS = frozenset(
+    {
+        "local_top_k",
+        "partial_scores",
+        "sorted_partials",
+        "ta_stream",
+        "ta_streams",
+        "local_top_k_many",
+        "partial_scores_many",
+        "sorted_access_many",
+        "probe_partials_many",
+    }
+)
+
+
+class FaultyNode:
+    """A storage-node endpoint that fails on schedule.
+
+    One ``FaultyNode`` models one *replica endpoint*: the wrapped
+    inner node holds the shard, the wrapper holds the failure state
+    (its own ``NodeFaults`` stream and a sticky ``dead`` flag).  Two
+    replicas of the same shard wrap the same inner node with
+    different ``(node_id, replica)`` fault streams — fail one and the
+    other still serves bit-identical answers, which is exactly the
+    failover contract the cluster tests assert.
+    """
+
+    __slots__ = ("inner", "faults", "node_id", "replica", "dead", "_sleep")
+
+    def __init__(
+        self,
+        inner: Any,
+        faults: NodeFaults,
+        replica: int = 0,
+        sleep=time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.faults = faults
+        self.node_id = inner.node_id
+        self.replica = replica
+        self.dead = False
+        self._sleep = sleep
+
+    @classmethod
+    def from_plan(
+        cls, inner: Any, plan: FaultPlan, replica: int = 0, sleep=time.sleep
+    ) -> "FaultyNode":
+        return cls(inner, plan.fork(inner.node_id, replica), replica, sleep)
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Crash this endpoint permanently (test/CLI hook)."""
+        self.dead = True
+
+    def revive(self) -> None:
+        """Bring a crashed endpoint back (its shard state is intact —
+        the inner node never died, only the endpoint)."""
+        self.dead = False
+
+    def _admit(self) -> None:
+        """Run one call's fault decision; raises or delays as drawn."""
+        if self.dead:
+            raise NodeUnavailable(
+                f"node {self.node_id} replica {self.replica} is down",
+                node_id=self.node_id,
+                replica=self.replica,
+                transient=False,
+            )
+        kind, delay = self.faults.draw_call()
+        if delay > 0.0:
+            self._sleep(delay)
+        if kind == CRASH:
+            self.dead = True
+            raise NodeUnavailable(
+                f"node {self.node_id} replica {self.replica} crashed",
+                node_id=self.node_id,
+                replica=self.replica,
+                transient=False,
+            )
+        if kind == TRANSIENT:
+            raise NodeUnavailable(
+                f"node {self.node_id} replica {self.replica}: transient fault",
+                node_id=self.node_id,
+                replica=self.replica,
+                transient=True,
+            )
+        if kind == LATENCY:
+            self._sleep(self.faults.latency if self.faults.latency else 0.001)
+
+    def __getattr__(self, name: str):
+        attr = getattr(self.inner, name)
+        if name in REMOTE_CALLS:
+            admit = self._admit
+
+            def faulty_call(*args, **kwargs):
+                admit()
+                return attr(*args, **kwargs)
+
+            return faulty_call
+        return attr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "dead" if self.dead else "live"
+        return f"FaultyNode(node={self.node_id}, replica={self.replica}, {state})"
+
+
+class FaultyDevice:
+    """A block device whose reads fail a checksum on schedule.
+
+    Wraps the read path (:meth:`read`, :meth:`read_many`,
+    :meth:`replay_reads`, :meth:`peek`); every other attribute —
+    allocation, writes, stats, cache — delegates to the wrapped
+    device.  A drawn corruption raises
+    :class:`~repro.core.errors.BlockDeviceError`, modeling a read
+    whose checksum did not match: the data never reaches the caller,
+    exactly like a verified-read storage stack.
+    """
+
+    __slots__ = ("inner", "faults")
+
+    def __init__(self, inner: Any, faults: NodeFaults) -> None:
+        self.inner = inner
+        self.faults = faults
+
+    @classmethod
+    def from_plan(
+        cls, inner: Any, plan: FaultPlan, node_id: int = 0, replica: int = 0
+    ) -> "FaultyDevice":
+        return cls(inner, plan.fork(node_id, replica))
+
+    def _checksum(self, block_id: int) -> None:
+        if self.faults.draw_corrupt():
+            raise BlockDeviceError(
+                f"{self.inner.name}: checksum mismatch reading block {block_id}"
+            )
+
+    def read(self, block_id: int):
+        self._checksum(block_id)
+        return self.inner.read(block_id)
+
+    def read_many(self, block_ids: Sequence[int]):
+        for block_id in block_ids:
+            self._checksum(block_id)
+        return self.inner.read_many(block_ids)
+
+    def replay_reads(self, block_ids: Sequence[int]) -> None:
+        for block_id in block_ids:
+            self._checksum(block_id)
+        self.inner.replay_reads(block_ids)
+
+    def peek(self, block_id: int):
+        self._checksum(block_id)
+        return self.inner.peek(block_id)
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
+def wrap_cluster_nodes(
+    nodes: Sequence[Any],
+    plan: Optional[FaultPlan],
+    replicas: int = 1,
+    sleep=time.sleep,
+):
+    """Build the per-shard endpoint lists a replicated cluster serves from.
+
+    Returns ``groups``: for each inner node, a list of ``replicas``
+    endpoints over the *same* shard.  With no plan the endpoints are
+    the bare inner nodes when ``replicas == 1`` (the zero-overhead
+    healthy fast path) and fault-free wrappers otherwise.
+    """
+    groups = []
+    for node in nodes:
+        if plan is None and replicas == 1:
+            groups.append([node])
+            continue
+        effective = plan if plan is not None else FaultPlan()
+        groups.append(
+            [
+                FaultyNode.from_plan(node, effective, replica=r, sleep=sleep)
+                for r in range(replicas)
+            ]
+        )
+    return groups

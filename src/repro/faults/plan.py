@@ -1,0 +1,195 @@
+"""Deterministic, seedable fault plans.
+
+Chaos that cannot be replayed cannot be debugged, so every fault this
+package injects is a pure function of ``(seed, node_id, replica, call
+sequence number)``.  A :class:`FaultPlan` holds the rates and the
+scripted faults; :meth:`FaultPlan.fork` derives one
+:class:`NodeFaults` per (node, replica) endpoint, each with its own
+``numpy`` Generator seeded by ``[seed, node_id, replica]`` — so
+endpoint A's draw stream never shifts when endpoint B serves a
+different number of calls, and two runs with the same seed inject
+byte-identical fault schedules.
+
+Two injection styles compose:
+
+* **rates** — per-call Bernoulli draws for crash / transient /
+  latency / corrupt-read, for statistical chaos (the bench sweeps
+  these);
+* **scripts** — :meth:`FaultPlan.schedule` pins a fault ``kind`` to an
+  exact call number on an exact endpoint, for surgical tests ("kill
+  node 2's primary on its 3rd call, mid-batch").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Fault kinds understood by :class:`NodeFaults` / ``FaultyNode``.
+CRASH = "crash"
+TRANSIENT = "transient"
+LATENCY = "latency"
+CORRUPT = "corrupt"
+
+_KINDS = (CRASH, TRANSIENT, LATENCY, CORRUPT)
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible chaos schedule for a cluster.
+
+    Parameters
+    ----------
+    seed:
+        Root of every random draw; same seed ⇒ same injected faults.
+    crash_rate:
+        Per-call probability that the endpoint dies permanently
+        (subsequent calls fail fast with a non-transient
+        ``NodeUnavailable``).
+    transient_rate:
+        Per-call probability of a one-off retryable failure.
+    latency:
+        Seconds of delay injected per affected call.
+    latency_rate:
+        Per-call probability of injecting ``latency``.
+    corrupt_rate:
+        Per-read probability that a wrapped device read reports a
+        checksum failure (``BlockDeviceError``).
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    transient_rate: float = 0.0
+    latency: float = 0.0
+    latency_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    _scripted: Dict[Tuple[int, int], List[Tuple[int, str]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def schedule(
+        self, kind: str, node_id: int, at_call: int, replica: int = 0
+    ) -> "FaultPlan":
+        """Script fault ``kind`` on call number ``at_call`` (1-based)
+        of endpoint ``(node_id, replica)``.  Returns ``self`` so
+        schedules chain."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one of {_KINDS}")
+        if at_call < 1:
+            raise ValueError("at_call is 1-based; the first call is at_call=1")
+        self._scripted.setdefault((node_id, replica), []).append((at_call, kind))
+        return self
+
+    def fork(self, node_id: int, replica: int = 0) -> "NodeFaults":
+        """Derive the independent fault stream for one endpoint.
+
+        Scripted :data:`CORRUPT` entries key off the endpoint's *read*
+        counter (they fire inside the wrapped device); every other
+        kind keys off its *call* counter.
+        """
+        entries = self._scripted.get((node_id, replica), ())
+        scripted = {at: kind for at, kind in entries if kind != CORRUPT}
+        scripted_reads = {at for at, kind in entries if kind == CORRUPT}
+        return NodeFaults(
+            rng=np.random.default_rng([self.seed, node_id, replica, 0]),
+            read_rng=np.random.default_rng([self.seed, node_id, replica, 1]),
+            crash_rate=self.crash_rate,
+            transient_rate=self.transient_rate,
+            latency=self.latency,
+            latency_rate=self.latency_rate,
+            corrupt_rate=self.corrupt_rate,
+            scripted=scripted,
+            scripted_reads=scripted_reads,
+        )
+
+    @property
+    def is_quiet(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            not self._scripted
+            and self.crash_rate == 0.0
+            and self.transient_rate == 0.0
+            and self.latency_rate == 0.0
+            and self.corrupt_rate == 0.0
+        )
+
+
+class NodeFaults:
+    """One endpoint's deterministic fault stream.
+
+    Each served call advances the counter and consumes exactly three
+    uniform draws (crash, transient, latency) regardless of outcome,
+    so the decision at call *n* depends only on the seed and *n* —
+    never on what earlier faults did to control flow.  Device reads
+    draw from their own generator (:meth:`draw_corrupt`), so the
+    call-level schedule is independent of how many reads interleave.
+    """
+
+    __slots__ = (
+        "rng",
+        "read_rng",
+        "crash_rate",
+        "transient_rate",
+        "latency",
+        "latency_rate",
+        "corrupt_rate",
+        "scripted",
+        "scripted_reads",
+        "calls",
+        "reads",
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        read_rng: Optional[np.random.Generator] = None,
+        *,
+        crash_rate: float,
+        transient_rate: float,
+        latency: float,
+        latency_rate: float,
+        corrupt_rate: float,
+        scripted: Dict[int, str],
+        scripted_reads: Optional[set] = None,
+    ) -> None:
+        self.rng = rng
+        self.read_rng = read_rng if read_rng is not None else rng
+        self.crash_rate = crash_rate
+        self.transient_rate = transient_rate
+        self.latency = latency
+        self.latency_rate = latency_rate
+        self.corrupt_rate = corrupt_rate
+        self.scripted = scripted
+        self.scripted_reads = scripted_reads or set()
+        self.calls = 0
+        self.reads = 0
+
+    def draw_call(self) -> Tuple[Optional[str], float]:
+        """Advance one call; returns ``(fault_kind_or_None, delay_s)``."""
+        self.calls += 1
+        draws = self.rng.random(3)
+        scripted = self.scripted.get(self.calls)
+        delay = 0.0
+        if self.latency_rate and draws[2] < self.latency_rate:
+            delay = self.latency
+        if scripted is not None:
+            if scripted == LATENCY:
+                return None, self.latency if self.latency else 0.001
+            return scripted, delay
+        if self.crash_rate and draws[0] < self.crash_rate:
+            return CRASH, delay
+        if self.transient_rate and draws[1] < self.transient_rate:
+            return TRANSIENT, delay
+        return None, delay
+
+    def draw_corrupt(self) -> bool:
+        """Advance one device read; True when the read should report
+        a checksum failure."""
+        self.reads += 1
+        if self.reads in self.scripted_reads:
+            return True
+        if not self.corrupt_rate:
+            return False
+        return bool(self.read_rng.random() < self.corrupt_rate)

@@ -1,0 +1,105 @@
+"""Retry with exponential backoff and per-call timeouts.
+
+:class:`RetryPolicy` is the one knob every cluster→node call goes
+through.  It re-attempts *transient* failures (``NodeUnavailable``
+with ``transient=True``) with exponential backoff; a permanent failure
+— a crashed replica — raises immediately so the caller can fail over
+to another replica instead of burning the backoff budget on a corpse.
+
+The ``sleep`` and ``clock`` hooks are injectable so tests and benches
+run retries at simulated time: the default test policies use
+``sleep=lambda s: None`` and still exercise every decision branch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.errors import DeadlineExceeded, NodeUnavailable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry with an optional per-attempt timeout.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retry).
+    base_delay:
+        Sleep before the second attempt; grows by ``multiplier`` per
+        further attempt, capped at ``max_delay``.
+    timeout:
+        Optional wall-clock budget per attempt, in seconds.  An
+        attempt that finishes over budget counts as a transient
+        failure (the reply is stale — a real RPC layer would have
+        hung up); when attempts are exhausted the call raises
+        :class:`DeadlineExceeded`.
+    sleep / clock:
+        Injectable for deterministic tests.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+    timeout: Optional[float] = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt`` (2-based; the first
+        retry waits ``base_delay``)."""
+        delay = self.base_delay * (self.multiplier ** max(0, attempt - 2))
+        return min(delay, self.max_delay)
+
+    def call(self, func: Callable, *args, **kwargs):
+        """Run ``func(*args, **kwargs)`` under this policy.
+
+        Retries transient :class:`NodeUnavailable` and per-attempt
+        timeout overruns; re-raises permanent failures immediately
+        (the caller's failover loop owns those).
+        """
+        last: Optional[Exception] = None
+        timed_out = False
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                self.sleep(self.delay_for(attempt))
+            started = self.clock() if self.timeout is not None else 0.0
+            try:
+                result = func(*args, **kwargs)
+            except NodeUnavailable as exc:
+                if not exc.transient:
+                    raise
+                last = exc
+                continue
+            if self.timeout is not None and self.clock() - started > self.timeout:
+                timed_out = True
+                last = DeadlineExceeded(
+                    f"attempt {attempt} exceeded per-call timeout", deadline=self.timeout
+                )
+                continue
+            return result
+        if timed_out and isinstance(last, DeadlineExceeded):
+            raise last
+        raise NodeUnavailable(
+            f"still failing after {self.max_attempts} attempts: {last}",
+            transient=False,
+        ) from last
+
+
+#: Policy used when a cluster is built without an explicit one: three
+#: attempts, fast backoff, no per-attempt timeout (the simulated nodes
+#: are in-process; timeouts matter once there is a transport).
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.001)
+
+#: Policy for tests/benches: identical decisions, zero wall-clock.
+INSTANT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.001, sleep=lambda _s: None
+)

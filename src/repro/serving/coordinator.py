@@ -56,7 +56,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.errors import ReproError
+from repro.core.errors import CoordinatorShutdown, DeadlineExceeded, ReproError
 from repro.core.results import TopKResult
 from repro.serving.cache import ResultCache
 
@@ -84,6 +84,11 @@ class ServingStats:
     deduped: int = 0
     #: Largest micro-batch flushed.
     max_batch: int = 0
+    #: Requests that failed structurally instead of being answered:
+    #: per-request deadline blown (:class:`DeadlineExceeded`) or
+    #: abandoned by a bounded :meth:`ServingCoordinator.close`
+    #: (:class:`CoordinatorShutdown`).
+    failed: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -133,12 +138,21 @@ class ServingCoordinator:
         ``cost_hint``, default 1.0) falls below this are *not*
         cached, so instant-cheap backends never churn the LRU.  The
         default 0.0 admits everything.
+    request_deadline:
+        Optional per-request wall-clock budget in seconds.  A request
+        still unanswered when it expires fails with a structured
+        :class:`~repro.core.errors.DeadlineExceeded` (counted in
+        ``stats.failed``) instead of awaiting forever — the guard
+        that keeps one wedged shard from wedging every caller.
+        ``None`` (default) preserves unbounded awaits.
     clock:
         Injectable monotonic clock (tests).
 
     Use as an async context manager, or call :meth:`start` /
     :meth:`stop` explicitly.  :meth:`stop` drains: every accepted
-    request is answered before it returns.
+    request is answered before it returns.  :meth:`close` is the
+    bounded variant: after ``drain_timeout`` it fails whatever is
+    still pending with :class:`CoordinatorShutdown` rather than hang.
     """
 
     def __init__(
@@ -151,6 +165,7 @@ class ServingCoordinator:
         pipeline_depth: int = 2,
         cache_size: int = 1024,
         cache_min_cost: float = 0.0,
+        request_deadline: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
@@ -169,12 +184,20 @@ class ServingCoordinator:
         self.max_delay = float(max_delay)
         self.adaptive = bool(adaptive)
         self.pipeline_depth = int(pipeline_depth)
+        if request_deadline is not None and request_deadline <= 0:
+            raise ReproError(
+                f"request_deadline must be positive, got {request_deadline}"
+            )
         self.cache = ResultCache(
             capacity=int(cache_size), min_cost=float(cache_min_cost)
         )
+        self.request_deadline = request_deadline
         self.stats = ServingStats()
         self._clock = clock
         self._queue: Deque[_Request] = deque()
+        #: Futures of accepted-but-unanswered requests (for bounded
+        #: shutdown: close() fails exactly these).
+        self._outstanding: set = set()
         self._arrived: Optional[asyncio.Event] = None
         self._inflight: Optional[asyncio.Semaphore] = None
         self._flusher: Optional[asyncio.Task] = None
@@ -207,15 +230,51 @@ class ServingCoordinator:
         return self
 
     async def stop(self) -> None:
-        """Drain the queue, finish in-flight batches, shut down."""
+        """Drain the queue, finish in-flight batches, shut down.
+
+        The unbounded form of :meth:`close`: every accepted request is
+        answered before this returns.
+        """
+        await self.close(drain_timeout=None)
+
+    async def close(self, drain_timeout: Optional[float] = None) -> None:
+        """Shut down within ``drain_timeout`` seconds.
+
+        Waits up to ``drain_timeout`` for the flusher and in-flight
+        batches to finish (``None`` waits indefinitely — the
+        :meth:`stop` behavior).  When the budget expires first, the
+        remaining work is cancelled and **every still-pending request
+        future is failed** with a structured
+        :class:`~repro.core.errors.CoordinatorShutdown` (counted in
+        ``stats.failed``) — callers get a clean error, never a
+        forever-hanging await.
+        """
         if self._flusher is None:
             return
         self._closing = True
         self._arrived.set()
-        await self._flusher
-        if self._exec_tasks:
-            await asyncio.gather(*tuple(self._exec_tasks))
-        self._executor.shutdown(wait=True)
+        work = {self._flusher} | set(self._exec_tasks)
+        done, pending = await asyncio.wait(work, timeout=drain_timeout)
+        if pending:
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        abandoned = [
+            future for future in self._outstanding if not future.done()
+        ]
+        if abandoned:
+            error = CoordinatorShutdown(
+                f"coordinator closed with {len(abandoned)} requests "
+                f"unanswered (drain_timeout={drain_timeout})"
+            )
+            for future in abandoned:
+                future.set_exception(error)
+                self.stats.failed += 1
+        self._queue.clear()
+        self._outstanding.clear()
+        # A timed-out close must not block on the worker thread either;
+        # anything still executing has no waiter left to deliver to.
+        self._executor.shutdown(wait=not pending, cancel_futures=bool(pending))
         self._flusher = None
         self._executor = None
 
@@ -246,8 +305,21 @@ class ServingCoordinator:
             _Request((float(t1), float(t2), int(k)), now, future)
         )
         self.stats.requests += 1
+        self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
         self._arrived.set()
-        return await future
+        if self.request_deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, self.request_deadline)
+        except asyncio.TimeoutError:
+            # wait_for cancelled the future; the executing batch (if
+            # any) sees a done future and skips delivery.
+            self.stats.failed += 1
+            raise DeadlineExceeded(
+                f"request exceeded its {self.request_deadline}s deadline",
+                deadline=self.request_deadline,
+            ) from None
 
     # ------------------------------------------------------------------
     # internals
@@ -331,7 +403,10 @@ class ServingCoordinator:
             for request in batch:
                 cached = self.cache.get(request.key, epoch)
                 if cached is not None:
-                    request.future.set_result(cached)
+                    # A done future here means the caller already gave
+                    # up (deadline) — nothing to deliver.
+                    if not request.future.done():
+                        request.future.set_result(cached)
                     self.stats.cache_hits += 1
                     continue
                 pending.setdefault(request.key, []).append(request)
@@ -356,7 +431,8 @@ class ServingCoordinator:
                     waiters = pending[key]
                     self.stats.deduped += len(waiters) - 1
                     for request in waiters:
-                        request.future.set_result(result)
+                        if not request.future.done():
+                            request.future.set_result(result)
         except Exception as exc:  # propagate to every waiter
             for request in batch:
                 if not request.future.done():

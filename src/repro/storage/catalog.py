@@ -356,3 +356,56 @@ class Catalog:
             "ORDER BY index_id",
             (int(partition_id),),
         ).fetchall()
+
+    # ------------------------------------------------------------------
+    # quarantine
+    # ------------------------------------------------------------------
+    # The quarantine table is a lazy, additive migration: it is created
+    # on first use via CREATE TABLE IF NOT EXISTS, so catalogs written
+    # before it existed keep opening under the same SCHEMA_VERSION and
+    # gain the table only when a checksum failure is first recorded.
+    def _ensure_quarantine(self) -> None:
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS quarantine ("
+            "path   TEXT PRIMARY KEY, "
+            "reason TEXT NOT NULL)"
+        )
+
+    def quarantine_segment(self, relpath: str, reason: str) -> None:
+        """Mark a segment file bad (e.g. checksum mismatch on mount).
+
+        The file itself is left in place for forensics; readers consult
+        :meth:`is_quarantined` / :meth:`quarantined` and rebuild from
+        source instead of trusting the bytes.
+        """
+        with self._conn:
+            self._ensure_quarantine()
+            self._conn.execute(
+                "INSERT OR REPLACE INTO quarantine (path, reason) "
+                "VALUES (?, ?)",
+                (relpath, reason),
+            )
+
+    def is_quarantined(self, relpath: str) -> bool:
+        self._ensure_quarantine()
+        row = self._conn.execute(
+            "SELECT 1 FROM quarantine WHERE path = ?", (relpath,)
+        ).fetchone()
+        return row is not None
+
+    def quarantined(self) -> List[sqlite3.Row]:
+        self._ensure_quarantine()
+        return self._conn.execute(
+            "SELECT * FROM quarantine ORDER BY path"
+        ).fetchall()
+
+    def clear_quarantine(self, relpath: Optional[str] = None) -> None:
+        """Forget one quarantined path (or all of them) after repair."""
+        with self._conn:
+            self._ensure_quarantine()
+            if relpath is None:
+                self._conn.execute("DELETE FROM quarantine")
+            else:
+                self._conn.execute(
+                    "DELETE FROM quarantine WHERE path = ?", (relpath,)
+                )

@@ -21,14 +21,13 @@ import multiprocessing
 import os
 from typing import Any, Dict, Optional, Sequence
 
+from repro.core.errors import BlockDeviceError
 from repro.storage.stats import IOStats
+
+__all__ = ["BlockDevice", "BlockDeviceError", "DEFAULT_BLOCK_BYTES", "entries_per_block"]
 
 #: Default block size used throughout the paper's evaluation (Section 5).
 DEFAULT_BLOCK_BYTES = 4096
-
-
-class BlockDeviceError(Exception):
-    """Raised on invalid block accesses (bad id, freed block, ...)."""
 
 
 def entries_per_block(entry_bytes: int, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:

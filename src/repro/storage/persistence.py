@@ -21,15 +21,13 @@ import warnings
 from pathlib import Path
 from typing import Any
 
-from repro.core.errors import ReproError
+from repro.core.errors import PersistenceError
+
+__all__ = ["PersistenceError", "write_payload", "read_payload", "save_index", "load_index", "FORMAT_VERSION"]
 
 #: Bump when on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
 _MAGIC = b"REPRO-IDX"
-
-
-class PersistenceError(ReproError):
-    """Raised when a persisted file is malformed or incompatible."""
 
 
 def write_payload(path: str | Path, payload: Any) -> int:

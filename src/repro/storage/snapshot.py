@@ -218,7 +218,13 @@ def _write_dataset(
 
 
 def _mount_dataset(root: Path, catalog: Catalog, partition_id: int, verify: bool):
-    """Mount one partition's store segment as a TemporalDatabase."""
+    """Mount one partition's store segment as a TemporalDatabase.
+
+    A checksum failure here is fatal: the CSR segment *is* the source
+    data, so there is nothing to rebuild it from.  The segment is
+    quarantined in the catalog before the error propagates, so repair
+    tooling can see exactly which file went bad.
+    """
     from repro.core.database import TemporalDatabase
     from repro.core.plfstore import PLFStore
     from repro.storage.segments import read_header
@@ -229,8 +235,15 @@ def _mount_dataset(root: Path, catalog: Catalog, partition_id: int, verify: bool
             f"{catalog.path}: partition {partition_id} has no CSR segment"
         )
     seg_path = root / rows[0]["path"]
-    meta = read_header(seg_path).meta
-    store = PLFStore.from_segments(seg_path, verify=verify)
+    try:
+        meta = read_header(seg_path).meta
+        store = PLFStore.from_segments(seg_path, verify=verify)
+    except PersistenceError as exc:
+        catalog.quarantine_segment(rows[0]["path"], str(exc))
+        raise PersistenceError(
+            f"{seg_path} is corrupt and quarantined; the CSR segment is "
+            f"the source data, so it cannot be rebuilt: {exc}"
+        ) from exc
     span = meta.get("span")
     return TemporalDatabase.mounted(
         store,
@@ -264,16 +277,44 @@ def _dump_indexes(
 
 def _load_indexes(
     catalog: Catalog, root: Path, partition_id: int, database, verify: bool
-) -> dict:
-    out = {}
+) -> Tuple[dict, dict]:
+    """Load every index build for a partition, quarantining corruption.
+
+    Returns ``(indexes, quarantined)``: loaded methods keyed by kind,
+    and — for builds whose payloads failed their checksums — the
+    recorded method *name* keyed by kind, so callers can rebuild from
+    the mounted source database instead of crashing.  Failed builds
+    have both their files marked bad in the catalog's quarantine table.
+    """
+    out: dict = {}
+    quarantined: dict = {}
     for row in catalog.indexes(partition_id):
-        out[row["kind"]] = _load_method(
-            root / row["path"],
-            root / row["blocks_path"],
-            database,
-            verify=verify,
-        )
-    return out
+        idx_path = root / row["path"]
+        try:
+            if verify:
+                actual = zlib.crc32(idx_path.read_bytes()) & 0xFFFFFFFF
+                if actual != int(row["crc32"]):
+                    raise PersistenceError(
+                        f"{idx_path}: index payload checksum mismatch "
+                        f"(stored {int(row['crc32']):#010x}, "
+                        f"computed {actual:#010x})"
+                    )
+            out[row["kind"]] = _load_method(
+                idx_path,
+                root / row["blocks_path"],
+                database,
+                verify=verify,
+            )
+        except PersistenceError as exc:
+            catalog.quarantine_segment(row["path"], str(exc))
+            if row["blocks_path"]:
+                catalog.quarantine_segment(
+                    row["blocks_path"], f"sibling of quarantined {row['path']}"
+                )
+            quarantined[row["kind"]] = json.loads(row["params"]).get(
+                "name", "?"
+            )
+    return out, quarantined
 
 
 # ----------------------------------------------------------------------
@@ -334,17 +375,27 @@ def open_engine(path: str | Path, verify: bool = True):
         database = _mount_dataset(
             root, catalog, partition["partition_id"], verify
         )
-        indexes = _load_indexes(
+        indexes, quarantined = _load_indexes(
             catalog, root, partition["partition_id"], database, verify
         )
         params = json.loads(catalog.get_meta("engine_params") or "{}")
-    if "exact3" not in indexes:
+    if "exact3" not in indexes and "exact3" not in quarantined:
         raise PersistenceError(f"{root}: snapshot has no exact3 index")
     engine = TemporalRankingEngine.__new__(TemporalRankingEngine)
     engine.database = database
     engine.epsilon = float(params.get("epsilon", 1e-4))
     engine.kmax = int(params.get("kmax", 50))
-    engine.exact = indexes["exact3"]
+    engine.exact = indexes.get("exact3")
+    if engine.exact is None:
+        # Quarantined exact3 payload: rebuild from the mounted dataset.
+        # The build is deterministic per database, so the recovered
+        # index answers bit-identically to the snapshotted one.
+        from repro.exact.exact3 import Exact3
+
+        engine.exact = Exact3().build(database)
+    # A quarantined approximate/instant payload simply stays None here:
+    # both are lazy in TemporalRankingEngine and rebuild (again
+    # deterministically, from engine_params) on their first query.
     engine._approximate = indexes.get("appx2plus")
     engine._instant = indexes.get("instant")
     return engine
@@ -430,7 +481,7 @@ def open_cluster(path: str | Path, verify: bool = True):
         TimePartitionedCluster,
     )
     from repro.distributed.comm import CommStats
-    from repro.distributed.nodes import StorageNode
+    from repro.distributed.nodes import StorageNode, make_replica_groups
 
     root = Path(path)
     with Catalog.open(root / Catalog.FILENAME) as catalog:
@@ -451,14 +502,29 @@ def open_cluster(path: str | Path, verify: bool = True):
                 if partition["kind"] == "full":
                     full_database = database
                     continue
-                indexes = _load_indexes(
+                indexes, quarantined = _load_indexes(
                     catalog, root, partition["partition_id"], database, verify
                 )
                 method = indexes.get("method")
                 if method is None:
-                    raise PersistenceError(
-                        f"{root}: shard {partition['node_id']} has no index"
+                    name = quarantined.get("method")
+                    if name is None:
+                        raise PersistenceError(
+                            f"{root}: shard {partition['node_id']} "
+                            "has no index"
+                        )
+                    if name not in ("EXACT3", "?"):
+                        raise PersistenceError(
+                            f"{root}: shard {partition['node_id']}'s "
+                            f"{name!r} index is quarantined and has no "
+                            "rebuild recipe; rebuild the snapshot"
+                        )
+                    # Quarantined default index: StorageNode rebuilds
+                    # EXACT3 deterministically from the mounted shard.
+                    nodes.append(
+                        StorageNode(int(partition["node_id"]), database)
                     )
+                    continue
                 # method.database is the mounted shard, so StorageNode
                 # adopts it as prebuilt — no rebuild on mount.
                 nodes.append(
@@ -481,6 +547,8 @@ def open_cluster(path: str | Path, verify: bool = True):
             json.loads(boundaries_text), dtype=np.float64
         )
         cluster.nodes = nodes
+        cluster.allow_partial = True
+        cluster.groups = make_replica_groups(nodes)
         cluster._columns = np.unique(
             np.concatenate([node.object_ids for node in nodes])
         )
@@ -492,6 +560,8 @@ def open_cluster(path: str | Path, verify: bool = True):
     cluster = ObjectPartitionedCluster.__new__(ObjectPartitionedCluster)
     cluster.comm = CommStats()
     cluster.nodes = nodes
+    cluster.allow_partial = True
+    cluster.groups = make_replica_groups(nodes)
     return cluster
 
 

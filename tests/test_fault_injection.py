@@ -4,12 +4,32 @@ The simulated device lets us script read failures at exact points and
 verify that (a) errors surface as exceptions rather than wrong
 answers, and (b) a structure remains fully usable after a failed
 operation (nothing was mutated mid-query).
+
+The second half exercises the resilience layer on top: deterministic
+:class:`~repro.faults.FaultPlan` streams, retry/backoff, replica
+failover (answers bit-identical to healthy), graceful degradation
+(partial answers are *flagged*, never silently wrong), and the storage
+tier's corrupt-segment quarantine + rebuild-from-source path.
 """
 
 import pytest
 
 from repro.core import TopKQuery
+from repro.core.errors import (
+    NodeUnavailable,
+    PartialResultError,
+    PersistenceError,
+)
+from repro.datasets import sample_workload
+from repro.engine import TemporalRankingEngine
 from repro.exact import Exact1, Exact3
+from repro.faults import (
+    CRASH,
+    INSTANT_RETRY_POLICY,
+    TRANSIENT,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.storage import BlockDevice, BlockDeviceError
 
 from _support import make_random_database
@@ -100,3 +120,343 @@ class TestFreedBlockAccess:
             device.read(block)
         with pytest.raises(BlockDeviceError):
             device.write(block, "other")
+
+
+# ----------------------------------------------------------------------
+# deterministic fault plans
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_same_seed_same_stream(self):
+        plan_a = FaultPlan(seed=9, crash_rate=0.05, transient_rate=0.3)
+        plan_b = FaultPlan(seed=9, crash_rate=0.05, transient_rate=0.3)
+        stream_a = plan_a.fork(2, 0)
+        stream_b = plan_b.fork(2, 0)
+        assert [stream_a.draw_call() for _ in range(64)] == [
+            stream_b.draw_call() for _ in range(64)
+        ]
+
+    def test_endpoints_draw_independent_streams(self):
+        plan = FaultPlan(seed=9, transient_rate=0.5)
+        stream = plan.fork(1, 0)
+        baseline = [stream.draw_call() for _ in range(8)]
+        # Serving traffic on other endpoints must not shift endpoint
+        # (1, 0)'s schedule: each fork reseeds from (seed, node,
+        # replica) alone.
+        other = plan.fork(1, 1)
+        for _ in range(17):
+            other.draw_call()
+        stream = plan.fork(1, 0)
+        again = [stream.draw_call() for _ in range(8)]
+        assert baseline == again
+
+    def test_scripted_fault_fires_at_exact_call(self):
+        plan = FaultPlan(seed=0).schedule(TRANSIENT, node_id=3, at_call=2)
+        stream = plan.fork(3, 0)
+        assert stream.draw_call()[0] is None
+        assert stream.draw_call()[0] == TRANSIENT
+        assert stream.draw_call()[0] is None
+
+    def test_schedule_validates(self):
+        with pytest.raises(ValueError):
+            FaultPlan().schedule("explode", node_id=0, at_call=1)
+        with pytest.raises(ValueError):
+            FaultPlan().schedule(CRASH, node_id=0, at_call=0)
+
+    def test_quiet_plan(self):
+        assert FaultPlan().is_quiet
+        assert not FaultPlan(transient_rate=0.1).is_quiet
+        assert not FaultPlan().schedule(CRASH, 0, 1).is_quiet
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_transient_retried_then_succeeds(self):
+        attempts = []
+
+        def flappy():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise NodeUnavailable("flap", transient=True)
+            return 42
+
+        assert INSTANT_RETRY_POLICY.call(flappy) == 42
+        assert len(attempts) == 3
+
+    def test_permanent_raises_immediately(self):
+        attempts = []
+
+        def dead():
+            attempts.append(1)
+            raise NodeUnavailable("down", transient=False)
+
+        with pytest.raises(NodeUnavailable):
+            INSTANT_RETRY_POLICY.call(dead)
+        assert len(attempts) == 1
+
+    def test_exhausted_transients_become_permanent(self):
+        def always():
+            raise NodeUnavailable("flap", transient=True)
+
+        with pytest.raises(NodeUnavailable) as excinfo:
+            INSTANT_RETRY_POLICY.call(always)
+        assert not excinfo.value.transient
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=0.01,
+            multiplier=2.0,
+            max_delay=0.05,
+            sleep=lambda _s: None,
+        )
+        assert [policy.delay_for(n) for n in (2, 3, 4, 5, 6)] == [
+            0.01,
+            0.02,
+            0.04,
+            0.05,
+            0.05,
+        ]
+
+    def test_per_attempt_timeout_raises_deadline(self):
+        from repro.core.errors import DeadlineExceeded
+
+        ticks = iter(range(100))
+        policy = RetryPolicy(
+            max_attempts=2,
+            timeout=0.5,
+            sleep=lambda _s: None,
+            clock=lambda: float(next(ticks)),
+        )
+        with pytest.raises(DeadlineExceeded):
+            policy.call(lambda: "too slow")
+
+
+# ----------------------------------------------------------------------
+# clusters under fault plans: retry, failover, degradation
+# ----------------------------------------------------------------------
+def _cluster_db():
+    return make_random_database(
+        num_objects=48, avg_segments=8, span=100.0, seed=19
+    )
+
+
+def _batch(db):
+    return sample_workload(db, count=24, kmax=6, seed=3)
+
+
+def _build(engine, partition, **kwargs):
+    return engine.cluster(3, partition=partition, **kwargs)
+
+
+def _serve(cluster, batch, protocol=None):
+    if protocol == "threshold":
+        return cluster.query_many(batch, protocol="threshold", batch_size=4)
+    return cluster.query_many(batch)
+
+
+CLUSTER_CASES = [
+    ("object", None),
+    ("time", None),
+    ("time", "threshold"),
+]
+CLUSTER_IDS = ["object", "time-scatter", "time-threshold"]
+
+
+@pytest.fixture(scope="module")
+def chaos_engine():
+    return TemporalRankingEngine(_cluster_db())
+
+
+@pytest.fixture(scope="module")
+def chaos_batch(chaos_engine):
+    return _batch(chaos_engine.database)
+
+
+@pytest.fixture(scope="module")
+def healthy_answers(chaos_engine, chaos_batch):
+    out = {}
+    for partition, protocol in CLUSTER_CASES:
+        cluster = _build(chaos_engine, partition)
+        out[(partition, protocol)] = _serve(cluster, chaos_batch, protocol)
+    return out
+
+
+@pytest.mark.parametrize("partition,protocol", CLUSTER_CASES, ids=CLUSTER_IDS)
+class TestClusterResilience:
+    def test_transient_faults_retried_to_identical_answers(
+        self, chaos_engine, chaos_batch, healthy_answers, partition, protocol
+    ):
+        # A retry budget deep enough to mask a 10% transient rate on
+        # the call-heavy TA path too (6 consecutive faults on one call
+        # has probability 1e-6; the streams are seeded, so this is a
+        # fixed schedule, not a flaky bound).
+        plan = FaultPlan(seed=11, transient_rate=0.1)
+        cluster = _build(
+            chaos_engine,
+            partition,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=6, sleep=lambda _s: None),
+        )
+        got = _serve(cluster, chaos_batch, protocol)
+        assert got == healthy_answers[(partition, protocol)]
+        assert not any(result.degraded for result in got)
+        assert cluster.comm.degraded_queries == 0
+
+    def test_replica_failover_is_bit_identical(
+        self, chaos_engine, chaos_batch, healthy_answers, partition, protocol
+    ):
+        # Kill node 1's primary endpoint on its very first call —
+        # mid-batch, before it has served anything.  The surviving
+        # replica holds the same shard, so answers cannot change.
+        plan = FaultPlan(seed=0).schedule(CRASH, node_id=1, at_call=1)
+        cluster = _build(
+            chaos_engine,
+            partition,
+            replicas=2,
+            fault_plan=plan,
+            retry_policy=INSTANT_RETRY_POLICY,
+        )
+        got = _serve(cluster, chaos_batch, protocol)
+        assert got == healthy_answers[(partition, protocol)]
+        assert not any(result.degraded for result in got)
+        assert cluster.groups[1].failovers >= 1
+        assert sum(group.failovers for group in cluster.groups) >= 1
+
+    def test_lost_shard_degrades_flagged_never_silent(
+        self, chaos_engine, chaos_batch, healthy_answers, partition, protocol
+    ):
+        plan = (
+            FaultPlan(seed=0)
+            .schedule(CRASH, node_id=1, at_call=1, replica=0)
+            .schedule(CRASH, node_id=1, at_call=1, replica=1)
+        )
+        cluster = _build(
+            chaos_engine,
+            partition,
+            replicas=2,
+            fault_plan=plan,
+            retry_policy=INSTANT_RETRY_POLICY,
+        )
+        got = _serve(cluster, chaos_batch, protocol)
+        reference = healthy_answers[(partition, protocol)]
+        degraded = [result for result in got if result.degraded]
+        assert degraded, "losing a whole shard must flag degradation"
+        assert all(0.0 <= r.coverage < 1.0 for r in degraded)
+        # The invariant: any answer differing from healthy is flagged.
+        assert all(
+            result.degraded
+            for result, want in zip(got, reference)
+            if result != want
+        )
+        assert cluster.comm.degraded_queries == len(degraded)
+        assert len(cluster.comm.coverages) == len(degraded)
+
+    def test_chaos_is_deterministic_given_seed(
+        self, chaos_engine, chaos_batch, partition, protocol
+    ):
+        def run():
+            plan = FaultPlan(seed=5, crash_rate=0.01, transient_rate=0.2)
+            cluster = _build(
+                chaos_engine,
+                partition,
+                replicas=2,
+                fault_plan=plan,
+                retry_policy=INSTANT_RETRY_POLICY,
+            )
+            results = _serve(cluster, chaos_batch, protocol)
+            return results, [r.coverage for r in results]
+
+        first, first_cov = run()
+        second, second_cov = run()
+        assert first == second
+        assert first_cov == second_cov
+
+    def test_allow_partial_false_raises_structured(
+        self, chaos_engine, chaos_batch, partition, protocol
+    ):
+        plan = (
+            FaultPlan(seed=0)
+            .schedule(CRASH, node_id=1, at_call=1, replica=0)
+            .schedule(CRASH, node_id=1, at_call=1, replica=1)
+        )
+        cluster = _build(
+            chaos_engine,
+            partition,
+            replicas=2,
+            fault_plan=plan,
+            retry_policy=INSTANT_RETRY_POLICY,
+            allow_partial=False,
+        )
+        with pytest.raises(PartialResultError) as excinfo:
+            _serve(cluster, chaos_batch, protocol)
+        assert 0.0 <= excinfo.value.coverage < 1.0
+        assert excinfo.value.result is not None
+
+
+# ----------------------------------------------------------------------
+# storage quarantine + rebuild-from-source
+# ----------------------------------------------------------------------
+def _corrupt(path):
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestQuarantine:
+    def test_corrupt_index_segment_quarantined_and_rebuilt(self, tmp_path):
+        from repro.storage.catalog import Catalog
+        from repro.storage.snapshot import open_engine
+
+        db = make_random_database(
+            num_objects=30, avg_segments=6, span=100.0, seed=23
+        )
+        engine = TemporalRankingEngine(db)
+        engine.snapshot(tmp_path)
+        reference = [
+            open_engine(tmp_path).top_k(5.0, 80.0, k) for k in (1, 4, 9)
+        ]
+        _corrupt(tmp_path / "exact3.idx")
+        recovered = open_engine(tmp_path)
+        assert [
+            recovered.top_k(5.0, 80.0, k) for k in (1, 4, 9)
+        ] == reference
+        with Catalog.open(tmp_path / Catalog.FILENAME) as catalog:
+            assert catalog.is_quarantined("exact3.idx")
+            catalog.clear_quarantine("exact3.idx")
+            assert not catalog.is_quarantined("exact3.idx")
+
+    def test_corrupt_shard_index_rebuilds_cluster(self, tmp_path):
+        from repro.storage.catalog import Catalog
+        from repro.storage.snapshot import open_cluster, snapshot_cluster
+
+        db = make_random_database(
+            num_objects=30, avg_segments=6, span=100.0, seed=23
+        )
+        engine = TemporalRankingEngine(db)
+        batch = sample_workload(db, count=12, kmax=5, seed=1)
+        cluster = engine.cluster(3, partition="object")
+        snapshot_cluster(cluster, tmp_path)
+        reference = open_cluster(tmp_path).query_many(batch)
+        _corrupt(tmp_path / "node_1.method.idx")
+        assert open_cluster(tmp_path).query_many(batch) == reference
+        with Catalog.open(tmp_path / Catalog.FILENAME) as catalog:
+            assert catalog.is_quarantined("node_1.method.idx")
+
+    def test_corrupt_csr_segment_is_fatal_but_quarantined(self, tmp_path):
+        from repro.storage.catalog import Catalog
+        from repro.storage.snapshot import open_engine
+
+        db = make_random_database(
+            num_objects=20, avg_segments=5, span=100.0, seed=23
+        )
+        TemporalRankingEngine(db).snapshot(tmp_path)
+        _corrupt(tmp_path / "dataset.seg")
+        # The CSR segment is the source of truth: nothing to rebuild
+        # from, so opening must fail loudly — but never silently serve
+        # corrupt data, and the bad file is recorded for repair tools.
+        with pytest.raises(PersistenceError):
+            open_engine(tmp_path)
+        with Catalog.open(tmp_path / Catalog.FILENAME) as catalog:
+            assert catalog.is_quarantined("dataset.seg")

@@ -408,3 +408,98 @@ def test_plan_poisson_load_deterministic(db):
     assert np.array_equal(a.arrivals, b.arrivals)
     assert np.array_equal(a.batch.t1s, b.batch.t1s)
     assert len(a) == 30 and a.rate == 500.0
+
+
+# ----------------------------------------------------------------------
+# request deadlines and bounded shutdown
+# ----------------------------------------------------------------------
+class SlowBackend:
+    """A backend whose every batch blocks until released (or a delay)."""
+
+    def __init__(self, inner, delay=0.2):
+        self.inner = inner
+        self.delay = delay
+
+    @property
+    def epoch(self):
+        return self.inner.epoch
+
+    def serve_many(self, t1s, t2s, ks):
+        import time
+
+        time.sleep(self.delay)
+        return self.inner.serve_many(t1s, t2s, ks)
+
+
+def test_request_deadline_raises_structured(db, engine):
+    from repro.core.errors import DeadlineExceeded
+
+    backend = SlowBackend(EngineBackend(engine), delay=0.2)
+    t1, t2 = db.span
+
+    async def main():
+        coordinator = ServingCoordinator(
+            backend, max_delay=0.0, request_deadline=0.01
+        )
+        async with coordinator:
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                await coordinator.top_k(t1, t2, 3)
+        return coordinator, excinfo.value
+
+    coordinator, error = asyncio.run(main())
+    assert error.deadline == 0.01
+    assert coordinator.stats.failed == 1
+
+
+def test_request_deadline_is_validated(db, engine):
+    with pytest.raises(ReproError):
+        ServingCoordinator(EngineBackend(engine), request_deadline=0.0)
+
+
+def test_deadline_generous_enough_answers_normally(db, engine):
+    backend = EngineBackend(engine)
+    t1, t2 = db.span
+
+    async def main():
+        coordinator = ServingCoordinator(backend, request_deadline=30.0)
+        async with coordinator:
+            return await coordinator.top_k(t1, t2, 4)
+
+    assert asyncio.run(main()) == engine.top_k(t1, t2, 4)
+
+
+def test_bounded_close_fails_pending_with_shutdown(db, engine):
+    from repro.core.errors import CoordinatorShutdown
+
+    backend = SlowBackend(EngineBackend(engine), delay=0.5)
+    t1, t2 = db.span
+
+    async def main():
+        coordinator = ServingCoordinator(backend, max_delay=0.0)
+        await coordinator.start()
+        pending = asyncio.ensure_future(coordinator.top_k(t1, t2, 3))
+        await asyncio.sleep(0.05)  # let the batch reach the executor
+        await coordinator.close(drain_timeout=0.01)
+        with pytest.raises(CoordinatorShutdown):
+            await pending
+        return coordinator
+
+    coordinator = asyncio.run(main())
+    assert coordinator.stats.failed >= 1
+
+
+def test_unbounded_close_drains_everything(db, engine):
+    backend = SlowBackend(EngineBackend(engine), delay=0.05)
+    t1, t2 = db.span
+
+    async def main():
+        coordinator = ServingCoordinator(backend, max_delay=0.0)
+        await coordinator.start()
+        pending = asyncio.ensure_future(coordinator.top_k(t1, t2, 5))
+        await asyncio.sleep(0.02)
+        await coordinator.close(drain_timeout=None)
+        return coordinator, await pending
+
+    coordinator, answer = asyncio.run(main())
+    assert answer == engine.top_k(t1, t2, 5)
+    assert coordinator.stats.failed == 0
