@@ -9,7 +9,17 @@ rates and records, per rate, both serving disciplines:
   arrival through a single worker thread), the pre-serving baseline;
 * micro — the :class:`~repro.serving.ServingCoordinator`'s adaptive
   micro-batching with in-flight pipelining (result cache disabled, so
-  the comparison isolates exactly what batching buys).
+  the comparison isolates exactly what batching buys);
+* pool<N> — micro-batching with ``workers=N`` process-pool execution
+  (the mmap-mounted snapshot workers), one sweep per requested worker
+  count > 1, reported with the in-run ``pool<N>_vs_micro`` ratio.
+
+Pool answers are asserted bit-identical to a direct ``serve_many``
+pass *before* any timed pool run, and again per point.  On a 1-core
+host the pool points still run (functional coverage) but their ratios
+are **skip-and-flagged**, never gated: a 1-core pool measures
+snapshot/dispatch overhead, not overlap — the same guard
+``bench_build``/``bench_query`` apply to executor fan-out points.
 
 Each point reports achieved throughput and p50/p99 latency (measured
 against the *scheduled* arrival, so queueing under overload counts),
@@ -28,9 +38,9 @@ Usage::
     PYTHONPATH=src python scripts/bench_serving.py [--m 1000]
         [--navg 60] [--r 200] [--kmax 50] [--qk 20] [--count 600]
         [--rates 1000,4000,16000] [--seed 0] [--smoke]
-        [--max-batch 128] [--max-delay 0.002]
-        [--require-speedup 0] [--baseline BENCH_serving.json]
-        [--max-regression 2.0]
+        [--max-batch 128] [--max-delay 0.002] [--workers 1,4]
+        [--require-speedup 0] [--require-pool-speedup 0]
+        [--baseline BENCH_serving.json] [--max-regression 2.0]
 
 ``--smoke`` shrinks every dimension so CI can run in a few seconds.
 With ``--baseline`` the run is compared against the committed
@@ -52,6 +62,24 @@ GATED_KEYS = ()
 
 #: In-run micro/direct throughput ratio per offered-load point.
 GATED_RATIOS = ("speedup",)
+
+
+def pool_ratio_keys(*points) -> tuple:
+    """The ``pool<N>_vs_micro`` ratio keys present in any given point.
+
+    Pool ratios are gated only on multi-core hosts (both sides), so
+    the key set is discovered from the data rather than hard-coded —
+    a baseline recorded with ``--workers 1,4`` and a run with
+    ``--workers 1,2`` gate on their intersection naturally.
+    """
+    keys = set()
+    for point in points:
+        keys.update(
+            key
+            for key in point
+            if key.startswith("pool") and key.endswith("_vs_micro")
+        )
+    return tuple(sorted(keys))
 
 
 def run_point(backend, plan, max_batch, max_delay, direct_reference):
@@ -99,9 +127,95 @@ def run_point(backend, plan, max_batch, max_delay, direct_reference):
     }
 
 
+def run_pool_point(
+    backend, plan, max_batch, max_delay, workers, point, direct_reference
+):
+    """One process-pool sweep at ``workers`` for an offered-load point.
+
+    Pool startup (snapshot write, worker warm-up) happens inside the
+    coordinator's ``start()`` — *outside* the open-loop's timed
+    window, so the point measures steady-state dispatch, not mounts.
+    Merges ``pool<N>_*`` keys into ``point``.
+    """
+    from repro.serving import ServingCoordinator, run_open_loop
+
+    async def drive():
+        coordinator = ServingCoordinator(
+            backend,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            cache_size=0,
+            workers=workers,
+        )
+        async with coordinator:
+            pooled = await run_open_loop(coordinator, plan)
+        return pooled, coordinator.stats
+
+    pooled, stats = asyncio.run(drive())
+    if any(a != b for a, b in zip(pooled.answers, direct_reference)):
+        raise AssertionError(
+            f"pool (workers={workers}) answers diverged from direct "
+            "query_many"
+        )
+    prefix = f"pool{workers}"
+    point[f"{prefix}_qps"] = pooled.throughput
+    point[f"{prefix}_p50_ms"] = pooled.p50 * 1e3
+    point[f"{prefix}_p99_ms"] = pooled.p99 * 1e3
+    point[f"{prefix}_dispatches"] = stats.pool_dispatches
+    point[f"{prefix}_warmups"] = stats.warmups
+    point[f"{prefix}_vs_micro"] = pooled.throughput / max(
+        point["micro_qps"], 1e-12
+    )
+    point[f"{prefix}_vs_direct"] = pooled.throughput / max(
+        point["direct_qps"], 1e-12
+    )
+    return point
+
+
+def assert_pool_equivalence(backend, plan, workers) -> None:
+    """Serve the whole plan through a pooled coordinator (untimed) and
+    assert answers bit-identical to one direct ``serve_many`` pass —
+    the before-timing gate on answers, tie-breaks, and the IO model
+    (a mounted snapshot charges identical IO by the PR 8 contract).
+    """
+    from repro.serving import ServingCoordinator
+
+    reference = backend.serve_many(
+        plan.batch.t1s, plan.batch.t2s, plan.batch.ks
+    )
+
+    async def drive():
+        coordinator = ServingCoordinator(
+            backend,
+            max_batch=64,
+            max_delay=0.001,
+            cache_size=0,
+            workers=workers,
+        )
+        async with coordinator:
+            return await asyncio.gather(
+                *[
+                    coordinator.top_k(t1, t2, k)
+                    for t1, t2, k in zip(
+                        plan.batch.t1s, plan.batch.t2s, plan.batch.ks
+                    )
+                ]
+            )
+
+    answers = asyncio.run(drive())
+    if any(a != b for a, b in zip(answers, reference)):
+        raise AssertionError(
+            f"pool (workers={workers}) pre-timing equivalence failed"
+        )
+
+
 def check_baseline(report, path, max_regression) -> int:
     """Compare against the matching committed entry; 0 when OK."""
-    from repro.bench.gating import compare_results, find_baseline_entry
+    from repro.bench.gating import (
+        compare_results,
+        find_baseline_entry,
+        single_core_host,
+    )
 
     with open(path) as handle:
         history = json.load(handle)
@@ -112,16 +226,34 @@ def check_baseline(report, path, max_regression) -> int:
             file=sys.stderr,
         )
         return 0
+    gate_pool = not (
+        single_core_host(report.get("host"))
+        or single_core_host(baseline.get("host", {}))
+    )
     failures = []
+    skipped_pool = False
     for name, point in report["results"].items():
         base = baseline["results"].get(name)
         if base is None:
             continue
+        ratios = GATED_RATIOS
+        pool_ratios = pool_ratio_keys(base, point)
+        if pool_ratios and gate_pool:
+            ratios = ratios + pool_ratios
+        elif pool_ratios:
+            skipped_pool = True
         failures.extend(
             compare_results(
-                base, point, GATED_KEYS, GATED_RATIOS, max_regression,
+                base, point, GATED_KEYS, ratios, max_regression,
                 label=f"{name} ",
             )
+        )
+    if skipped_pool:
+        print(
+            "pool points: gating SKIPPED (1-core host on one side — a "
+            "1-core pool measures snapshot/dispatch overhead, not "
+            "overlapping batches)",
+            file=sys.stderr,
         )
     for line in failures:
         print(f"REGRESSION: {line}", file=sys.stderr)
@@ -162,6 +294,21 @@ def main(argv=None) -> int:
         "ratio reaches this (e.g. 3.0 when recording trajectory entries)",
     )
     parser.add_argument(
+        "--workers",
+        type=str,
+        default="1,4",
+        help="comma-separated pool worker counts to sweep; counts > 1 "
+        "add pool<N>_* keys per offered-load point",
+    )
+    parser.add_argument(
+        "--require-pool-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the saturating-load pool/micro throughput "
+        "ratio at the largest worker count reaches this "
+        "(skip-and-flagged on a 1-core host, e.g. 2.0 at workers=4)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true", help="tiny sizes for CI smoke runs"
     )
     parser.add_argument(
@@ -179,10 +326,14 @@ def main(argv=None) -> int:
         args.kmax = min(args.kmax, 30)
         args.qk = min(args.qk, 10)
         args.count = min(args.count, 200)
+        if args.workers == "1,4":
+            args.workers = "1,2"
     rates = sorted(float(rate) for rate in args.rates.split(","))
+    worker_counts = sorted({int(w) for w in args.workers.split(",")})
+    pool_counts = [w for w in worker_counts if w > 1]
 
     from repro.approximate.methods import Appx2Plus
-    from repro.bench.gating import host_metadata
+    from repro.bench.gating import host_metadata, single_core_host
     from repro.datasets import generate_temp
     from repro.engine import TemporalRankingEngine
     from repro.serving import EngineBackend
@@ -197,6 +348,19 @@ def main(argv=None) -> int:
     engine._approximate = Appx2Plus(r=args.r, kmax=args.kmax).build(database)
     backend = EngineBackend(engine, approximate=True)
 
+    # Gate on answers before any timed pool run: the pool must be a
+    # pure execution change.
+    if pool_counts:
+        equivalence_plan = plan_poisson_load(
+            database,
+            count=min(args.count, 64),
+            rate=rates[0],
+            kmax=args.qk,
+            seed=args.seed,
+        )
+        for workers in pool_counts:
+            assert_pool_equivalence(backend, equivalence_plan, workers)
+
     results = {}
     for rate in rates:
         plan = plan_poisson_load(
@@ -209,11 +373,23 @@ def main(argv=None) -> int:
         reference = backend.serve_many(
             plan.batch.t1s, plan.batch.t2s, plan.batch.ks
         )
-        results[f"rate_{int(rate)}"] = run_point(
+        point = run_point(
             backend, plan, args.max_batch, args.max_delay, reference
         )
+        for workers in pool_counts:
+            run_pool_point(
+                backend,
+                plan,
+                args.max_batch,
+                args.max_delay,
+                workers,
+                point,
+                reference,
+            )
+        results[f"rate_{int(rate)}"] = point
 
     saturated = results[f"rate_{int(rates[-1])}"]
+    single_core = single_core_host()
     report = {
         "bench": "serving",
         "config": {
@@ -224,6 +400,7 @@ def main(argv=None) -> int:
             "qk": args.qk,
             "count": args.count,
             "rates": rates,
+            "workers": worker_counts,
             "max_batch": args.max_batch,
             "max_delay": args.max_delay,
             "seed": args.seed,
@@ -232,6 +409,7 @@ def main(argv=None) -> int:
         "host": host_metadata(),
         "backend": backend.name,
         "saturated_speedup": saturated["speedup"],
+        "single_core_host": single_core,
         "results": results,
     }
     json.dump(report, sys.stdout, indent=2, sort_keys=True)
@@ -245,6 +423,23 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         status = 1
+    if args.require_pool_speedup and pool_counts:
+        ratio = saturated[f"pool{pool_counts[-1]}_vs_micro"]
+        if single_core:
+            print(
+                f"POOL FLOOR: skipped on a 1-core host (pool{pool_counts[-1]}"
+                f"_vs_micro={ratio:.2f}x recorded but flagged — the point "
+                "measures dispatch overhead, not overlap)",
+                file=sys.stderr,
+            )
+        elif ratio < args.require_pool_speedup:
+            print(
+                f"POOL FLOOR: saturating-load pool{pool_counts[-1]}/micro "
+                f"ratio {ratio:.2f}x < required "
+                f"{args.require_pool_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            status = 1
     if args.baseline is not None:
         status = max(status, check_baseline(
             report, args.baseline, args.max_regression

@@ -492,6 +492,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
+    # With a process pool, a --catalog snapshot is reused as the
+    # workers' first mount (no second snapshot write on startup).
+    pool_snapshot = args.catalog if args.workers > 1 else None
 
     async def run():
         coordinator = ServingCoordinator(
@@ -499,6 +502,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_delay=args.max_delay,
             request_deadline=deadline,
+            workers=args.workers,
+            pool_snapshot=pool_snapshot,
         )
         async with coordinator:
             answers = await asyncio.gather(
@@ -522,11 +527,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"top-{k}({t1:g}, {t2:g}) -> [{tops}]")
     stats = coordinator.stats
     failed = f", {stats.failed} failed" if stats.failed else ""
+    pooled = (
+        f", {stats.pool_dispatches} pool dispatches across "
+        f"{args.workers} workers"
+        if args.workers > 1
+        else ""
+    )
     print(
         f"served {stats.requests} requests in {stats.batches} micro-batches "
         f"(mean {stats.mean_batch:.1f}/batch, {stats.cache_hits} cache "
-        f"hits, {stats.deduped} deduped{failed})"
+        f"hits, {stats.deduped} deduped{failed}{pooled})"
     )
+    if args.stats_json:
+        import json
+        from pathlib import Path
+
+        text = json.dumps(coordinator.metrics(), indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(text)
+        else:
+            Path(args.stats_json).write_text(text + "\n")
+            print(f"metrics -> {args.stats_json}")
     return 0
 
 
@@ -800,6 +821,22 @@ def build_parser() -> argparse.ArgumentParser:
         "fail with a structured DeadlineExceeded",
     )
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="execution worker processes; N>1 snapshots the engine and "
+        "dispatches micro-batches to a process pool over mmap mounts "
+        "(answers stay bit-identical)",
+    )
+    p_serve.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="dump Prometheus-style serving counters as JSON on exit "
+        "('-' for stdout)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_loadgen = sub.add_parser(

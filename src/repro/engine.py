@@ -132,6 +132,29 @@ class TemporalRankingEngine:
             np.asarray(ts, dtype=np.float64), np.asarray(ks, dtype=np.int64)
         )
 
+    def prepare(
+        self, approximate: bool = False, instant: bool = False
+    ) -> int:
+        """Eagerly build the requested lazy indexes; returns how many
+        were built *by this call* (already-built indexes count zero).
+
+        The serving pool calls this before snapshotting so every index
+        its backend serves is recorded in the catalog (worker mounts
+        then replay the recorded builds instead of paying a cold build
+        on the first flush), and again worker-side so a mount is
+        always query-ready.
+        """
+        built = 0
+        if approximate and self._approximate is None:
+            self._approximate = Appx2Plus(
+                epsilon=self.epsilon, kmax=self.kmax
+            ).build(self.database)
+            built += 1
+        if instant and self._instant is None:
+            self._instant = InstantIntervalTree().build(self.database)
+            built += 1
+        return built
+
     def quantile_top_k(
         self, t1: float, t2: float, k: int, phi: float = 0.5
     ) -> TopKResult:

@@ -12,8 +12,10 @@ from repro.parallel.executor import (
     WORKERS_ENV,
     ParallelExecutor,
     Session,
+    WorkerPool,
     chunk_ranges,
     get_executor,
+    process_context,
     resolve_backend,
     resolve_workers,
     weighted_chunk_ranges,
@@ -27,8 +29,10 @@ __all__ = [
     "WORKERS_ENV",
     "ParallelExecutor",
     "Session",
+    "WorkerPool",
     "chunk_ranges",
     "get_executor",
+    "process_context",
     "resolve_backend",
     "resolve_workers",
     "weighted_chunk_ranges",

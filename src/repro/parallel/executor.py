@@ -169,6 +169,21 @@ def weighted_chunk_ranges(
     return ranges
 
 
+def process_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context process pools should use.
+
+    Prefer fork only where it is actually safe (Linux): macOS lists
+    fork as available but its default moved to spawn because forking
+    after threads exist can crash the Objective-C runtime / BLAS.
+    Elsewhere, take the platform default (worker state then pickles
+    once per worker instead of arriving copy-on-write).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if sys.platform.startswith("linux") and "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
 # ----------------------------------------------------------------------
 # the executor
 # ----------------------------------------------------------------------
@@ -191,19 +206,9 @@ class Session:
     def __enter__(self) -> "Session":
         backend = self._executor.backend
         if backend == "process":
-            # Prefer fork only where it is actually safe (Linux):
-            # macOS lists fork as available but its default moved to
-            # spawn because forking after threads exist can crash the
-            # Objective-C runtime / BLAS.  Elsewhere, take the
-            # platform default (state then pickles once per worker).
-            methods = multiprocessing.get_all_start_methods()
-            if sys.platform.startswith("linux") and "fork" in methods:
-                context = multiprocessing.get_context("fork")
-            else:
-                context = multiprocessing.get_context()
             self._pool = ProcessPoolExecutor(
                 max_workers=self._executor.workers,
-                mp_context=context,
+                mp_context=process_context(),
                 initializer=_set_worker_state,
                 initargs=(self._state,),
             )
@@ -259,6 +264,40 @@ class ParallelExecutor:
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(backend={self.backend!r}, workers={self.workers})"
+
+
+class WorkerPool:
+    """A long-lived, submit-oriented process pool with installed state.
+
+    :class:`Session` fans one build's chunks out and tears the pool
+    down on exit; the serving tier instead needs workers that
+    *outlive* many independent dispatches (a mounted snapshot per
+    worker, re-used across micro-batches).  ``WorkerPool`` is that
+    shape: always process-backed, created once, fed via
+    :meth:`submit`, shut down explicitly.
+
+    ``state`` is installed in every worker through the same
+    ``_set_worker_state`` initializer protocol Session uses, so tasks
+    read it back with :func:`worker_state`.  Workers spawn on demand
+    (the stdlib pool forks/spawns up to ``workers`` processes as
+    submissions arrive), which keeps an idle pool cheap.
+    """
+
+    def __init__(self, workers: int, state: Any = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=process_context(),
+            initializer=_set_worker_state,
+            initargs=(state,),
+        )
+
+    def submit(self, fn: Callable[..., Any], *args: Any):
+        """Submit one task; returns its ``concurrent.futures.Future``."""
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
 
 
 def get_executor(

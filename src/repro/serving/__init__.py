@@ -25,6 +25,7 @@ from repro.serving.backends import (
     ClusterBackend,
     EngineBackend,
     InstantBackend,
+    backend_from_snapshot,
 )
 from repro.serving.cache import ResultCache, ResultCacheStats
 from repro.serving.coordinator import ServingCoordinator, ServingStats
@@ -35,6 +36,7 @@ from repro.serving.loadgen import (
     plan_poisson_load,
     run_open_loop,
 )
+from repro.serving.pool import ServingProcessPool
 
 __all__ = [
     "ArrivalPlan",
@@ -46,7 +48,9 @@ __all__ = [
     "ResultCache",
     "ResultCacheStats",
     "ServingCoordinator",
+    "ServingProcessPool",
     "ServingStats",
+    "backend_from_snapshot",
     "plan_poisson_load",
     "run_open_loop",
 ]

@@ -20,6 +20,20 @@ admission signal (relative recomputation cost of one answer).  The
 instant path is a single fractional-cascading walk per query, cheap
 enough that caching it mostly churns the LRU; the aggregate and
 cluster paths pay real kernel work per answer.
+
+Snapshot handles (the process pool's worker protocol)
+-----------------------------------------------------
+Every adapter also describes itself as a *snapshot handle* for the
+process-backed serving pool (:mod:`repro.serving.pool`):
+
+* ``snapshot_target()`` — the engine/cluster object
+  :func:`repro.storage.snapshot.snapshot_any` should persist,
+* ``prepare_for_pool()`` — eagerly builds the lazy indexes the
+  adapter serves, so the snapshot records them and worker mounts
+  replay recorded builds instead of paying a cold build,
+* ``pool_spec()`` — a small picklable dict from which
+  :func:`backend_from_snapshot` reconstructs an equivalent adapter
+  over a *mounted* snapshot inside a worker process.
 """
 
 from __future__ import annotations
@@ -65,6 +79,15 @@ class EngineBackend:
         )
         return self.engine.top_k_many(batch, approximate=self.approximate)
 
+    def snapshot_target(self):
+        return self.engine
+
+    def prepare_for_pool(self) -> int:
+        return self.engine.prepare(approximate=self.approximate)
+
+    def pool_spec(self) -> dict:
+        return {"kind": "engine", "approximate": bool(self.approximate)}
+
 
 class InstantBackend:
     """Instant ``top-k(t)`` over a single-node engine.
@@ -97,6 +120,15 @@ class InstantBackend:
             np.asarray(t1s, dtype=np.float64),
             np.asarray(ks, dtype=np.int64),
         )
+
+    def snapshot_target(self):
+        return self.engine
+
+    def prepare_for_pool(self) -> int:
+        return self.engine.prepare(instant=True)
+
+    def pool_spec(self) -> dict:
+        return {"kind": "instant"}
 
 
 class ClusterBackend:
@@ -137,3 +169,91 @@ class ClusterBackend:
             np.asarray(ks, dtype=np.int64),
         )
         return self.cluster.query_many(batch, **self._query_kwargs)
+
+    def snapshot_target(self):
+        return self.cluster
+
+    def prepare_for_pool(self) -> int:
+        # Cluster shards build their indexes eagerly at construction;
+        # there is nothing lazy left to force.
+        return 0
+
+    def pool_spec(self) -> dict:
+        return {
+            "kind": "cluster",
+            "name": self.name,
+            "query_kwargs": dict(self._query_kwargs),
+        }
+
+
+class DelayedBackend:
+    """A backend that sleeps before serving — test/chaos instrumentation.
+
+    The drain/close tests need pool batches that are reliably *in
+    flight* when the coordinator shuts down; a worker-side sleep is
+    the deterministic way to get one.  Reconstructed worker-side when
+    a pool spec carries ``delay_s`` (see :func:`backend_from_snapshot`).
+    """
+
+    def __init__(self, inner, delay_s: float) -> None:
+        self.inner = inner
+        self.delay_s = float(delay_s)
+        self.name = f"delayed({getattr(inner, 'name', '?')})"
+
+    @property
+    def cost_hint(self) -> float:
+        return float(getattr(self.inner, "cost_hint", 1.0))
+
+    @property
+    def epoch(self) -> int:
+        return self.inner.epoch
+
+    def serve_many(self, t1s, t2s, ks) -> List[TopKResult]:
+        import time
+
+        time.sleep(self.delay_s)
+        return self.inner.serve_many(t1s, t2s, ks)
+
+
+def backend_from_snapshot(obj, spec: dict):
+    """Rebuild a serving backend over a freshly mounted snapshot.
+
+    The worker side of the serving pool's snapshot-handle protocol:
+    ``obj`` is what :func:`repro.storage.snapshot.open_any` mounted,
+    ``spec`` is the coordinator backend's ``pool_spec()``.  Returns
+    ``(backend, warmups)`` where ``warmups`` counts the index
+    structures made query-ready at mount time — replayed from the
+    catalog's recorded ``index_builds`` rows, or (when the snapshot
+    predates the index the spec serves) built eagerly here — so the
+    worker's first flush never pays a cold-build stall.
+    """
+    kind = spec.get("kind")
+    if kind == "engine":
+        engine = obj
+        approximate = bool(spec.get("approximate"))
+        engine.prepare(approximate=approximate)
+        # exact3 always mounts (or deterministically rebuilds) ready;
+        # the approximate path adds APPX2+ when the spec serves it.
+        warmups = 2 if approximate else 1
+        backend = EngineBackend(engine, approximate=approximate)
+    elif kind == "instant":
+        engine = obj
+        engine.prepare(instant=True)
+        warmups = 2  # exact3 mount + the instant engine, both ready
+        backend = InstantBackend(engine)
+    elif kind == "cluster":
+        kwargs = dict(spec.get("query_kwargs") or {})
+        if kwargs.get("executor") is not None:
+            # Nested fan-out inside a pool worker would stack process
+            # pools without adding cores (the node_build_chunk rule).
+            from repro.parallel import ParallelExecutor
+
+            kwargs["executor"] = ParallelExecutor("serial", 1)
+        backend = ClusterBackend(obj, name=spec.get("name"), **kwargs)
+        warmups = len(obj.nodes)
+    else:
+        raise ValueError(f"unknown pool spec kind {kind!r}")
+    delay = float(spec.get("delay_s") or 0.0)
+    if delay > 0.0:
+        backend = DelayedBackend(backend, delay)
+    return backend, warmups

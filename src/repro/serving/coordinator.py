@@ -29,6 +29,20 @@ In-flight pipelining
     overlap that matters (batch formation concurrent with execution)
     with strictly deterministic backend state.
 
+Process-backed execution (``workers > 1``)
+    With ``workers=N`` the coordinator dispatches flushed batches to a
+    :class:`~repro.serving.pool.ServingProcessPool` instead: worker
+    processes mount an immutable snapshot of the backend (zero-copy,
+    zero builds — the PR 8 mmap tier) and concurrently dispatched
+    batches genuinely overlap across cores.  Every dispatch carries
+    the snapshot's epoch token; an append on the coordinator bumps
+    the live epoch, the pool re-snapshots before the next flush
+    (``stats.pool_resyncs``), and stale worker mounts re-mount on
+    their next dispatch (``stats.pool_remounts``).  Answers,
+    tie-breaks, and modeled IO charges stay bit-identical to the
+    single-thread path because mounted snapshots answer
+    bit-identically to the live backend.
+
 Node-level result caching
     Answers are cached in an epoch-guarded LRU
     (:class:`~repro.serving.cache.ResultCache`) keyed on the exact
@@ -89,6 +103,18 @@ class ServingStats:
     #: abandoned by a bounded :meth:`ServingCoordinator.close`
     #: (:class:`CoordinatorShutdown`).
     failed: int = 0
+    #: Micro-batches dispatched to the process pool (``workers > 1``).
+    pool_dispatches: int = 0
+    #: Pool re-snapshots after a coordinator-side append moved the
+    #: live epoch past the pool's mounted snapshot.
+    pool_resyncs: int = 0
+    #: Worker re-mounts triggered by a dispatch carrying a newer
+    #: snapshot token than the worker's cached mount.
+    pool_remounts: int = 0
+    #: Index structures made query-ready by worker mounts (recorded
+    #: builds replayed at pool start and after re-mounts), so the
+    #: first flush never pays a cold-build stall.
+    warmups: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -127,8 +153,29 @@ class ServingCoordinator:
     pipeline_depth:
         Maximum flushed-but-unfinished batches before the flusher
         blocks.  ``1`` disables pipelining (next batch forms only
-        queue-side); ``2`` (default) lets one batch form and submit
-        while one executes.
+        queue-side); ``None`` (default) resolves to ``2`` on the
+        single-thread path (one batch forms and submits while one
+        executes) and to ``workers + 1`` with a process pool (every
+        worker busy plus one batch forming).
+    workers:
+        Execution worker *processes*.  ``1`` (default) keeps the
+        single-thread path; ``N > 1`` snapshots the backend and
+        dispatches batches to a
+        :class:`~repro.serving.pool.ServingProcessPool` so pipelined
+        batches overlap across cores — answers stay bit-identical.
+    pool:
+        A pre-built :class:`~repro.serving.pool.ServingProcessPool`
+        to adopt instead of creating one (tests; the CLI's
+        snapshot-reuse path).  The coordinator owns it from
+        :meth:`start` on and closes it on shutdown; ``workers`` is
+        taken from the pool.
+    pool_dir:
+        Directory for the pool's epoch snapshots (default: a private
+        temporary directory).
+    pool_snapshot:
+        An existing snapshot directory of the backend's current state
+        to reuse as the pool's first mount (skips the initial
+        snapshot write; see :class:`ServingProcessPool`).
     cache_size:
         Result-cache capacity in answers; ``0`` disables result
         caching.
@@ -162,11 +209,15 @@ class ServingCoordinator:
         min_batch: int = 1,
         max_delay: float = 0.002,
         adaptive: bool = True,
-        pipeline_depth: int = 2,
+        pipeline_depth: Optional[int] = None,
         cache_size: int = 1024,
         cache_min_cost: float = 0.0,
         request_deadline: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        workers: int = 1,
+        pool=None,
+        pool_dir=None,
+        pool_snapshot=None,
     ) -> None:
         if max_batch < 1:
             raise ReproError(f"max_batch must be >= 1, got {max_batch}")
@@ -174,15 +225,24 @@ class ServingCoordinator:
             raise ReproError(
                 f"need 1 <= min_batch <= max_batch, got {min_batch}"
             )
-        if pipeline_depth < 1:
-            raise ReproError(
-                f"pipeline_depth must be >= 1, got {pipeline_depth}"
-            )
         self.backend = backend
         self.max_batch = int(max_batch)
         self.min_batch = int(min_batch)
         self.max_delay = float(max_delay)
         self.adaptive = bool(adaptive)
+        self.workers = pool.workers if pool is not None else int(workers)
+        if self.workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self._pool = pool
+        self._pool_dir = pool_dir
+        self._pool_snapshot = pool_snapshot
+        if pipeline_depth is None:
+            # One batch forming while every execution slot is busy.
+            pipeline_depth = 2 if self.workers == 1 else self.workers + 1
+        if pipeline_depth < 1:
+            raise ReproError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
         self.pipeline_depth = int(pipeline_depth)
         if request_deadline is not None and request_deadline <= 0:
             raise ReproError(
@@ -214,18 +274,36 @@ class ServingCoordinator:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "ServingCoordinator":
-        """Spawn the flusher loop and the execution worker."""
+        """Spawn the flusher loop and the execution worker(s)."""
         if self._flusher is not None:
             raise ReproError("coordinator already started")
         self._closing = False
         self._arrived = asyncio.Event()
         self._inflight = asyncio.Semaphore(self.pipeline_depth)
-        # Single worker: backend execution stays serialized (engines
-        # mutate IO counters and pools), batches still form while one
-        # executes.
+        # Single worker thread: on the workers=1 path it serializes
+        # backend execution (engines mutate IO counters and pools);
+        # with a process pool it only runs pool construction, the
+        # batches themselves go to the pool.
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serving"
         )
+        if self._pool is None and self.workers > 1:
+            from repro.serving.pool import ServingProcessPool
+
+            loop = asyncio.get_running_loop()
+            # Pool construction snapshots the backend and warms every
+            # worker — real work; keep it off the event loop.
+            self._pool = await loop.run_in_executor(
+                self._executor,
+                lambda: ServingProcessPool(
+                    self.backend,
+                    self.workers,
+                    root=self._pool_dir,
+                    initial_snapshot=self._pool_snapshot,
+                ),
+            )
+        if self._pool is not None:
+            self.stats.warmups += self._pool.startup_warmups
         self._flusher = asyncio.create_task(self._flush_loop())
         return self
 
@@ -253,8 +331,32 @@ class ServingCoordinator:
             return
         self._closing = True
         self._arrived.set()
-        work = {self._flusher} | set(self._exec_tasks)
-        done, pending = await asyncio.wait(work, timeout=drain_timeout)
+        # Drain in rounds: the flusher keeps spawning execution tasks
+        # while it empties the queue, so a single snapshot of
+        # _exec_tasks would miss batches dispatched mid-drain (and a
+        # pool makes that window real work, not an instant).  Re-poll
+        # until nothing is left or the budget expires.
+        deadline = (
+            None if drain_timeout is None else self._clock() + drain_timeout
+        )
+        pending: set = set()
+        while True:
+            work = {
+                task
+                for task in {self._flusher} | set(self._exec_tasks)
+                if not task.done()
+            }
+            if not work:
+                pending = set()
+                break
+            timeout = (
+                None
+                if deadline is None
+                else max(0.0, deadline - self._clock())
+            )
+            _, pending = await asyncio.wait(work, timeout=timeout)
+            if pending:
+                break
         if pending:
             for task in pending:
                 task.cancel()
@@ -275,6 +377,17 @@ class ServingCoordinator:
         # A timed-out close must not block on the worker thread either;
         # anything still executing has no waiter left to deliver to.
         self._executor.shutdown(wait=not pending, cancel_futures=bool(pending))
+        if self._pool is not None:
+            # The coordinator owns the pool (built or adopted): worker
+            # processes stop here.  A timed-out close abandons their
+            # in-flight batches the same way it abandons the thread's.
+            pool, self._pool = self._pool, None
+            await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: pool.close(
+                    wait=not pending, cancel_futures=bool(pending)
+                ),
+            )
         self._flusher = None
         self._executor = None
 
@@ -320,6 +433,44 @@ class ServingCoordinator:
                 f"request exceeded its {self.request_deadline}s deadline",
                 deadline=self.request_deadline,
             ) from None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        """Prometheus-style counters as one flat ``name -> value`` dict.
+
+        Names follow the ``<namespace>_<subsystem>_<unit>_total``
+        convention (counters monotone over the coordinator's
+        lifetime; ``*_gauge`` entries are point-in-time values), so a
+        scrape endpoint or the CLI's ``--stats-json`` dump can expose
+        them without translation.
+        """
+        stats, cache = self.stats, self.cache.stats
+        return {
+            "repro_serving_requests_total": stats.requests,
+            "repro_serving_batches_total": stats.batches,
+            "repro_serving_size_flushes_total": stats.size_flushes,
+            "repro_serving_deadline_flushes_total": stats.deadline_flushes,
+            "repro_serving_executed_total": stats.executed,
+            "repro_serving_cache_hits_total": stats.cache_hits,
+            "repro_serving_deduped_total": stats.deduped,
+            "repro_serving_failed_total": stats.failed,
+            "repro_serving_pool_dispatches_total": stats.pool_dispatches,
+            "repro_serving_pool_resyncs_total": stats.pool_resyncs,
+            "repro_serving_pool_remounts_total": stats.pool_remounts,
+            "repro_serving_warmups_total": stats.warmups,
+            "repro_serving_max_batch_gauge": stats.max_batch,
+            "repro_serving_mean_batch_gauge": stats.mean_batch,
+            "repro_serving_workers_gauge": self.workers,
+            "repro_serving_pipeline_depth_gauge": self.pipeline_depth,
+            "repro_serving_backend_epoch_gauge": int(self.backend.epoch),
+            "repro_serving_result_cache_hits_total": cache.hits,
+            "repro_serving_result_cache_misses_total": cache.misses,
+            "repro_serving_result_cache_stale_total": cache.stale,
+            "repro_serving_result_cache_evictions_total": cache.evictions,
+            "repro_serving_result_cache_rejected_total": cache.rejected,
+        }
 
     # ------------------------------------------------------------------
     # internals
@@ -416,9 +567,28 @@ class ServingCoordinator:
                 t1s = np.fromiter((k[0] for k in keys), np.float64, count)
                 t2s = np.fromiter((k[1] for k in keys), np.float64, count)
                 ks = np.fromiter((k[2] for k in keys), np.int64, count)
-                results = await asyncio.get_running_loop().run_in_executor(
-                    self._executor, self.backend.serve_many, t1s, t2s, ks
-                )
+                loop = asyncio.get_running_loop()
+                if self._pool is not None:
+                    # Re-sync the pool before dispatch when an append
+                    # moved the live epoch past the mounted snapshot.
+                    # The snapshot write runs *inline on the event
+                    # loop*: dumping an index temporarily strips its
+                    # live block payloads, so it must never interleave
+                    # with a coordinator-side append (appends run on
+                    # the loop thread too, hence serialized here).
+                    if not self._pool.in_sync():
+                        if self._pool.resync():
+                            self.stats.pool_resyncs += 1
+                    results, info = await asyncio.wrap_future(
+                        self._pool.submit(t1s, t2s, ks)
+                    )
+                    self.stats.pool_dispatches += 1
+                    self.stats.pool_remounts += int(info.get("remounts", 0))
+                    self.stats.warmups += int(info.get("warmups", 0))
+                else:
+                    results = await loop.run_in_executor(
+                        self._executor, self.backend.serve_many, t1s, t2s, ks
+                    )
                 self.stats.executed += count
                 # Only cache when no append landed mid-execution: an
                 # entry stamped with the pre-append epoch could

@@ -578,3 +578,40 @@ def open_any(path: str | Path, verify: bool = True):
     if kind in (KIND_CLUSTER_OBJECT, KIND_CLUSTER_TIME):
         return open_cluster(root, verify=verify)
     raise PersistenceError(f"{root} holds an unknown snapshot kind {kind!r}")
+
+
+def snapshot_any(obj, path: str | Path) -> Path:
+    """Snapshot a live engine or cluster; dispatches on type.
+
+    The writer half of :func:`open_any` — the serving pool uses the
+    pair to hand a coordinator's backend to worker processes as a
+    directory instead of a pickle.
+    """
+    from repro.distributed import (
+        ObjectPartitionedCluster,
+        TimePartitionedCluster,
+    )
+    from repro.engine import TemporalRankingEngine
+
+    if isinstance(obj, TemporalRankingEngine):
+        return snapshot_engine(obj, path)
+    if isinstance(obj, (ObjectPartitionedCluster, TimePartitionedCluster)):
+        return snapshot_cluster(obj, path)
+    raise PersistenceError(
+        f"cannot snapshot {type(obj).__name__}: not an engine or cluster"
+    )
+
+
+def open_served(path: str | Path, spec: dict, verify: bool = True):
+    """Worker-side open of a served snapshot.
+
+    Mounts the snapshot with :func:`open_any`, then rebuilds the
+    serving backend the coordinator described with ``spec`` (a
+    picklable dict from the backend's ``pool_spec()``) over the
+    mounted object.  Returns ``(backend, warmups)`` — see
+    :func:`repro.serving.backends.backend_from_snapshot` for the
+    warm-up accounting.
+    """
+    from repro.serving.backends import backend_from_snapshot
+
+    return backend_from_snapshot(open_any(path, verify=verify), spec)
